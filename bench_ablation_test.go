@@ -1,0 +1,136 @@
+package snvmm
+
+// Ablation and extension benchmarks (see DESIGN.md "extensions"): the
+// PoE-count randomness sweep, the SPE-serial timer trade-off, start-gap
+// wear leveling, the ECC substrate, and the future-work non-volatile
+// cache model.
+
+import (
+	"testing"
+
+	"snvmm/internal/core"
+	"snvmm/internal/ecc"
+	"snvmm/internal/mem"
+	"snvmm/internal/nist"
+	"snvmm/internal/nvcache"
+	"snvmm/internal/poe"
+	"snvmm/internal/secure"
+	"snvmm/internal/sim"
+	"snvmm/internal/trace"
+	"snvmm/internal/wearlevel"
+	"snvmm/internal/xbar"
+)
+
+// BenchmarkAblationPoECount reproduces the Section 6.1 remark that SPE
+// needs >= 16 PoEs: it measures total NIST failures on the low-density
+// plaintext data set at 6 vs 16 PoEs.
+func BenchmarkAblationPoECount(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	spec := nist.DataSetSpec{Sequences: 2, SeqBits: 20000, Seed: 1}
+	run := func(k int) int {
+		placement, _, err := poe.BestPlacement(cfg, nil, k, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := core.DefaultParams()
+		params.PoEs = placement
+		eng, err := core.NewEngine(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqs, err := nist.NewBuilder(eng).Build(nist.LowDensityPT, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		br := nist.RunBatch(seqs)
+		total := 0
+		for _, f := range br.Failures {
+			total += f
+		}
+		return total
+	}
+	var few, full int
+	for i := 0; i < b.N; i++ {
+		few = run(6)
+		full = run(16)
+	}
+	b.ReportMetric(float64(few), "failures@6PoE")
+	b.ReportMetric(float64(full), "failures@16PoE")
+}
+
+// BenchmarkAblationSerialTimer measures the SPE-serial coverage at a short
+// and a long re-encryption timer on a reuse-heavy workload.
+func BenchmarkAblationSerialTimer(b *testing.B) {
+	p, err := trace.ProfileByName("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var short, long float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Run(p, secure.NewSPESerial(10_000), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(p, secure.NewSPESerial(20_000_000), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		short, long = r1.AvgEncrypted*100, r2.AvgEncrypted*100
+	}
+	b.ReportMetric(short, "enc%@10k")
+	b.ReportMetric(long, "enc%@20M")
+}
+
+// BenchmarkWearLeveling measures the start-gap endurance-attack defense.
+func BenchmarkWearLeveling(b *testing.B) {
+	var leveling float64
+	for i := 0; i < b.N; i++ {
+		m, err := wearlevel.New(256, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := wearlevel.SimulateAttack(m, 7, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leveling = res.Leveling
+	}
+	b.ReportMetric(leveling, "lifetime-x")
+}
+
+// BenchmarkECC measures SECDED encode+decode throughput for one 64-byte
+// block (the per-line ECC cost of the Section 3 mitigation).
+func BenchmarkECC(b *testing.B) {
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		enc, err := ecc.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ecc.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNVCache measures the future-work SPE cache with a 512-line
+// decrypted buffer on a synthetic stream.
+func BenchmarkNVCache(b *testing.B) {
+	c, err := nvcache.New(nvcache.Config{
+		Cache:         mem.CacheConfig{SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 16},
+		DecryptCycles: 16,
+		DLBLines:      512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%8192)*64, i%7 == 0)
+	}
+	b.ReportMetric(c.AvgHitLatency(), "avg-hit-cycles")
+}

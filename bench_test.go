@@ -1,0 +1,294 @@
+package snvmm
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each bench regenerates (a scaled version of) its experiment
+// and reports domain metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. EXPERIMENTS.md records paper-vs-measured
+// values; cmd/spe-sim prints the full tables.
+
+import (
+	"testing"
+
+	"snvmm/internal/attacks"
+	"snvmm/internal/core"
+	"snvmm/internal/device"
+	"snvmm/internal/mem"
+	"snvmm/internal/nist"
+	"snvmm/internal/poe"
+	"snvmm/internal/prng"
+	"snvmm/internal/secure"
+	"snvmm/internal/sim"
+	"snvmm/internal/trace"
+	"snvmm/internal/xbar"
+)
+
+var benchEngine *core.Engine
+
+func engineForBench(b *testing.B) *core.Engine {
+	b.Helper()
+	if benchEngine == nil {
+		e, err := core.NewEngine(core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEngine = e
+	}
+	return benchEngine
+}
+
+// BenchmarkFig2EncryptDecrypt measures the Fig. 2 walk-through: one full
+// SPE encrypt+decrypt round trip of a 64-byte cache block across four 8x8
+// crossbars.
+func BenchmarkFig2EncryptDecrypt(b *testing.B) {
+	eng := engineForBench(b)
+	blk, err := eng.NewBlock(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := prng.NewKey(123, 456)
+	data := make([]byte, core.BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := blk.WritePlain(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := blk.Encrypt(key, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := blk.Decrypt(key, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.PoECount()), "PoEs/xbar")
+}
+
+// BenchmarkFig4PolyominoSolve measures one sneak-path nodal-analysis solve
+// of the 8x8 crossbar — the Fig. 4 voltage map.
+func BenchmarkFig4PolyominoSolve(b *testing.B) {
+	xb, err := xbar.New(xbar.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xb.VoltageMap(xbar.Cell{Row: 4, Col: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Calibration measures the hysteresis calibration of Fig. 5:
+// finding the decrypt pulse width by bisection on the TEAM dynamics.
+func BenchmarkFig5Calibration(b *testing.B) {
+	p := device.DefaultParams()
+	enc := device.Pulse{Voltage: 1, Width: 0.071e-6}
+	x0 := device.LevelCenter(1)
+	var w float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		w, err = p.CalibrateDecryptWidth(x0, enc, 1e-9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(w*1e9, "decrypt-ns")
+}
+
+// BenchmarkTable1ILP measures the PoE placement ILP at the paper's
+// security-first operating point (16 PoEs).
+func BenchmarkTable1ILP(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	var poes int
+	for i := 0; i < b.N; i++ {
+		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: 56, MaxNodes: 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		poes = len(res.PoEs)
+	}
+	b.ReportMetric(float64(poes), "PoEs")
+}
+
+// BenchmarkFig6Coverage measures the Fig. 6 coverage sweep (10..17 PoEs).
+func BenchmarkFig6Coverage(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	var single16 int
+	for i := 0; i < b.N; i++ {
+		for k := 10; k <= 17; k++ {
+			_, st, err := poe.BestPlacement(cfg, nil, k, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if k == 16 {
+				single16 = st.Single
+			}
+		}
+	}
+	b.ReportMetric(float64(single16), "single-covered@16")
+}
+
+// BenchmarkMonteCarloShape measures the Section 5 parametric-variation
+// study (±5% wire resistance).
+func BenchmarkMonteCarloShape(b *testing.B) {
+	cfg := xbar.DefaultConfig()
+	var changed int
+	for i := 0; i < b.N; i++ {
+		res, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, 20, 0.05, 0, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		changed = res.ShapeChanged
+	}
+	b.ReportMetric(float64(changed), "shape-changes")
+}
+
+// BenchmarkTable2NIST runs a scaled Table 2 column: build the random-
+// plaintext/key data set and run the full SP 800-22 suite over it.
+func BenchmarkTable2NIST(b *testing.B) {
+	eng := engineForBench(b)
+	builder := nist.NewBuilder(eng)
+	spec := nist.DataSetSpec{Sequences: 2, SeqBits: 20000, Seed: 1}
+	var failures int
+	for i := 0; i < b.N; i++ {
+		seqs, err := builder.Build(nist.RandomPTKey, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		br := nist.RunBatch(seqs)
+		failures = 0
+		for _, f := range br.Failures {
+			failures += f
+		}
+	}
+	b.ReportMetric(float64(failures), "total-failures")
+}
+
+// BenchmarkBruteForceModel evaluates the Section 6.2.1 cost model.
+func BenchmarkBruteForceModel(b *testing.B) {
+	var years float64
+	for i := 0; i < b.N; i++ {
+		years = attacks.DefaultBruteForce().Log10Years()
+	}
+	b.ReportMetric(years, "log10-years")
+}
+
+// BenchmarkColdBoot measures the Section 6.4 power-down flush on a dirtied
+// hierarchy.
+func BenchmarkColdBoot(b *testing.B) {
+	var windowCycles uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, err := memHierarchy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 4096; j++ {
+			h.StoreAccess(uint64(j)*64, 0)
+		}
+		b.StartTimer()
+		_, windowCycles = h.PowerDown(1 << 20)
+	}
+	b.ReportMetric(float64(windowCycles)/3.2e9*1e3, "window-ms")
+}
+
+// BenchmarkFig7Performance runs one workload under Plain and SPE-serial
+// and reports the overhead — the Fig. 7 quantity (cmd/spe-sim prints the
+// full 10x5 sweep).
+func BenchmarkFig7Performance(b *testing.B) {
+	p, err := trace.ProfileByName("sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		base, err := sim.Run(p, secure.NewPlain(), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spe, err := sim.Run(p, secure.NewSPESerial(10_000), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = (base.IPC - spe.IPC) / base.IPC * 100
+	}
+	b.ReportMetric(overhead, "overhead-%")
+}
+
+// BenchmarkFig8Coverage runs one workload under i-NVMM and SPE-serial and
+// reports their time-averaged encrypted fractions — the Fig. 8 bars.
+func BenchmarkFig8Coverage(b *testing.B) {
+	p, err := trace.ProfileByName("sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var invmm, spe float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Run(p, secure.NewINVMM(300_000), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(p, secure.NewSPESerial(10_000), 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		invmm, spe = r1.AvgEncrypted*100, r2.AvgEncrypted*100
+	}
+	b.ReportMetric(invmm, "i-NVMM-%")
+	b.ReportMetric(spe, "SPE-serial-%")
+}
+
+// BenchmarkTable3Summary produces the Table 3 averages over a reduced
+// workload subset.
+func BenchmarkTable3Summary(b *testing.B) {
+	var profiles []trace.Profile
+	for _, n := range []string{"bzip2", "sjeng"} {
+		p, err := trace.ProfileByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	schemes := sim.Schemes()
+	var aes, spe float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Sweep(profiles, schemes, 150_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov, _ := sim.Averages(rows, schemes)
+		aes, spe = ov["AES"], ov["SPE-serial"]
+	}
+	b.ReportMetric(aes, "AES-overhead-%")
+	b.ReportMetric(spe, "SPE-overhead-%")
+}
+
+// BenchmarkSPEBlockThroughput measures raw SPE encryption bandwidth — the
+// quantity behind the 1.6 us/block cold-boot arithmetic.
+func BenchmarkSPEBlockThroughput(b *testing.B) {
+	eng := engineForBench(b)
+	ciph, err := core.NewCipher(eng, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := prng.NewKey(9, 9)
+	pt := make([]byte, ciph.BlockBytes())
+	b.SetBytes(int64(len(pt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ciph.Encrypt(key, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// memHierarchy builds the default hierarchy with an SPE-serial engine for
+// the cold-boot bench.
+func memHierarchy() (*mem.Hierarchy, error) {
+	return mem.DefaultHierarchy(secure.NewSPESerial(10_000))
+}

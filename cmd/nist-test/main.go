@@ -1,0 +1,105 @@
+// Command nist-test runs the SP 800-22 statistical test suite on binary
+// data: a file of raw bytes, a file of ASCII '0'/'1' characters, or the
+// built-in coupled-LCG generator (for self-checks).
+//
+// Usage:
+//
+//	nist-test -in data.bin [-ascii] [-n 120000] [-seqs 10]
+//	nist-test -gen -seed 42 -n 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snvmm/internal/nist"
+	"snvmm/internal/prng"
+)
+
+var (
+	inFlag    = flag.String("in", "", "input file (raw bytes, or ASCII with -ascii)")
+	asciiFlag = flag.Bool("ascii", false, "input is ASCII '0'/'1' characters")
+	genFlag   = flag.Bool("gen", false, "test the built-in keyed PRNG instead of a file")
+	seedFlag  = flag.Uint64("seed", 1, "generator seed for -gen")
+	nFlag     = flag.Int("n", 120000, "bits per sequence")
+	seqsFlag  = flag.Int("seqs", 1, "number of consecutive sequences to test")
+)
+
+func main() {
+	flag.Parse()
+	var bits []uint8
+	switch {
+	case *genFlag:
+		g := prng.NewGen(*seedFlag)
+		bits = make([]uint8, *nFlag**seqsFlag)
+		g.Bits(bits)
+	case *inFlag != "":
+		raw, err := os.ReadFile(*inFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asciiFlag {
+			for _, c := range raw {
+				switch c {
+				case '0':
+					bits = append(bits, 0)
+				case '1':
+					bits = append(bits, 1)
+				}
+			}
+		} else {
+			for _, b := range raw {
+				for i := 7; i >= 0; i-- {
+					bits = append(bits, b>>uint(i)&1)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	need := *nFlag * *seqsFlag
+	if len(bits) < need {
+		fmt.Fprintf(os.Stderr, "need %d bits, have %d\n", need, len(bits))
+		os.Exit(1)
+	}
+	seqs := make([][]uint8, *seqsFlag)
+	for i := range seqs {
+		seqs[i] = bits[i**nFlag : (i+1)**nFlag]
+	}
+	if *seqsFlag == 1 {
+		res := nist.Suite(seqs[0])
+		fmt.Printf("%-10s %-12s %s\n", "test", "p-value", "verdict")
+		for _, name := range nist.TestNames {
+			r := res[name]
+			if !r.Applicable {
+				fmt.Printf("%-10s %-12s n/a (sequence too short)\n", name, "-")
+				continue
+			}
+			verdict := "PASS"
+			if !r.Pass(nist.Alpha) {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%-10s %-12.6f %s\n", name, r.P[0], verdict)
+		}
+		return
+	}
+	br := nist.RunBatch(seqs)
+	allowed := nist.MaxAllowedFailures(br.Sequences)
+	fmt.Printf("%d sequences x %d bits; allowed failures: %d\n", br.Sequences, *nFlag, allowed)
+	fmt.Printf("%-10s %9s %9s\n", "test", "failures", "n/a")
+	bad := false
+	for _, name := range nist.TestNames {
+		fmt.Printf("%-10s %9d %9d\n", name, br.Failures[name], br.Inapplicable[name])
+		if br.Failures[name] > allowed {
+			bad = true
+		}
+	}
+	if bad {
+		fmt.Println("verdict: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("verdict: PASS")
+}

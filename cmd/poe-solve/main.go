@@ -1,0 +1,61 @@
+// Command poe-solve runs the Table 1 ILP: find a minimum set of points of
+// encryption whose polyominoes cover every cell of a crossbar with bounded
+// overlap.
+//
+// Usage:
+//
+//	poe-solve -rows 8 -cols 8 -s 56
+//	poe-solve -rows 16 -cols 16 -s 0 -maxcover 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snvmm/internal/poe"
+	"snvmm/internal/xbar"
+)
+
+var (
+	rowsFlag  = flag.Int("rows", 8, "crossbar rows")
+	colsFlag  = flag.Int("cols", 8, "crossbar columns")
+	sFlag     = flag.Int("s", 56, "security slack S (Table 1)")
+	coverFlag = flag.Int("maxcover", 2, "per-cell overlap cap")
+	vertFlag  = flag.Int("vert", 4, "polyomino vertical reach")
+	horizFlag = flag.Int("horiz", 1, "polyomino horizontal reach")
+	nodesFlag = flag.Int("maxnodes", 200000, "branch-and-bound node limit")
+)
+
+func main() {
+	flag.Parse()
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = *rowsFlag, *colsFlag
+	cfg.VertReach, cfg.HorizReach = *vertFlag, *horizFlag
+	res, err := poe.Solve(poe.Spec{
+		Cfg: cfg, S: *sFlag, MaxCover: *coverFlag, MaxNodes: *nodesFlag,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := poe.StatsOf(cfg, cfg.PaperShape, res.PoEs)
+	fmt.Printf("%dx%d crossbar, S=%d, max cover %d\n", cfg.Rows, cfg.Cols, *sFlag, *coverFlag)
+	fmt.Printf("PoEs: %d (optimal proven: %v)\n", len(res.PoEs), res.Optimal)
+	fmt.Printf("coverage: %d single, %d overlapped, %d uncovered, total %d\n",
+		st.Single, st.Overlapped, st.Uncovered, st.TotalCover)
+	grid := make([][]byte, cfg.Rows)
+	for r := range grid {
+		grid[r] = make([]byte, cfg.Cols)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	for _, p := range res.PoEs {
+		grid[p.Row][p.Col] = 'P'
+	}
+	fmt.Println("placement (P = PoE):")
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+
+	"snvmm/internal/core"
+	"snvmm/internal/mem"
+	"snvmm/internal/nist"
+	"snvmm/internal/nvcache"
+	"snvmm/internal/poe"
+	"snvmm/internal/secure"
+	"snvmm/internal/sim"
+	"snvmm/internal/trace"
+	"snvmm/internal/wearlevel"
+	"snvmm/internal/xbar"
+)
+
+// poesweep is the ablation behind the paper's Section 6.1 remark: "Initial
+// tests using SPE with fewer than 16 PoEs fail a large number of tests."
+// It runs a reduced NIST batch against engines with 8..16 PoEs.
+func poesweep() error {
+	cfg := xbar.DefaultConfig()
+	spec := nist.DataSetSpec{Sequences: *seqsFlag, SeqBits: *bitsFlag, Seed: *seedFlag}
+	fmt.Printf("%5s %10s %12s %14s %10s   (%d seqs x %d bits, low-density-PT data set)\n",
+		"PoEs", "failures", "worst test", "single-covered", "uncovered", spec.Sequences, spec.SeqBits)
+	for _, k := range []int{4, 6, 8, 10, 12, 14, 16} {
+		placement, st, err := poe.BestPlacement(cfg, nil, k, 200)
+		if err != nil {
+			return err
+		}
+		params := core.DefaultParams()
+		params.PoEs = placement
+		eng, err := core.NewEngine(params)
+		if err != nil {
+			return err
+		}
+		seqs, err := nist.NewBuilder(eng).Build(nist.LowDensityPT, spec)
+		if err != nil {
+			return err
+		}
+		br := nist.RunBatch(seqs)
+		total, worst, worstN := 0, "", 0
+		for _, name := range nist.TestNames {
+			total += br.Failures[name]
+			if br.Failures[name] > worstN {
+				worstN = br.Failures[name]
+				worst = name
+			}
+		}
+		if worst == "" {
+			worst = "-"
+		}
+		fmt.Printf("%5d %10d %12s %14d %10d\n", k, total, worst, st.Single, st.Uncovered)
+	}
+	fmt.Println("paper: below 16 PoEs single-covered cells appear and NIST failures rise;")
+	fmt.Println("randomness increases with the number of overlapping polyominos.")
+	return nil
+}
+
+// timersweep traces the SPE-serial re-encryption-timer trade-off that
+// separates Fig. 7 (overhead) from Fig. 8 (coverage).
+func timersweep() error {
+	p, err := trace.ProfileByName("bzip2") // hot set exceeds L2: NVMM re-reads exist
+	if err != nil {
+		return err
+	}
+	insts := *instFlag / 2
+	base, err := sim.Run(p, secure.NewPlain(), insts, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%14s %10s %11s   (SPE-serial on %s, %d insts)\n",
+		"timer(cycles)", "overhead", "encrypted", p.Name, insts)
+	for _, timer := range []uint64{1_000, 10_000, 100_000, 1_000_000, 5_000_000, 20_000_000} {
+		r, err := sim.Run(p, secure.NewSPESerial(timer), insts, *seedFlag)
+		if err != nil {
+			return err
+		}
+		ov := (base.IPC - r.IPC) / base.IPC * 100
+		fmt.Printf("%14d %9.2f%% %10.1f%%\n", timer, ov, r.AvgEncrypted*100)
+	}
+	fmt.Println("short timers buy coverage (Fig. 8's 99.4%) at the cost of re-paying the")
+	fmt.Println("16-cycle decrypt on NVMM re-reads; long timers converge to i-NVMM behaviour.")
+	return nil
+}
+
+// wearlevelExp reproduces the start-gap endurance-attack defense the paper
+// cites ([6]) as the response to Section 3's write-endurance attacks.
+func wearlevelExp() error {
+	const limit = 10_000
+	const lines = 256
+	fmt.Printf("endurance attack: hammer one address until a line exceeds %d writes\n", limit)
+	fmt.Printf("%-22s %14s %10s\n", "configuration", "writes absorbed", "lifetime")
+	fmt.Printf("%-22s %14d %9.1fx\n", "no wear leveling", limit, 1.0)
+	for _, interval := range []int{200, 100, 50, 10} {
+		m, err := wearlevel.New(lines, interval, uint64(*seedFlag))
+		if err != nil {
+			return err
+		}
+		res, err := wearlevel.SimulateAttack(m, 7, limit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("start-gap psi=%-9d %14d %9.1fx\n", interval, res.TotalWrites, res.Leveling)
+	}
+	fmt.Printf("(ideal leveling bound for %d lines: %.0fx)\n", lines, float64(lines))
+	fmt.Println("note: against a *targeted* attack start-gap only helps once the per-line")
+	fmt.Println("dwell (n+1)*psi drops below the endurance limit — the known weakness that")
+	fmt.Println("motivated the follow-up security-refresh schemes.")
+	return nil
+}
+
+// nvcacheExp runs the future-work study: SPE on a non-volatile L2 with a
+// decrypted-line buffer, sweeping the buffer size.
+func nvcacheExp() error {
+	mk := func(dlb int) (*nvcache.Cache, error) {
+		return nvcache.New(nvcache.Config{
+			Cache:         mem.CacheConfig{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, LatencyCycle: 16},
+			DecryptCycles: 16,
+			DLBLines:      dlb,
+		})
+	}
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		return err
+	}
+	gen, err := trace.NewGenerator(p, *seedFlag)
+	if err != nil {
+		return err
+	}
+	// Extract a data-address stream from the workload.
+	var addrs []uint64
+	for len(addrs) < 300_000 {
+		inst, _ := gen.Next()
+		if inst.Addr != 0 {
+			addrs = append(addrs, inst.Addr)
+		}
+	}
+	fmt.Printf("%10s %14s %12s %14s %16s\n",
+		"DLB lines", "avg hit (cyc)", "array hits", "exposure lines", "powerdown (cyc)")
+	for _, dlb := range []int{0, 64, 512, 4096, 32768} {
+		c, err := mk(dlb)
+		if err != nil {
+			return err
+		}
+		for _, a := range addrs {
+			c.Access(a, false)
+		}
+		exposure := c.PlaintextLines()
+		fmt.Printf("%10d %14.2f %12d %14d %16d\n",
+			dlb, c.AvgHitLatency(), c.ArrayHits, exposure, c.PowerDownCycles())
+	}
+	// Full-system view: IPC with the NV L2 in the hierarchy.
+	fmt.Printf("\nfull-system (%s, %d insts):\n", p.Name, *instFlag/2)
+	fmt.Printf("%10s %8s %14s %12s %12s\n", "DLB lines", "IPC", "avg L2 hit", "array hits", "buffer hits")
+	for _, dlb := range []int{0, 512, 4096, 32768} {
+		r, err := sim.RunNVCache(p, dlb, *instFlag/2, *seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10d %8.4f %14.2f %12d %12d\n", dlb, r.IPC, r.AvgL2Hit, r.ArrayHits, r.BufferHits)
+	}
+	fmt.Println("future work (Section 8): a small decrypted-line buffer hides most of the")
+	fmt.Println("16-cycle pulse latency while keeping the at-rest array ciphertext; the")
+	fmt.Println("buffer is the cold-boot exposure, re-encrypted in microseconds at power-off.")
+	return nil
+}

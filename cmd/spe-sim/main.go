@@ -1,0 +1,479 @@
+// Command spe-sim regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the rows/series the paper reports,
+// alongside the paper's published values where applicable.
+//
+// Usage:
+//
+//	spe-sim -exp list
+//	spe-sim -exp fig7 [-insts 2000000]
+//	spe-sim -exp table2 [-full] [-seqs 10 -bits 20000]
+//	spe-sim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"snvmm/internal/attacks"
+	"snvmm/internal/core"
+	"snvmm/internal/device"
+	"snvmm/internal/nist"
+	"snvmm/internal/poe"
+	"snvmm/internal/prng"
+	"snvmm/internal/secure"
+	"snvmm/internal/sim"
+	"snvmm/internal/trace"
+	"snvmm/internal/xbar"
+)
+
+var (
+	expFlag  = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache)")
+	fullFlag = flag.Bool("full", false, "run at paper scale (slow)")
+	instFlag = flag.Int64("insts", 1_000_000, "instructions per workload for fig7/fig8/table3")
+	seqsFlag = flag.Int("seqs", 10, "sequences per data set for table2")
+	bitsFlag = flag.Int("bits", 20000, "bits per sequence for table2")
+	seedFlag = flag.Int64("seed", 1, "master seed")
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func() error
+}
+
+func main() {
+	flag.Parse()
+	exps := []experiment{
+		{"fig2", "4x4 crossbar encrypt/decrypt walk-through, wrong-order failure", fig2},
+		{"fig4", "polyomino voltage map for a 1 V pulse on the 8x8 crossbar", fig4},
+		{"fig5", "single-cell hysteresis: encrypt vs calibrated decrypt pulse", fig5},
+		{"montecarlo", "±5% wire variation: polyomino shape stability", montecarlo},
+		{"table1", "ILP PoE placement for the 8x8 crossbar", table1},
+		{"fig6", "polyomino coverage vs number of PoEs", fig6},
+		{"table2", "NIST randomness suite over the nine SPE data sets", table2},
+		{"bruteforce", "Section 6.2.1 attack cost model", bruteforce},
+		{"coldboot", "Section 6.4 cold-boot window", coldboot},
+		{"fig7", "performance overhead per workload and scheme", fig7},
+		{"fig8", "% of memory kept encrypted per workload and scheme", fig8},
+		{"table3", "scheme comparison summary", table3},
+		{"poesweep", "ablation: NIST failures vs number of PoEs", poesweep},
+		{"timersweep", "ablation: SPE-serial re-encryption timer trade-off", timersweep},
+		{"wearlevel", "extension: start-gap defense against endurance attacks", wearlevelExp},
+		{"nvcache", "future work: SPE-protected non-volatile cache sweep", nvcacheExp},
+	}
+	switch *expFlag {
+	case "list":
+		fmt.Println("available experiments:")
+		for _, e := range exps {
+			fmt.Printf("  %-11s %s\n", e.name, e.desc)
+		}
+		return
+	case "all":
+		for _, e := range exps {
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			if err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	default:
+		for _, e := range exps {
+			if e.name == *expFlag {
+				if err := e.run(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -exp list)\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+// defaultEngine builds the paper's 8x8/16-PoE engine once.
+var engCache *core.Engine
+
+func engine() (*core.Engine, error) {
+	if engCache != nil {
+		return engCache, nil
+	}
+	e, err := core.NewEngine(core.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	engCache = e
+	return e, nil
+}
+
+// fig2 replays the Fig. 2 walk-through on a 4x4 crossbar.
+func fig2() error {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VertReach, cfg.HorizReach = 2, 1
+	res, err := poe.Solve(poe.Spec{Cfg: cfg, S: 10, MaxNodes: 50000})
+	if err != nil {
+		return err
+	}
+	params := core.DefaultParams()
+	params.Xbar = cfg
+	params.PoEs = res.PoEs
+	eng, err := core.NewEngine(params)
+	if err != nil {
+		return err
+	}
+	ciph, err := core.NewCipher(eng, *seedFlag)
+	if err != nil {
+		return err
+	}
+	key := prng.NewKey(0x2B5, 0x1A7) // the "10-bit key" spirit: small seeds
+	pt := []byte{0xD8, 0x6E, 0xB9, 0x6E}
+	fmt.Printf("PoEs (%d): %v\n", len(res.PoEs), res.PoEs)
+	fmt.Printf("plaintext : %08b\n", pt)
+	ct, err := ciph.Encrypt(key, pt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ciphertext: %08b\n", ct)
+	back, err := ciph.Decrypt(key, ct)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decrypted : %08b  (match=%v)\n", back, string(back) == string(pt))
+	// Fig. 2b: decrypting with the PoEs in the *same* order fails.
+	sched := prng.DeriveSchedule(key, len(res.PoEs), device.NumPulses)
+	xb2, err := xbar.New(cfg)
+	if err != nil {
+		return err
+	}
+	cal2 := xbar.Calibrate(xb2)
+	if err := xb2.WriteBlock(ct); err != nil {
+		return err
+	}
+	for step := 0; step < len(sched.Order); step++ { // wrong: forward order
+		p := res.PoEs[sched.Order[step]]
+		if err := xb2.ApplyPulse(cal2, p, xbar.InverseClass(sched.Classes[step])); err != nil {
+			return err
+		}
+	}
+	wrong := xb2.ReadBlock()
+	fmt.Printf("same-order: %08b  (match=%v)  <- Fig. 2b: wrong PoE order fails\n",
+		wrong, string(wrong) == string(pt))
+	return nil
+}
+
+func fig4() error {
+	xb, err := xbar.New(xbar.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	poECell := xbar.Cell{Row: 4, Col: 3}
+	m, err := xb.VoltageMap(poECell)
+	if err != nil {
+		return err
+	}
+	vt := xbar.DefaultConfig().Device.VtOff
+	fmt.Printf("PoE at (%d,%d); drift threshold Vt = %.2f V\n", poECell.Row, poECell.Col, vt)
+	fmt.Println("|V| across each cell (volts); * = in polyomino (>= Vt), P = PoE:")
+	for r := 0; r < 8; r++ {
+		var row []string
+		for c := 0; c < 8; c++ {
+			v := m[r*8+c]
+			mark := " "
+			if v >= vt {
+				mark = "*"
+			}
+			if (xbar.Cell{Row: r, Col: c}) == poECell {
+				mark = "P"
+			}
+			row = append(row, fmt.Sprintf("%5.2f%s", v, mark))
+		}
+		fmt.Println(strings.Join(row, " "))
+	}
+	fmt.Println("paper (Fig. 4): 1 V at the PoE, 0.76-0.99 V across the polyomino,")
+	fmt.Println("sub-threshold elsewhere; our cross-shaped region reflects the same")
+	fmt.Println("drive/keeper topology solved by nodal analysis.")
+	return nil
+}
+
+func fig5() error {
+	p := device.DefaultParams()
+	enc := device.Pulse{Voltage: 1, Width: 0.071e-6}
+	x0 := device.LevelCenter(1) // logic 10
+	x1 := p.StateAfter(x0, enc)
+	c := device.NewCell(p)
+	c.X = x1
+	decW, err := p.CalibrateDecryptWidth(x0, enc, 1e-9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("start: logic 10 (level 1), R = %.1f kOhm\n", (p.ROn+(p.ROff-p.ROn)*x0)/1e3)
+	fmt.Printf("encrypt pulse: +%.0f V, %.3f us -> level %d (logic %02b), R = %.1f kOhm\n",
+		enc.Voltage, enc.Width*1e6, device.QuantizeLevel(x1), device.LevelBits(device.QuantizeLevel(x1)),
+		c.Resistance()/1e3)
+	fmt.Printf("calibrated decrypt pulse: -1 V, %.3f us (paper: 0.015 us)\n", decW*1e6)
+	x2 := p.StateAfter(x1, device.Pulse{Voltage: -1, Width: decW})
+	fmt.Printf("after decrypt: level %d (logic %02b)  [paper Fig. 5: 172 kOhm / hysteresis]\n",
+		device.QuantizeLevel(x2), device.LevelBits(device.QuantizeLevel(x2)))
+	lib, err := device.BuildPulseLibrary(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pulse library: %d pulses; +1V widths %.3f-%.3f us, decrypt/encrypt width ratio %.2f\n",
+		len(lib), lib[0].Enc.Width*1e6, lib[device.NumWidths-1].Enc.Width*1e6,
+		lib[0].Dec.Width/lib[0].Enc.Width)
+	return nil
+}
+
+func montecarlo() error {
+	cfg := xbar.DefaultConfig()
+	samples := 100
+	if *fullFlag {
+		samples = 1000
+	}
+	wire, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("±5%% wire resistance, %d samples: shape changed in %d (paper: 0), max |dV| drift %.4f V\n",
+		wire.Samples, wire.ShapeChanged, wire.MaxVoltDelta)
+	macro, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0.8, *seedFlag+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("macro device variation (±80%% R bounds): shape changed in %d/%d, max |dV| drift %.4f V\n",
+		macro.ShapeChanged, macro.Samples, macro.MaxVoltDelta)
+	return nil
+}
+
+func table1() error {
+	cfg := xbar.DefaultConfig()
+	for _, s := range []int{0, 32, 48, 56} {
+		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: s, MaxNodes: 100000})
+		if err != nil {
+			fmt.Printf("S=%2d: %v\n", s, err)
+			continue
+		}
+		st := poe.StatsOf(cfg, cfg.PaperShape, res.PoEs)
+		fmt.Printf("S=%2d: %2d PoEs (optimal=%v)  single-covered=%2d  overlapped=%2d  total-coverage=%d\n",
+			s, len(res.PoEs), res.Optimal, st.Single, st.Overlapped, st.TotalCover)
+	}
+	fmt.Println("paper: 16 PoEs secure the 8x8 crossbar (we reach 16 at S=56, the")
+	fmt.Println("security-first operating point; see EXPERIMENTS.md)")
+	return nil
+}
+
+func fig6() error {
+	cfg := xbar.DefaultConfig()
+	fmt.Println("PoEs  overlapped  single  uncovered   (8x8 crossbar, Table 1 shape)")
+	for k := 10; k <= 17; k++ {
+		_, st, err := poe.BestPlacement(cfg, nil, k, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %9d  %6d  %9d\n", k, st.Overlapped, st.Single, st.Uncovered)
+	}
+	fmt.Println("paper (Fig. 6): overlapped coverage grows with PoE count; cells")
+	fmt.Println("covered by a single polyomino are the known-plaintext vulnerability.")
+	return nil
+}
+
+func table2() error {
+	eng, err := engine()
+	if err != nil {
+		return err
+	}
+	spec := nist.DataSetSpec{Sequences: *seqsFlag, SeqBits: *bitsFlag, Seed: *seedFlag}
+	if *fullFlag {
+		spec = nist.PaperSpec()
+	}
+	allowed := nist.MaxAllowedFailures(spec.Sequences)
+	fmt.Printf("%d sequences x %d bits per data set; allowed failures per test: %d\n",
+		spec.Sequences, spec.SeqBits, allowed)
+	b := nist.NewBuilder(eng)
+	fmt.Printf("%-10s", "Test")
+	for _, ds := range nist.AllDataSets {
+		fmt.Printf(" %12s", ds)
+	}
+	fmt.Println()
+	results := map[nist.DataSetName]nist.BatchResult{}
+	for _, ds := range nist.AllDataSets {
+		seqs, err := b.Build(ds, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ds, err)
+		}
+		results[ds] = nist.RunBatch(seqs)
+	}
+	worst := 0
+	for _, test := range nist.TestNames {
+		fmt.Printf("%-10s", test)
+		for _, ds := range nist.AllDataSets {
+			br := results[ds]
+			f := br.Failures[test]
+			if f > worst {
+				worst = f
+			}
+			na := ""
+			if br.Inapplicable[test] == br.Sequences {
+				na = "*"
+			}
+			fmt.Printf(" %11d%1s", f, na)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(* = test not applicable at this sequence length)\n")
+	if spec.Sequences >= 30 {
+		fmt.Printf("%-10s", "uniform")
+		for _, ds := range nist.AllDataSets {
+			worstU := 1.0
+			for _, test := range nist.TestNames {
+				if u := nist.PValueUniformity(results[ds].PValues[test]); u < worstU {
+					worstU = u
+				}
+			}
+			fmt.Printf(" %12.4f", worstU)
+		}
+		fmt.Println("\n(second-level p-value uniformity; SP 800-22 requires >= 0.0001)")
+	}
+	verdict := "PASS"
+	if worst > allowed {
+		verdict = "FAIL"
+	}
+	fmt.Printf("worst cell: %d failures (allowed %d) -> %s; paper: all cells <= 5/150\n",
+		worst, allowed, verdict)
+	return nil
+}
+
+func bruteforce() error {
+	fmt.Println(attacks.Describe())
+	rep, err := attacks.MeasureAmbiguity(device.DefaultParams(), 200, uint64(*seedFlag))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("known-plaintext ambiguity (Section 6.2.2): single-covered cell -> %.1f\n"+
+		"consistent pulses; double-covered -> %.0f consistent pulse pairs\n",
+		rep.MeanSingle, rep.MeanPair)
+	fmt.Println("paper: ~1e32 years brute force, ~1e19 years with known ILP, AES ~1e38;")
+	fmt.Println("our first-principles count charges the full 32^16 pulse space (see EXPERIMENTS.md).")
+	return nil
+}
+
+func coldboot() error {
+	cb := attacks.DefaultColdBoot()
+	fmt.Printf("per-block encryption time: %.2f us (16 pulses x 100 ns)\n", cb.BlockSeconds()*1e6)
+	fmt.Printf("2 Mb cache writeback window: %.2f ms (paper: 32.7 ms for its block count)\n", cb.WindowSeconds()*1e3)
+	fmt.Printf("DRAM remanence: %.1f s -> SPE window is %.0fx smaller\n", cb.DRAMRetention, cb.Advantage())
+	return nil
+}
+
+func runSweep() ([]sim.Row, []sim.SchemeFactory, error) {
+	insts := *instFlag
+	if *fullFlag {
+		insts = 20_000_000
+	}
+	schemes := sim.Schemes()
+	rows, err := sim.Sweep(trace.Profiles(), schemes, insts, *seedFlag)
+	return rows, schemes, err
+}
+
+var sweepCache []sim.Row
+var sweepSchemes []sim.SchemeFactory
+
+func sweep() ([]sim.Row, []sim.SchemeFactory, error) {
+	if sweepCache != nil {
+		return sweepCache, sweepSchemes, nil
+	}
+	rows, schemes, err := runSweep()
+	if err == nil {
+		sweepCache, sweepSchemes = rows, schemes
+	}
+	return rows, schemes, err
+}
+
+func fig7() error {
+	rows, schemes, err := sweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-11s %8s |", "workload", "baseIPC")
+	for _, s := range schemes {
+		fmt.Printf(" %12s", s.Name)
+	}
+	fmt.Println("   (% overhead vs unencrypted)")
+	for _, r := range rows {
+		fmt.Printf("%-11s %8.3f |", r.Workload, r.BaseIPC)
+		for _, s := range schemes {
+			fmt.Printf(" %11.2f%%", r.OverheadPct[s.Name])
+		}
+		fmt.Println()
+	}
+	ov, _ := sim.Averages(rows, schemes)
+	fmt.Printf("%-11s %8s |", "AVG", "")
+	for _, s := range schemes {
+		fmt.Printf(" %11.2f%%", ov[s.Name])
+	}
+	fmt.Println()
+	fmt.Println("paper Fig. 7 averages: AES ~14%, i-NVMM ~1%, SPE-serial ~1.5%, SPE-parallel ~2.9%, stream ~0.4%")
+	return nil
+}
+
+func fig8() error {
+	rows, schemes, err := sweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-11s |", "workload")
+	for _, s := range schemes {
+		fmt.Printf(" %12s", s.Name)
+	}
+	fmt.Println("   (time-averaged % of memory encrypted)")
+	for _, r := range rows {
+		fmt.Printf("%-11s |", r.Workload)
+		for _, s := range schemes {
+			fmt.Printf(" %11.1f%%", r.EncryptedPct[s.Name])
+		}
+		fmt.Println()
+	}
+	_, enc := sim.Averages(rows, schemes)
+	fmt.Printf("%-11s |", "AVG")
+	for _, s := range schemes {
+		fmt.Printf(" %11.1f%%", enc[s.Name])
+	}
+	fmt.Println()
+	fmt.Println("paper Fig. 8: AES 100%, i-NVMM ~27% (73% plaintext), SPE-serial 99.4%, SPE-parallel 100%")
+	return nil
+}
+
+func table3() error {
+	rows, schemes, err := sweep()
+	if err != nil {
+		return err
+	}
+	ov, enc := sim.Averages(rows, schemes)
+	latency := map[string]string{
+		"AES": "80", "i-NVMM": "80", "SPE-serial": "16 (decrypt; 32 incl. re-encrypt)",
+		"SPE-parallel": "16 (+16 bank occupancy)", "Stream": "1",
+	}
+	names := make([]string, 0, len(schemes))
+	for _, s := range schemes {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-13s %-34s %12s %12s %10s\n", "Scheme", "Latency (cycles)", "Overhead", "Encrypted", "Area mm2")
+	for _, n := range names {
+		fmt.Printf("%-13s %-34s %11.2f%% %11.1f%% %10.2f\n",
+			n, latency[n], ov[n], enc[n], areaOf(n))
+	}
+	fmt.Println("paper Table 3: AES 80cy/14%/100%/2.2; i-NVMM 80cy/1%/73%/5.3;")
+	fmt.Println("SPE-serial 32cy/1.5%/99.4%/1.3; SPE-parallel 16cy/2.9%/100%/1.3; stream 1cy/0.4%/100%/6.18")
+	return nil
+}
+
+func areaOf(name string) float64 {
+	return secure.AreaOverheadMM2(name)
+}

@@ -1,0 +1,82 @@
+// Command xbar-view renders crossbar sneak-path voltage maps and polyomino
+// shapes as text (the Fig. 4 visualization) for any PoE and crossbar size.
+//
+// Usage:
+//
+//	xbar-view -row 4 -col 3
+//	xbar-view -rows 16 -cols 16 -row 8 -col 8 -rule voltage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snvmm/internal/xbar"
+)
+
+var (
+	rowsFlag = flag.Int("rows", 8, "crossbar rows")
+	colsFlag = flag.Int("cols", 8, "crossbar columns")
+	rowFlag  = flag.Int("row", 4, "PoE row")
+	colFlag  = flag.Int("col", 3, "PoE column")
+	ruleFlag = flag.String("rule", "paper", "polyomino rule: paper | voltage")
+)
+
+func main() {
+	flag.Parse()
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = *rowsFlag, *colsFlag
+	switch *ruleFlag {
+	case "paper":
+		cfg.Shape = xbar.ShapePaper
+	case "voltage":
+		cfg.Shape = xbar.ShapeVoltage
+	default:
+		fmt.Fprintf(os.Stderr, "unknown rule %q\n", *ruleFlag)
+		os.Exit(2)
+	}
+	xb, err := xbar.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	poe := xbar.Cell{Row: *rowFlag, Col: *colFlag}
+	if !cfg.InBounds(poe) {
+		fmt.Fprintf(os.Stderr, "PoE (%d,%d) out of bounds\n", poe.Row, poe.Col)
+		os.Exit(2)
+	}
+	m, err := xb.VoltageMap(poe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	shape, err := xb.Shape(poe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	inShape := map[xbar.Cell]bool{}
+	for _, c := range shape {
+		inShape[c] = true
+	}
+	fmt.Printf("%dx%d crossbar, PoE (%d,%d), rule %s, polyomino %d cells\n",
+		cfg.Rows, cfg.Cols, poe.Row, poe.Col, *ruleFlag, len(shape))
+	fmt.Println("|V| per cell; P = PoE, * = polyomino member")
+	for r := 0; r < cfg.Rows; r++ {
+		var row []string
+		for c := 0; c < cfg.Cols; c++ {
+			cell := xbar.Cell{Row: r, Col: c}
+			mark := " "
+			if inShape[cell] {
+				mark = "*"
+			}
+			if cell == poe {
+				mark = "P"
+			}
+			row = append(row, fmt.Sprintf("%5.2f%s", m[cfg.Index(cell)], mark))
+		}
+		fmt.Println(strings.Join(row, " "))
+	}
+}

@@ -1,0 +1,85 @@
+// Attacker's-eye view: mount the paper's attacks against SPE.
+//
+//  1. Attack 2 at toy scale — exhaustively recover the pulse schedule of a
+//     2-PoE 4x4 crossbar from one plaintext/ciphertext pair, counting
+//     trials, then extrapolate the same search to the real 16-PoE 8x8
+//     configuration.
+//  2. Insertion attack — measure the ciphertext flip statistics and show
+//     there is no exploitable bias.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"snvmm/internal/attacks"
+	"snvmm/internal/core"
+	"snvmm/internal/xbar"
+)
+
+func main() {
+	// --- Toy-scale exhaustive schedule recovery.
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VertReach, cfg.HorizReach = 2, 1
+	placement := []xbar.Cell{{Row: 1, Col: 1}, {Row: 2, Col: 2}}
+	const fabSeed = 7
+	const classLimit = 8
+
+	// The victim encrypts a known header (the known-plaintext setting).
+	xb, err := xbar.New(seeded(cfg, fabSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal := xbar.Calibrate(xb)
+	pt := []byte{'E', 'L', 'F', 0x7f}
+	if err := xb.WriteBlock(pt); err != nil {
+		log.Fatal(err)
+	}
+	secret := []struct{ poe, class int }{{1, 5}, {0, 2}}
+	for _, s := range secret {
+		if err := xb.ApplyPulse(cal, placement[s.poe], s.class); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ct := xb.ReadBlock()
+	fmt.Printf("victim: pt=%x  ct=%x  (2 PoEs, %d pulse classes)\n", pt, ct, classLimit)
+
+	order, classes, trials, err := attacks.RecoverScheduleToy(cfg, placement, pt, ct, fabSeed, classLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attacker: recovered order=%v classes=%v after %d trials\n", order, classes, trials)
+
+	// --- Extrapolate to the real configuration.
+	bf := attacks.DefaultBruteForce()
+	fmt.Printf("\nsame attack on the real 8x8/16-PoE device:\n")
+	fmt.Printf("  search space: 10^%.1f schedules\n", bf.Log10Combinations())
+	fmt.Printf("  at 100 ns per pulse: 10^%.1f years\n", bf.Log10Years())
+	known := bf
+	known.KnownILP = true
+	fmt.Printf("  with the ILP placement public: 10^%.1f years\n", known.Log10Years())
+	toyRate := float64(trials) // trials in well under a second
+	full := math.Pow(10, bf.Log10Combinations())
+	fmt.Printf("  (the toy search did %.0f trials; the real key space is %.1e times larger)\n",
+		toyRate, full/toyRate)
+
+	// --- Insertion attack statistics.
+	eng, err := core.NewEngine(core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, stderr, err := attacks.InsertionBias(eng, 100, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninsertion attack: flipping one known plaintext bit flips %.1f%% ± %.1f%% of\n",
+		mean*100, stderr*100)
+	fmt.Println("ciphertext bits — indistinguishable from coin flips, no usable correlation.")
+}
+
+func seeded(cfg xbar.Config, seed int64) xbar.Config {
+	cfg.Seed = seed
+	return cfg
+}

@@ -1,0 +1,90 @@
+// Device lab: explore the TEAM memristor that underlies SPE — the Fig. 5
+// hysteresis experiment, the MLC level map, the 32-pulse library with
+// calibrated decrypt widths, and a state-vs-time sweep under a pulse train.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"snvmm/internal/device"
+)
+
+func main() {
+	p := device.DefaultParams()
+
+	fmt.Println("== MLC-2 level map ==")
+	for l := 0; l < device.Levels; l++ {
+		r := p.ROn + (p.ROff-p.ROn)*device.LevelCenter(l)
+		fmt.Printf("  level %d: logic %02b, center x=%.3f, R=%.1f kOhm\n",
+			l, device.LevelBits(l), device.LevelCenter(l), r/1e3)
+	}
+
+	fmt.Println("\n== Fig. 5: hysteresis ==")
+	enc := device.Pulse{Voltage: 1, Width: 0.071e-6}
+	x0 := device.LevelCenter(1)
+	x1 := p.StateAfter(x0, enc)
+	decW, err := p.CalibrateDecryptWidth(x0, enc, 1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  encrypt: +1 V %.3f us moves logic 10 -> %02b (%.0f kOhm)\n",
+		enc.Width*1e6, device.LevelBits(device.QuantizeLevel(x1)),
+		(p.ROn+(p.ROff-p.ROn)*x1)/1e3)
+	fmt.Printf("  decrypt needs -1 V %.3f us (%.1fx shorter: KOn/KOff asymmetry)\n",
+		decW*1e6, enc.Width/decW)
+
+	fmt.Println("\n== 32-pulse SPE library ==")
+	lib, err := device.BuildPulseLibrary(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  idx  polarity  enc width(us)  dec width(us)  shift(levels)")
+	for _, e := range lib {
+		if e.Index%4 != 0 {
+			continue // print a quarter of the table
+		}
+		pol := "+1V"
+		if e.Enc.Voltage < 0 {
+			pol = "-1V"
+		}
+		fmt.Printf("  %3d  %8s  %13.4f  %13.4f  %12.2f\n",
+			e.Index, pol, e.Enc.Width*1e6, e.Dec.Width*1e6, e.Shift)
+	}
+
+	fmt.Println("\n== state under a pulse train (ASCII I-t sweep) ==")
+	c := device.NewCell(p)
+	c.X = 0.5
+	train := []device.Pulse{
+		{Voltage: 1, Width: 20e-9}, {Voltage: 1, Width: 20e-9},
+		{Voltage: -1, Width: 10e-9}, {Voltage: 0.5, Width: 50e-9}, // sub-threshold: no drift
+		{Voltage: -1, Width: 15e-9}, {Voltage: 1, Width: 40e-9},
+	}
+	fmt.Printf("  t=0      x=%.3f %s\n", c.X, bar(c.X))
+	for i, pl := range train {
+		c.ApplyPulse(pl)
+		fmt.Printf("  pulse %d (%+.1fV %4.0fns) x=%.3f %s\n",
+			i+1, pl.Voltage, pl.Width*1e9, c.X, bar(c.X))
+	}
+	fmt.Println("  (the 0.5 V pulse is below Vt=0.75 V and leaves the state untouched)")
+
+	fmt.Println("\n== pinched hysteresis loop (the memristor fingerprint) ==")
+	c2 := device.NewCell(p)
+	c2.X = 0.5
+	pts := c2.IVSweep(1.2, 2e-6, 1, 24)
+	fmt.Println("     V(V)     I(uA)   state")
+	for i, pt := range pts {
+		if i%2 != 0 {
+			continue
+		}
+		fmt.Printf("  %+6.2f  %+8.2f   %.3f\n", pt.V, pt.I*1e6, pt.X)
+	}
+	fmt.Println("  (the I-V trace crosses the origin but takes different currents on the")
+	fmt.Println("   up and down sweeps — the pinched loop that defines a memristor)")
+}
+
+func bar(x float64) string {
+	n := int(x * 40)
+	return "[" + strings.Repeat("#", n) + strings.Repeat("-", 40-n) + "]"
+}

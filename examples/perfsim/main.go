@@ -1,0 +1,50 @@
+// Performance lab: run the cycle-level simulator on one SPEC-like workload
+// under every encryption scheme and print the Fig. 7/8 quantities for it,
+// plus the memory-system detail that explains them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"snvmm/internal/secure"
+	"snvmm/internal/sim"
+	"snvmm/internal/trace"
+)
+
+var (
+	workload = flag.String("workload", "sjeng", "benchmark profile (see internal/trace)")
+	insts    = flag.Int64("insts", 1_000_000, "instructions to simulate")
+)
+
+func main() {
+	flag.Parse()
+	p, err := trace.ProfileByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d MB footprint, %.0f%% hot in %d KB\n",
+		p.Name, p.WorkingSetBytes>>20, p.HotFraction*100, p.HotSetBytes>>10)
+
+	base, err := sim.Run(p, secure.NewPlain(), *insts, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-13s %8s %10s %10s %10s %12s\n",
+		"scheme", "IPC", "overhead", "L2 miss", "NVMM rd", "encrypted")
+	fmt.Printf("%-13s %8.3f %9.2f%% %9.1f%% %10d %11.1f%%\n",
+		"Plain", base.IPC, 0.0, base.L2MissRate*100, base.MemReads, 0.0)
+	for _, s := range sim.Schemes() {
+		r, err := sim.Run(p, s.New(), *insts, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov := (base.IPC - r.IPC) / base.IPC * 100
+		fmt.Printf("%-13s %8.3f %9.2f%% %9.1f%% %10d %11.1f%%\n",
+			s.Name, r.IPC, ov, r.L2MissRate*100, r.MemReads, r.AvgEncrypted*100)
+	}
+	fmt.Println("\nSPE-serial pays the 16-cycle decrypt only on reads of encrypted blocks;")
+	fmt.Println("SPE-parallel re-encrypts immediately (bank occupancy) and keeps 100%")
+	fmt.Println("of memory ciphertext; AES pays 80 cycles on every NVMM access.")
+}

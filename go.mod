@@ -1,0 +1,3 @@
+module snvmm
+
+go 1.22

@@ -1,0 +1,92 @@
+package attacks
+
+import (
+	"math"
+
+	"snvmm/internal/device"
+)
+
+// This file quantifies the Section 6.2.2 known-plaintext argument on the
+// continuous device layer: "Based on the initial and final resistances of
+// the memristors at the PoEs, the attacker can determine the applied
+// voltage pulses. However, if the memory cell is encrypted by more than
+// one overlapping polyomino, several possible pulse combinations (one at
+// each PoE) can be applied to reach the final resistance."
+//
+// A cell covered by ONE polyomino received one pulse: the (x0, x1) state
+// pair usually identifies that pulse uniquely from the 32-entry library.
+// A cell covered by TWO polyominoes received two pulses in sequence, and
+// many ordered pairs compose to the same end state — the attacker learns
+// almost nothing.
+
+// SinglePulseCandidates returns the library pulses consistent with a cell
+// moving from state x0 to x1 under exactly one pulse (within tol).
+func SinglePulseCandidates(p device.Params, lib []device.LibraryEntry, x0, x1, tol float64) []int {
+	var out []int
+	for _, e := range lib {
+		if math.Abs(p.StateAfter(x0, e.Enc)-x1) <= tol {
+			out = append(out, e.Index)
+		}
+	}
+	return out
+}
+
+// PairPulseCandidates counts the ordered pulse pairs consistent with the
+// cell moving from x0 to x1 under two pulses (one per overlapping
+// polyomino).
+func PairPulseCandidates(p device.Params, lib []device.LibraryEntry, x0, x1, tol float64) int {
+	count := 0
+	for _, e1 := range lib {
+		mid := p.StateAfter(x0, e1.Enc)
+		for _, e2 := range lib {
+			if math.Abs(p.StateAfter(mid, e2.Enc)-x1) <= tol {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// AmbiguityReport summarizes the coverage-vs-ambiguity study over all
+// start states and observed transitions.
+type AmbiguityReport struct {
+	// MeanSingle is the average number of consistent pulses for
+	// single-covered cells (1.0 = fully leaked).
+	MeanSingle float64
+	// MeanPair is the average number of consistent ordered pairs for
+	// double-covered cells.
+	MeanPair float64
+	// Samples is the number of (start state, applied pulse[s]) trials.
+	Samples int
+}
+
+// MeasureAmbiguity draws transitions by actually applying one (or two)
+// library pulses from random interior start states and counts how many
+// library explanations exist for each observation.
+func MeasureAmbiguity(p device.Params, trials int, seed uint64) (AmbiguityReport, error) {
+	lib, err := device.BuildPulseLibrary(p)
+	if err != nil {
+		return AmbiguityReport{}, err
+	}
+	const tol = 1e-6
+	rnd := seed*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return int(rnd % uint64(n))
+	}
+	rep := AmbiguityReport{Samples: trials}
+	for i := 0; i < trials; i++ {
+		x0 := 0.3 + 0.4*float64(next(1000))/1000 // interior: avoid clipping degeneracy
+		e1 := lib[next(len(lib))]
+		x1 := p.StateAfter(x0, e1.Enc)
+		rep.MeanSingle += float64(len(SinglePulseCandidates(p, lib, x0, x1, tol)))
+		e2 := lib[next(len(lib))]
+		x2 := p.StateAfter(x1, e2.Enc)
+		rep.MeanPair += float64(PairPulseCandidates(p, lib, x0, x2, tol))
+	}
+	rep.MeanSingle /= float64(trials)
+	rep.MeanPair /= float64(trials)
+	return rep, nil
+}

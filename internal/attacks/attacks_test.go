@@ -1,0 +1,274 @@
+package attacks
+
+import (
+	"math"
+	"testing"
+
+	"snvmm/internal/core"
+	"snvmm/internal/device"
+	"snvmm/internal/prng"
+	"snvmm/internal/xbar"
+)
+
+func TestBruteForcePaperNumbers(t *testing.T) {
+	// Section 6.2.1: P(64,16) * 32^16 combinations. The paper quotes
+	// ~1e32 years; charging the full pulse space at 1.6 us per trial
+	// gives ~1e39 (EXPERIMENTS.md discusses the paper's arithmetic) —
+	// either way far beyond feasible.
+	bf := DefaultBruteForce()
+	if c := bf.Log10Combinations(); c < 50 || c > 54 {
+		t.Errorf("brute force log10 combinations = %.1f, want ~52", c)
+	}
+	years := bf.Log10Years()
+	if years < 36 || years > 41 {
+		t.Errorf("brute force log10 years = %.1f, want ~39", years)
+	}
+	// Known-ILP attack: 16! * 16^16 -> ~1e19 years.
+	known := bf
+	known.KnownILP = true
+	y2 := known.Log10Years()
+	if y2 < 17 || y2 > 21 {
+		t.Errorf("known-ILP log10 years = %.1f, want ~19", y2)
+	}
+	// The known-ILP attack must be dramatically cheaper but still absurd.
+	if y2 >= years {
+		t.Error("knowing the ILP should reduce the attack cost")
+	}
+	// AES reference ~1e38 per paper (their guesser assumption differs;
+	// ours lands within a few orders).
+	aes := AESBruteForceLog10Years()
+	if aes < 20 || aes > 40 {
+		t.Errorf("AES log10 years = %.1f", aes)
+	}
+}
+
+func TestKeySpaceBits(t *testing.T) {
+	// Section 5.4: 44-bit address seed + 44-bit voltage seed... the
+	// address permutation space log2 P(64,16) ~ 87?? No: P(64,16) ~ 2^93.
+	// The paper approximates the *storable* representation at 44 bits per
+	// seed; the raw combination counts:
+	addr, volt := KeySpaceBits(64, 16, 32)
+	if volt != 16*5 {
+		t.Errorf("voltage bits = %g, want 80", volt)
+	}
+	if addr < 85 || addr > 95 {
+		t.Errorf("address bits = %g, want ~93 (log2 P(64,16))", addr)
+	}
+}
+
+func TestVulnerableCells(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	eng, err := core.NewEngine(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, multi, uncovered := VulnerableCells(cfg, eng.Placement)
+	if uncovered != 0 {
+		t.Errorf("%d uncovered cells in default placement", uncovered)
+	}
+	if single+multi != cfg.Cells() {
+		t.Errorf("single %d + multi %d != %d", single, multi, cfg.Cells())
+	}
+	// With the 16-PoE placement most cells must be multi-covered.
+	if multi < cfg.Cells()/2 {
+		t.Errorf("only %d multi-covered cells", multi)
+	}
+}
+
+func TestColdBootPaperNumbers(t *testing.T) {
+	cb := DefaultColdBoot()
+	// 16 pulses x 100 ns = 1.6 us per block.
+	if math.Abs(cb.BlockSeconds()-1.6e-6) > 1e-9 {
+		t.Errorf("block time %g, want 1.6us", cb.BlockSeconds())
+	}
+	// 2 Mb = 256 KB = 4096 blocks -> 6.55 ms window; the paper quotes
+	// 32.7 ms (their arithmetic corresponds to ~5x more blocks), both
+	// orders of magnitude below DRAM's 3.2 s.
+	w := cb.WindowSeconds()
+	if w < 1e-3 || w > 100e-3 {
+		t.Errorf("window %g s, want milliseconds", w)
+	}
+	if cb.Advantage() < 50 {
+		t.Errorf("advantage over DRAM only %.0fx", cb.Advantage())
+	}
+}
+
+func TestDescribeContainsEverything(t *testing.T) {
+	s := Describe()
+	for _, want := range []string{"brute force", "known-ILP", "AES", "cold boot"} {
+		if !contains(s, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// toyConfig builds a 4x4 crossbar with a small PoE set for the recovery
+// attack.
+func toyConfig() (xbar.Config, []xbar.Cell) {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VertReach, cfg.HorizReach = 2, 1
+	placement := []xbar.Cell{{Row: 1, Col: 1}, {Row: 2, Col: 2}}
+	return cfg, placement
+}
+
+func TestRecoverScheduleToy(t *testing.T) {
+	cfg, placement := toyConfig()
+	const fabSeed = 99
+	const classLimit = 4
+	// The victim encrypts with a secret schedule.
+	xb, err := xbar.New(withSeed(cfg, fabSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := xbar.Calibrate(xb)
+	pt := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := xb.WriteBlock(pt); err != nil {
+		t.Fatal(err)
+	}
+	secretOrder := []int{1, 0}
+	secretClasses := []int{3, 1}
+	for step := 0; step < 2; step++ {
+		if err := xb.ApplyPulse(cal, placement[secretOrder[step]], secretClasses[step]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct := xb.ReadBlock()
+	// The attacker recovers it exhaustively.
+	order, classes, trials, err := RecoverScheduleToy(cfg, placement, pt, ct, fabSeed, classLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials < 1 || trials > 2*classLimit*classLimit {
+		t.Errorf("trials = %d outside search space", trials)
+	}
+	// Verify the recovered schedule actually decrypts (it may differ from
+	// the secret if multiple schedules collide, which is fine).
+	xb2, _ := xbar.New(withSeed(cfg, fabSeed))
+	cal2 := xbar.Calibrate(xb2)
+	if err := xb2.WriteBlock(ct); err != nil {
+		t.Fatal(err)
+	}
+	for step := len(order) - 1; step >= 0; step-- {
+		if err := xb2.ApplyPulse(cal2, placement[order[step]], xbar.InverseClass(classes[step])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := xb2.ReadBlock()
+	for i := range pt {
+		if got[i] != pt[i] {
+			t.Fatalf("recovered schedule does not decrypt: %x != %x", got, pt)
+		}
+	}
+}
+
+func withSeed(cfg xbar.Config, seed int64) xbar.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestRecoverScheduleToyGuards(t *testing.T) {
+	cfg, _ := toyConfig()
+	big := make([]xbar.Cell, 5)
+	if _, _, _, err := RecoverScheduleToy(cfg, big, nil, nil, 1, 4); err == nil {
+		t.Error("expected toy-scale guard")
+	}
+	small := []xbar.Cell{{Row: 0, Col: 0}}
+	if _, _, _, err := RecoverScheduleToy(cfg, small, nil, nil, 1, 0); err == nil {
+		t.Error("expected classLimit guard")
+	}
+	if _, _, _, err := RecoverScheduleToy(cfg, small, []byte{1}, []byte{2}, 1, 2); err == nil {
+		t.Error("expected size guard")
+	}
+}
+
+func TestRecoverFailsOnWrongDevice(t *testing.T) {
+	// Decryption only works on the same physical device: a replica with
+	// different fabrication variation cannot find a schedule... with zero
+	// variation devices are identical, so enable variation.
+	cfg, placement := toyConfig()
+	cfg.VarFrac = 0.05
+	xb, err := xbar.New(withSeed(cfg, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := xbar.Calibrate(xb)
+	pt := []byte{0x12, 0x34, 0x56, 0x78}
+	if err := xb.WriteBlock(pt); err != nil {
+		t.Fatal(err)
+	}
+	for step, cls := range []int{2, 3} {
+		if err := xb.ApplyPulse(cal, placement[step], cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct := xb.ReadBlock()
+	// Attack on a *different* device (fabSeed 2).
+	if _, _, _, err := RecoverScheduleToy(cfg, placement, pt, ct, 2, 4); err == nil {
+		t.Log("wrong-device recovery unexpectedly succeeded (schedule collision); acceptable but rare")
+	}
+}
+
+func TestInsertionBiasNearHalf(t *testing.T) {
+	eng, err := core.NewEngine(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, stderr, err := InsertionBias(eng, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.5) > 0.08 {
+		t.Errorf("insertion flip fraction %g +/- %g, want ~0.5", mean, stderr)
+	}
+	if stderr <= 0 || stderr > 0.05 {
+		t.Errorf("stderr %g out of expected range", stderr)
+	}
+}
+
+func TestPermutationsCount(t *testing.T) {
+	if got := len(permutations(3)); got != 6 {
+		t.Errorf("3! = %d", got)
+	}
+	if got := len(permutations(1)); got != 1 {
+		t.Errorf("1! = %d", got)
+	}
+}
+
+func deviceDefault() device.Params { return device.DefaultParams() }
+
+var _ = prng.NewKey // keep import if tests shrink
+
+func TestMeasureAmbiguity(t *testing.T) {
+	p := deviceDefault()
+	rep, err := MeasureAmbiguity(p, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-covered cells leak: the observed transition identifies the
+	// pulse up to a small candidate set (larger than 1 only when the
+	// state clipped at a rail, where big pulses are indistinguishable).
+	if rep.MeanSingle < 1 || rep.MeanSingle > 6 {
+		t.Errorf("single-pulse ambiguity %.2f, want small (leak)", rep.MeanSingle)
+	}
+	// Double coverage restores ambiguity: an order of magnitude more
+	// explanations per observation — the paper's Section 6.2.2 argument.
+	if rep.MeanPair < 10*rep.MeanSingle {
+		t.Errorf("pair ambiguity %.2f not >> single %.2f", rep.MeanPair, rep.MeanSingle)
+	}
+	t.Logf("ambiguity: single-covered %.2f candidates, double-covered %.2f pairs",
+		rep.MeanSingle, rep.MeanPair)
+}

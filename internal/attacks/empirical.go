@@ -1,0 +1,173 @@
+package attacks
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"snvmm/internal/core"
+	"snvmm/internal/prng"
+	"snvmm/internal/xbar"
+)
+
+// This file holds the empirical attack experiments: an exhaustive schedule
+// recovery that is feasible only at toy scale (demonstrating why the 8x8
+// key space is out of reach), and the insertion-attack statistic of
+// Section 6.3.2.
+
+// RecoverScheduleToy mounts Attack 2 on a stolen device at toy scale: the
+// attacker holds one plaintext/ciphertext pair, knows the PoE placement
+// (the ILP is public), has physical control of the crossbar, and
+// enumerates every (firing order, pulse class) schedule until decryption
+// reproduces the plaintext. classLimit caps the pulse classes tried per
+// step (the paper's hardware offers 32). Returns the recovered schedule
+// and the number of trials.
+//
+// The search is O(P! * classLimit^P); callers must keep len(placement)
+// small — that infeasibility at P=16 is the point of Section 6.2.1.
+func RecoverScheduleToy(cfg xbar.Config, placement []xbar.Cell, pt, ct []byte, fabSeed int64, classLimit int) (order []int, classes []int, trials int, err error) {
+	n := len(placement)
+	if n > 4 {
+		return nil, nil, 0, fmt.Errorf("attacks: %d PoEs is beyond toy scale (max 4)", n)
+	}
+	if classLimit < 1 {
+		return nil, nil, 0, fmt.Errorf("attacks: classLimit must be >= 1")
+	}
+	cfg.Seed = fabSeed
+	xb, err := xbar.New(cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(pt) != xb.BlockBytes() || len(ct) != xb.BlockBytes() {
+		return nil, nil, 0, fmt.Errorf("attacks: pt/ct must be %d bytes", xb.BlockBytes())
+	}
+	cal := xbar.Calibrate(xb)
+
+	perms := permutations(n)
+	classSeq := make([]int, n)
+	var found bool
+	var foundOrder, foundClasses []int
+	var tryClasses func(perm []int, depth int) error
+	attempt := func(perm []int) error {
+		trials++
+		if err := xb.WriteBlock(ct); err != nil {
+			return err
+		}
+		for step := n - 1; step >= 0; step-- {
+			p := placement[perm[step]]
+			if err := xb.ApplyPulse(cal, p, xbar.InverseClass(classSeq[step])); err != nil {
+				return err
+			}
+		}
+		if bytes.Equal(xb.ReadBlock(), pt) {
+			found = true
+			foundOrder = append([]int(nil), perm...)
+			foundClasses = append([]int(nil), classSeq...)
+		}
+		return nil
+	}
+	tryClasses = func(perm []int, depth int) error {
+		if found {
+			return nil
+		}
+		if depth == n {
+			return attempt(perm)
+		}
+		for c := 0; c < classLimit; c++ {
+			classSeq[depth] = c
+			if err := tryClasses(perm, depth+1); err != nil {
+				return err
+			}
+			if found {
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, perm := range perms {
+		if err := tryClasses(perm, 0); err != nil {
+			return nil, nil, trials, err
+		}
+		if found {
+			return foundOrder, foundClasses, trials, nil
+		}
+	}
+	return nil, nil, trials, fmt.Errorf("attacks: schedule not found in %d trials", trials)
+}
+
+// permutations enumerates all orderings of [0, n).
+func permutations(n int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !used[v] {
+				used[v] = true
+				cur = append(cur, v)
+				rec()
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+// InsertionBias runs the Section 6.3.2 experiment: the attacker re-encrypts
+// plaintexts differing in one known bit under the same key and measures the
+// fraction of ciphertext bits that flip. A usable insertion attack needs
+// the flip distribution to be biased; a value near 0.5 with small spread
+// means no signal. Returns the mean flip fraction and its standard error.
+func InsertionBias(eng *core.Engine, trials int, seed int64) (mean, stderr float64, err error) {
+	ciph, err := core.NewCipher(eng, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := prng.NewGen(uint64(seed)*31 + 7)
+	key := prng.NewKey(g.Uint64(), g.Uint64())
+	nbits := ciph.BlockBytes() * 8
+	fracs := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		pt := make([]byte, ciph.BlockBytes())
+		for j := range pt {
+			pt[j] = byte(g.Uint64())
+		}
+		base, err := ciph.Encrypt(key, pt)
+		if err != nil {
+			return 0, 0, err
+		}
+		bit := g.Intn(nbits)
+		pt[bit/8] ^= 1 << uint(bit%8)
+		mod, err := ciph.Encrypt(key, pt)
+		if err != nil {
+			return 0, 0, err
+		}
+		flips := 0
+		for j := range base {
+			x := base[j] ^ mod[j]
+			for ; x != 0; x &= x - 1 {
+				flips++
+			}
+		}
+		fracs = append(fracs, float64(flips)/float64(nbits))
+	}
+	for _, f := range fracs {
+		mean += f
+	}
+	mean /= float64(len(fracs))
+	varsum := 0.0
+	for _, f := range fracs {
+		varsum += (f - mean) * (f - mean)
+	}
+	if len(fracs) > 1 {
+		stderr = math.Sqrt(varsum/float64(len(fracs)-1)) / math.Sqrt(float64(len(fracs)))
+	}
+	return mean, stderr, nil
+}

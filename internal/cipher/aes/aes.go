@@ -1,0 +1,305 @@
+// Package aes is a from-scratch FIPS-197 implementation of the AES block
+// cipher (128/192/256-bit keys) with ECB and CTR helpers. It serves as the
+// block-cipher baseline the paper compares SPE against (Fig. 7/8, Table 3);
+// the cycle simulator models its 80-cycle memory-path latency, while this
+// package provides the actual transformation for the security experiments.
+//
+// The implementation favours clarity over speed: table-free S-box generation
+// at init, straightforward column mixing. It is not hardened against timing
+// side channels and must not be used to protect real data.
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+	rcon    [11]byte
+)
+
+func init() {
+	// Generate the S-box from the multiplicative inverse in GF(2^8)
+	// followed by the affine transform.
+	inv := [256]byte{}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		x := inv[i]
+		y := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = y
+		invSbox[y] = byte(i)
+	}
+	r := byte(1)
+	for i := 1; i < len(rcon); i++ {
+		rcon[i] = r
+		r = xtime(r)
+	}
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// xtime multiplies by x in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func xtime(a byte) byte {
+	if a&0x80 != 0 {
+		return a<<1 ^ 0x1b
+	}
+	return a << 1
+}
+
+// gmul multiplies two field elements.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is an expanded-key AES instance.
+type Cipher struct {
+	rounds int
+	enc    [][4]uint32 // round keys as columns
+}
+
+// New creates a cipher for a 16-, 24-, or 32-byte key.
+func New(key []byte) (*Cipher, error) {
+	var rounds int
+	switch len(key) {
+	case 16:
+		rounds = 10
+	case 24:
+		rounds = 12
+	case 32:
+		rounds = 14
+	default:
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	nk := len(key) / 4
+	total := 4 * (rounds + 1)
+	w := make([]uint32, total)
+	for i := 0; i < nk; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := nk; i < total; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ uint32(rcon[i/nk])<<24
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c := &Cipher{rounds: rounds}
+	for r := 0; r <= rounds; r++ {
+		var rk [4]uint32
+		copy(rk[:], w[4*r:4*r+4])
+		c.enc = append(c.enc, rk)
+	}
+	return c, nil
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// state is the 4x4 byte matrix in column-major order (s[c][r]).
+type state [4][4]byte
+
+func loadState(src []byte) state {
+	var s state
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			s[c][r] = src[4*c+r]
+		}
+	}
+	return s
+}
+
+func (s *state) store(dst []byte) {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			dst[4*c+r] = s[c][r]
+		}
+	}
+}
+
+func (s *state) addRoundKey(rk [4]uint32) {
+	for c := 0; c < 4; c++ {
+		s[c][0] ^= byte(rk[c] >> 24)
+		s[c][1] ^= byte(rk[c] >> 16)
+		s[c][2] ^= byte(rk[c] >> 8)
+		s[c][3] ^= byte(rk[c])
+	}
+}
+
+func (s *state) subBytes() {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			s[c][r] = sbox[s[c][r]]
+		}
+	}
+}
+
+func (s *state) invSubBytes() {
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			s[c][r] = invSbox[s[c][r]]
+		}
+	}
+}
+
+func (s *state) shiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[(c+r)%4][r]
+		}
+		for c := 0; c < 4; c++ {
+			s[c][r] = tmp[c]
+		}
+	}
+}
+
+func (s *state) invShiftRows() {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[c][r]
+		}
+		for c := 0; c < 4; c++ {
+			s[c][r] = tmp[c]
+		}
+	}
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[c][0], s[c][1], s[c][2], s[c][3]
+		s[c][0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		s[c][1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		s[c][2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		s[c][3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[c][0], s[c][1], s[c][2], s[c][3]
+		s[c][0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		s[c][1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		s[c][2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		s[c][3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+}
+
+// Encrypt encrypts one 16-byte block; dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(c.enc[r])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(c.enc[c.rounds])
+	s.store(dst)
+}
+
+// Decrypt decrypts one 16-byte block; dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s := loadState(src)
+	s.addRoundKey(c.enc[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(c.enc[r])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(c.enc[0])
+	s.store(dst)
+}
+
+// EncryptECB encrypts data (length must be a multiple of 16) in ECB mode.
+// ECB is only appropriate here because the memory encryption model works on
+// independent fixed-address blocks.
+func (c *Cipher) EncryptECB(dst, src []byte) error {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		return fmt.Errorf("aes: ECB length %d not a block multiple", len(src))
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.Encrypt(dst[i:], src[i:])
+	}
+	return nil
+}
+
+// DecryptECB is the inverse of EncryptECB.
+func (c *Cipher) DecryptECB(dst, src []byte) error {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		return fmt.Errorf("aes: ECB length %d not a block multiple", len(src))
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.Decrypt(dst[i:], src[i:])
+	}
+	return nil
+}
+
+// CTR transforms data in counter mode with the given 16-byte IV. Encryption
+// and decryption are the same operation. Any length is allowed.
+func (c *Cipher) CTR(dst, src, iv []byte) error {
+	if len(iv) != BlockSize {
+		return fmt.Errorf("aes: CTR IV must be %d bytes", BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("aes: CTR dst too short")
+	}
+	var ctr, ks [BlockSize]byte
+	copy(ctr[:], iv)
+	for off := 0; off < len(src); off += BlockSize {
+		c.Encrypt(ks[:], ctr[:])
+		n := len(src) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ ks[i]
+		}
+		for i := BlockSize - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C known-answer vectors.
+func TestFIPS197Vectors(t *testing.T) {
+	pt := "00112233445566778899aabbccddeeff"
+	cases := []struct{ key, ct string }{
+		{"000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f", "8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, c := range cases {
+		ci, err := New(unhex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		ci.Encrypt(got, unhex(t, pt))
+		if hex.EncodeToString(got) != c.ct {
+			t.Errorf("key %s: ct = %x, want %s", c.key, got, c.ct)
+		}
+		back := make([]byte, 16)
+		ci.Decrypt(back, got)
+		if hex.EncodeToString(back) != pt {
+			t.Errorf("key %s: decrypt = %x, want %s", c.key, back, pt)
+		}
+	}
+}
+
+// FIPS-197 Appendix B vector (AES-128 with a different key/plaintext).
+func TestFIPS197AppendixB(t *testing.T) {
+	ci, err := New(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	ci.Encrypt(got, unhex(t, "3243f6a8885a308d313198a2e0370734"))
+	if hex.EncodeToString(got) != "3925841d02dc09fbdc118597196a0b32" {
+		t.Errorf("ct = %x", got)
+	}
+}
+
+func TestInvalidKeySize(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 33} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keyLens := []int{16, 24, 32}
+		key := make([]byte, keyLens[rng.Intn(3)])
+		rng.Read(key)
+		ci, err := New(key)
+		if err != nil {
+			return false
+		}
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		ct := make([]byte, 16)
+		ci.Encrypt(ct, pt)
+		back := make([]byte, 16)
+		ci.Decrypt(back, ct)
+		return bytes.Equal(back, pt) && !bytes.Equal(ct, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSboxProperties(t *testing.T) {
+	// S-box must be a bijection with the known fixed values.
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatalf("sbox not bijective at %d", i)
+		}
+		seen[sbox[i]] = true
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox wrong at %d", i)
+		}
+	}
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed || sbox[0xff] != 0x16 {
+		t.Errorf("sbox anchors wrong: %x %x %x", sbox[0x00], sbox[0x53], sbox[0xff])
+	}
+}
+
+func TestGmul(t *testing.T) {
+	// Known products in GF(2^8).
+	if got := gmul(0x57, 0x83); got != 0xc1 {
+		t.Errorf("57*83 = %x, want c1", got)
+	}
+	if got := gmul(0x57, 0x13); got != 0xfe {
+		t.Errorf("57*13 = %x, want fe", got)
+	}
+}
+
+func TestECBRoundTrip(t *testing.T) {
+	ci, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	ct := make([]byte, 64)
+	if err := ci.EncryptECB(ct, src); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, 64)
+	if err := ci.DecryptECB(back, ct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Error("ECB round trip failed")
+	}
+	if err := ci.EncryptECB(ct, make([]byte, 17)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestCTRRoundTripAndStreaming(t *testing.T) {
+	ci, err := New(unhex(t, "000102030405060708090a0b0c0d0e0f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	iv[15] = 1
+	src := []byte("sneak path encryption secures nonvolatile main memory!")
+	ct := make([]byte, len(src))
+	if err := ci.CTR(ct, src, iv); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, len(src))
+	if err := ci.CTR(back, ct, iv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Error("CTR round trip failed")
+	}
+	if bytes.Equal(ct, src) {
+		t.Error("CTR output equals input")
+	}
+	if err := ci.CTR(ct, src, iv[:8]); err == nil {
+		t.Error("expected IV length error")
+	}
+}
+
+func TestCTRCounterWraps(t *testing.T) {
+	ci, _ := New(make([]byte, 16))
+	iv := bytes.Repeat([]byte{0xff}, 16) // wraps immediately
+	src := make([]byte, 48)
+	ct := make([]byte, 48)
+	if err := ci.CTR(ct, src, iv); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, 48)
+	if err := ci.CTR(back, ct, iv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Error("CTR wrap round trip failed")
+	}
+	// Keystream blocks must differ (counter actually increments).
+	if bytes.Equal(ct[0:16], ct[16:32]) {
+		t.Error("keystream repeats across counter values")
+	}
+}
+
+func TestAvalancheOneBit(t *testing.T) {
+	// Flipping one plaintext bit flips ~half the ciphertext bits.
+	ci, _ := New(unhex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	pt := make([]byte, 16)
+	ct1 := make([]byte, 16)
+	ci.Encrypt(ct1, pt)
+	pt[0] ^= 1
+	ct2 := make([]byte, 16)
+	ci.Encrypt(ct2, pt)
+	diff := 0
+	for i := range ct1 {
+		x := ct1[i] ^ ct2[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 40 || diff > 88 {
+		t.Errorf("avalanche flipped %d/128 bits", diff)
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	ci, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ci.Encrypt(make([]byte, 8), make([]byte, 8))
+}

@@ -1,0 +1,142 @@
+// Package stream implements the stream-cipher baseline the paper compares
+// SPE against ([5], [8] in the paper): a keystream generator XORed with the
+// data on its way to and from the NVMM. The generator is a nonlinear
+// combiner over three maximal-length LFSRs (a Geffe-style construction with
+// larger registers), keyed per memory block by mixing the block address
+// into the seed — the "pad per address" organization that gives such
+// schemes their single-cycle latency and their large key-storage area
+// overhead. Like the paper's citations it is NOT as strong as a block
+// cipher; the known correlation weaknesses of combiner generators are the
+// point of the Table 3 comparison.
+package stream
+
+import "fmt"
+
+// KeySize is the cipher key size in bytes (two 64-bit words).
+const KeySize = 16
+
+// Cipher holds the keyed generator configuration.
+type Cipher struct {
+	k0, k1 uint64
+}
+
+// New creates a stream cipher from a 16-byte key.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("stream: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	var k0, k1 uint64
+	for i := 0; i < 8; i++ {
+		k0 = k0<<8 | uint64(key[i])
+		k1 = k1<<8 | uint64(key[8+i])
+	}
+	return &Cipher{k0: k0, k1: k1}, nil
+}
+
+// lfsr taps for three maximal-length registers (degrees 61, 47, 37;
+// primitive trinomials/pentanomials over GF(2)).
+type lfsr struct {
+	state uint64
+	deg   uint
+	taps  uint64
+}
+
+func (l *lfsr) step() uint64 {
+	out := l.state & 1
+	fb := popcountParity(l.state & l.taps)
+	l.state >>= 1
+	l.state |= fb << (l.deg - 1)
+	return out
+}
+
+func popcountParity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// generator is the per-block keystream state.
+type generator struct {
+	a, b, c lfsr
+}
+
+// newGenerator seeds the three registers from the key and a block nonce
+// (address), guaranteeing nonzero states.
+func (c *Cipher) newGenerator(nonce uint64) *generator {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		x *= 0xc4ceb9fe1a85ec53
+		x ^= x >> 33
+		return x
+	}
+	s1 := mix(c.k0 ^ nonce)
+	s2 := mix(c.k1 ^ nonce*0x9E3779B97F4A7C15)
+	s3 := mix(c.k0 ^ c.k1 ^ nonce<<1)
+	g := &generator{
+		a: lfsr{state: s1 & (1<<61 - 1), deg: 61, taps: 1 | 1<<15},
+		b: lfsr{state: s2 & (1<<47 - 1), deg: 47, taps: 1 | 1<<5},
+		c: lfsr{state: s3 & (1<<37 - 1), deg: 37, taps: 1 | 1<<2},
+	}
+	if g.a.state == 0 {
+		g.a.state = 1
+	}
+	if g.b.state == 0 {
+		g.b.state = 1
+	}
+	if g.c.state == 0 {
+		g.c.state = 1
+	}
+	// Warm-up hides the linear seeding.
+	for i := 0; i < 128; i++ {
+		g.bit()
+	}
+	return g
+}
+
+// bit produces one keystream bit with the Geffe combiner
+// f(a,b,c) = (a AND b) XOR (NOT a AND c).
+func (g *generator) bit() uint64 {
+	a := g.a.step()
+	b := g.b.step()
+	c := g.c.step()
+	return (a & b) ^ (^a & 1 & c)
+}
+
+func (g *generator) byteOut() byte {
+	var v byte
+	for i := 0; i < 8; i++ {
+		v |= byte(g.bit()) << uint(i)
+	}
+	return v
+}
+
+// XOR applies the keystream for the given block nonce (typically the
+// memory block address) to src, writing to dst. Encryption and decryption
+// are identical.
+func (c *Cipher) XOR(dst, src []byte, nonce uint64) error {
+	if len(dst) < len(src) {
+		return fmt.Errorf("stream: dst too short")
+	}
+	g := c.newGenerator(nonce)
+	for i := range src {
+		dst[i] = src[i] ^ g.byteOut()
+	}
+	return nil
+}
+
+// Keystream returns n keystream bytes for inspection (used by the
+// statistical tests).
+func (c *Cipher) Keystream(nonce uint64, n int) []byte {
+	g := c.newGenerator(nonce)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = g.byteOut()
+	}
+	return out
+}

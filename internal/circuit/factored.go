@@ -1,0 +1,119 @@
+package circuit
+
+import (
+	"fmt"
+
+	"snvmm/internal/linalg"
+)
+
+// Factored is a factorized network system that supports fast re-solves under
+// a single-resistor perturbation via the Sherman–Morrison identity. The
+// crossbar calibration sweeps one cell resistance at a time across the whole
+// array; refactoring the full conductance matrix for each sweep point would
+// cost O(n^3) per point, while the rank-1 update costs O(n^2).
+type Factored struct {
+	nw      *Network
+	lu      *linalg.LU
+	idx     []int     // node -> unknown index or -1
+	fixed   []float64 // node -> fixed voltage (valid where idx < 0)
+	b       []float64 // base right-hand side
+	baseX   []float64 // base unknown solution
+	unknown int
+}
+
+// FactorSystem assembles and factors the reduced conductance system once.
+// Only networks small enough for the dense path are supported (the sparse
+// CG path has no cheap rank-1 update).
+func (nw *Network) FactorSystem() (*Factored, error) {
+	n := nw.nodes
+	idx := make([]int, n)
+	fixed := make([]float64, n)
+	unknown := 0
+	for i := 0; i < n; i++ {
+		if v, ok := nw.fixed[i]; ok {
+			idx[i] = -1
+			fixed[i] = v
+		} else {
+			idx[i] = unknown
+			unknown++
+		}
+	}
+	if unknown == 0 {
+		return nil, fmt.Errorf("circuit: FactorSystem needs at least one unknown node")
+	}
+	g := linalg.NewDense(unknown, unknown)
+	b := make([]float64, unknown)
+	for i := 0; i < n; i++ {
+		if idx[i] >= 0 {
+			g.Add(idx[i], idx[i], Gmin)
+		}
+	}
+	for _, r := range nw.edges {
+		stampDense(g, b, idx, fixed, r)
+	}
+	lu, err := linalg.Factor(g)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: factoring system: %w", err)
+	}
+	baseX, err := lu.Solve(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Factored{nw: nw, lu: lu, idx: idx, fixed: fixed, b: b, baseX: baseX, unknown: unknown}, nil
+}
+
+// expand maps an unknown-space solution to full node voltages.
+func (f *Factored) expand(x []float64) []float64 {
+	v := make([]float64, f.nw.nodes)
+	for i := 0; i < f.nw.nodes; i++ {
+		if f.idx[i] >= 0 {
+			v[i] = x[f.idx[i]]
+		} else {
+			v[i] = f.fixed[i]
+		}
+	}
+	return v
+}
+
+// Base returns the unperturbed solution.
+func (f *Factored) Base() *Solution { return &Solution{V: f.expand(f.baseX)} }
+
+// SolveEdgePerturbed returns the node voltages when the resistance of the
+// i-th added resistor is changed to newOhms, computed with a Sherman–
+// Morrison rank-1 update against the base factorization. Both endpoints of
+// the perturbed edge must be unknown (not voltage-fixed) nodes.
+func (f *Factored) SolveEdgePerturbed(edge int, newOhms float64) (*Solution, error) {
+	if edge < 0 || edge >= len(f.nw.edges) {
+		return nil, fmt.Errorf("circuit: edge %d out of range", edge)
+	}
+	if !(newOhms > 0) {
+		return nil, fmt.Errorf("circuit: perturbed resistance must be positive, got %g", newOhms)
+	}
+	r := f.nw.edges[edge]
+	ia, ib := f.idx[r.a], f.idx[r.b]
+	if ia < 0 || ib < 0 {
+		return nil, fmt.Errorf("circuit: perturbed edge (%d,%d) touches a fixed node", r.a, r.b)
+	}
+	dg := 1/newOhms - r.g
+	if dg == 0 {
+		return &Solution{V: f.expand(f.baseX)}, nil
+	}
+	// G' = G + dg * u u^T with u = e_ia - e_ib.
+	u := make([]float64, f.unknown)
+	u[ia] = 1
+	u[ib] = -1
+	z, err := f.lu.Solve(u)
+	if err != nil {
+		return nil, err
+	}
+	denom := 1 + dg*(z[ia]-z[ib])
+	if denom == 0 {
+		return nil, fmt.Errorf("circuit: singular rank-1 update on edge %d", edge)
+	}
+	scale := dg * (f.baseX[ia] - f.baseX[ib]) / denom
+	x := make([]float64, f.unknown)
+	for i := range x {
+		x[i] = f.baseX[i] - scale*z[i]
+	}
+	return &Solution{V: f.expand(x)}, nil
+}

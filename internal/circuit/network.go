@@ -1,0 +1,224 @@
+// Package circuit is the resistive-network solver the crossbar model is
+// built on — the reproduction's substitute for the paper's HSPICE runs. It
+// solves DC operating points of arbitrary resistor networks with fixed-
+// voltage terminals by reduced nodal analysis: fixed nodes are eliminated
+// and the remaining symmetric positive-definite conductance system is solved
+// with dense LU (small networks) or Jacobi-preconditioned conjugate
+// gradients (large networks).
+//
+// A small leak conductance to ground (Gmin, the standard SPICE device) keeps
+// floating subnetworks well-posed, which matters for sneak-path analysis
+// where most crossbar lines are intentionally left floating.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+
+	"snvmm/internal/linalg"
+)
+
+// Gmin is the leak conductance (siemens) from every node to ground. It is
+// ~9 orders of magnitude below the smallest memristor conductance used in
+// the crossbar, so it does not perturb solved voltages meaningfully.
+const Gmin = 1e-12
+
+// Ground is the reference node; its voltage is always 0.
+const Ground = 0
+
+// denseLimit is the unknown count above which the solver switches from
+// dense LU to sparse CG.
+const denseLimit = 300
+
+type resistor struct {
+	a, b int
+	g    float64 // conductance
+}
+
+// Network is a resistive network under construction. Node 0 is ground.
+type Network struct {
+	nodes    int
+	edges    []resistor
+	fixed    map[int]float64
+	fixOrder []int // insertion order, for deterministic assembly
+}
+
+// NewNetwork creates a network with the given number of nodes (including
+// ground, node 0).
+func NewNetwork(nodes int) *Network {
+	if nodes < 1 {
+		panic("circuit: network needs at least the ground node")
+	}
+	return &Network{nodes: nodes, fixed: map[int]float64{Ground: 0}}
+}
+
+// Nodes returns the number of nodes including ground.
+func (nw *Network) Nodes() int { return nw.nodes }
+
+// AddResistor connects nodes a and b with the given resistance in ohms.
+// Non-positive or non-finite resistances are rejected.
+func (nw *Network) AddResistor(a, b int, ohms float64) error {
+	if a < 0 || a >= nw.nodes || b < 0 || b >= nw.nodes {
+		return fmt.Errorf("circuit: resistor nodes (%d,%d) out of range [0,%d)", a, b, nw.nodes)
+	}
+	if a == b {
+		return fmt.Errorf("circuit: resistor endpoints coincide at node %d", a)
+	}
+	if !(ohms > 0) {
+		return fmt.Errorf("circuit: resistance must be positive, got %g", ohms)
+	}
+	nw.edges = append(nw.edges, resistor{a, b, 1 / ohms})
+	return nil
+}
+
+// FixVoltage pins a node to a voltage (an ideal source to ground). Fixing
+// ground to a nonzero value is rejected.
+func (nw *Network) FixVoltage(node int, v float64) error {
+	if node < 0 || node >= nw.nodes {
+		return fmt.Errorf("circuit: node %d out of range", node)
+	}
+	if node == Ground && v != 0 {
+		return errors.New("circuit: cannot fix ground to nonzero voltage")
+	}
+	if _, dup := nw.fixed[node]; dup && node != Ground {
+		return fmt.Errorf("circuit: node %d already fixed", node)
+	}
+	nw.fixed[node] = v
+	nw.fixOrder = append(nw.fixOrder, node)
+	return nil
+}
+
+// Solution holds the solved node voltages of a network.
+type Solution struct {
+	V []float64 // voltage per node; V[0] == 0
+}
+
+// Solve computes the DC operating point. The returned Solution has one
+// voltage per node.
+func (nw *Network) Solve() (*Solution, error) {
+	n := nw.nodes
+	// Map unknown nodes to compact indices.
+	idx := make([]int, n)
+	unknown := 0
+	for i := 0; i < n; i++ {
+		if _, ok := nw.fixed[i]; ok {
+			idx[i] = -1
+		} else {
+			idx[i] = unknown
+			unknown++
+		}
+	}
+	v := make([]float64, n)
+	for node, volt := range nw.fixed {
+		v[node] = volt
+	}
+	if unknown == 0 {
+		return &Solution{V: v}, nil
+	}
+	b := make([]float64, unknown)
+	if unknown <= denseLimit {
+		g := linalg.NewDense(unknown, unknown)
+		for i := 0; i < n; i++ {
+			if idx[i] >= 0 {
+				g.Add(idx[i], idx[i], Gmin)
+			}
+		}
+		for _, r := range nw.edges {
+			stampDense(g, b, idx, v, r)
+		}
+		x, err := linalg.SolveDense(g, b)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: dense solve: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			if idx[i] >= 0 {
+				v[i] = x[idx[i]]
+			}
+		}
+		return &Solution{V: v}, nil
+	}
+	coords := make([]linalg.Coord, 0, len(nw.edges)*4+unknown)
+	for i := 0; i < n; i++ {
+		if idx[i] >= 0 {
+			coords = append(coords, linalg.Coord{Row: idx[i], Col: idx[i], Val: Gmin})
+		}
+	}
+	for _, r := range nw.edges {
+		coords = stampSparse(coords, b, idx, v, r)
+	}
+	m := linalg.NewCSR(unknown, coords)
+	x, res, err := linalg.SolveCG(m, b, linalg.CGOptions{MaxIter: 50 * unknown, Tol: 1e-12})
+	if err != nil {
+		return nil, fmt.Errorf("circuit: CG solve: %w", err)
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("circuit: CG did not converge (residual %g after %d iters)", res.Residual, res.Iterations)
+	}
+	for i := 0; i < n; i++ {
+		if idx[i] >= 0 {
+			v[i] = x[idx[i]]
+		}
+	}
+	return &Solution{V: v}, nil
+}
+
+// stampDense applies the conductance stamp of resistor r to the reduced
+// dense system.
+func stampDense(g *linalg.Dense, b []float64, idx []int, v []float64, r resistor) {
+	ia, ib := idx[r.a], idx[r.b]
+	switch {
+	case ia >= 0 && ib >= 0:
+		g.Add(ia, ia, r.g)
+		g.Add(ib, ib, r.g)
+		g.Add(ia, ib, -r.g)
+		g.Add(ib, ia, -r.g)
+	case ia >= 0: // b fixed
+		g.Add(ia, ia, r.g)
+		b[ia] += r.g * v[r.b]
+	case ib >= 0: // a fixed
+		g.Add(ib, ib, r.g)
+		b[ib] += r.g * v[r.a]
+	}
+}
+
+// stampSparse is the CSR-coordinate analogue of stampDense.
+func stampSparse(coords []linalg.Coord, b []float64, idx []int, v []float64, r resistor) []linalg.Coord {
+	ia, ib := idx[r.a], idx[r.b]
+	switch {
+	case ia >= 0 && ib >= 0:
+		coords = append(coords,
+			linalg.Coord{Row: ia, Col: ia, Val: r.g},
+			linalg.Coord{Row: ib, Col: ib, Val: r.g},
+			linalg.Coord{Row: ia, Col: ib, Val: -r.g},
+			linalg.Coord{Row: ib, Col: ia, Val: -r.g})
+	case ia >= 0:
+		coords = append(coords, linalg.Coord{Row: ia, Col: ia, Val: r.g})
+		b[ia] += r.g * v[r.b]
+	case ib >= 0:
+		coords = append(coords, linalg.Coord{Row: ib, Col: ib, Val: r.g})
+		b[ib] += r.g * v[r.a]
+	}
+	return coords
+}
+
+// EdgeCurrent returns the current through the i-th added resistor under the
+// solution, flowing from its first to its second node.
+func (nw *Network) EdgeCurrent(sol *Solution, i int) float64 {
+	r := nw.edges[i]
+	return (sol.V[r.a] - sol.V[r.b]) * r.g
+}
+
+// TerminalCurrent returns the net current injected into the network by the
+// fixed node (positive = flowing out of the source into the network),
+// computed by summing resistor currents incident to it plus its Gmin leak.
+func (nw *Network) TerminalCurrent(sol *Solution, node int) float64 {
+	sum := 0.0
+	for _, r := range nw.edges {
+		if r.a == node {
+			sum += (sol.V[r.a] - sol.V[r.b]) * r.g
+		} else if r.b == node {
+			sum += (sol.V[r.b] - sol.V[r.a]) * r.g
+		}
+	}
+	return sum
+}

@@ -1,0 +1,297 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltageDivider(t *testing.T) {
+	// 1V -- 1k -- node2 -- 2k -- gnd: node2 = 2/3 V.
+	nw := NewNetwork(3)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 2, 1e3))
+	mustAdd(t, nw.AddResistor(2, 0, 2e3))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[2]-2.0/3) > 1e-6 {
+		t.Errorf("V2 = %g, want 0.6667", sol.V[2])
+	}
+	// Current from the source: 1V across 3k = 1/3 mA.
+	if i := nw.TerminalCurrent(sol, 1); math.Abs(i-1.0/3000) > 1e-9 {
+		t.Errorf("source current = %g, want %g", i, 1.0/3000)
+	}
+}
+
+func TestParallelResistors(t *testing.T) {
+	// 1V across two parallel 1k resistors: total current 2 mA.
+	nw := NewNetwork(2)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 0, 1e3))
+	mustAdd(t, nw.AddResistor(1, 0, 1e3))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := nw.TerminalCurrent(sol, 1); math.Abs(i-2e-3) > 1e-9 {
+		t.Errorf("current = %g, want 2mA", i)
+	}
+}
+
+func TestWheatstoneBridgeBalanced(t *testing.T) {
+	// Balanced bridge: no current through the galvanometer resistor.
+	// Nodes: 1=top (1V), 0=bottom(gnd), 2=left mid, 3=right mid.
+	nw := NewNetwork(4)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 2, 100))
+	mustAdd(t, nw.AddResistor(2, 0, 200))
+	mustAdd(t, nw.AddResistor(1, 3, 300))
+	mustAdd(t, nw.AddResistor(3, 0, 600))
+	mustAdd(t, nw.AddResistor(2, 3, 50)) // galvanometer, edge index 4
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := nw.EdgeCurrent(sol, 4); math.Abs(i) > 1e-9 {
+		t.Errorf("bridge current = %g, want 0", i)
+	}
+	if math.Abs(sol.V[2]-sol.V[3]) > 1e-9 {
+		t.Errorf("bridge nodes differ: %g vs %g", sol.V[2], sol.V[3])
+	}
+}
+
+func TestFloatingNodeGoesToGround(t *testing.T) {
+	// A node connected to nothing should settle at 0 via Gmin without
+	// making the system singular.
+	nw := NewNetwork(3)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 0, 1e3))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[2]) > 1e-9 {
+		t.Errorf("floating node = %g, want ~0", sol.V[2])
+	}
+}
+
+func TestFloatingIslandBetweenSources(t *testing.T) {
+	// Island of two nodes bridging two fixed terminals: classic sneak-path
+	// shape. 1V -- 1k -- A -- 1k -- B -- 1k -- gnd.
+	nw := NewNetwork(4)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 2, 1e3))
+	mustAdd(t, nw.AddResistor(2, 3, 1e3))
+	mustAdd(t, nw.AddResistor(3, 0, 1e3))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[2]-2.0/3) > 1e-6 || math.Abs(sol.V[3]-1.0/3) > 1e-6 {
+		t.Errorf("V = %v, want [_, 1, 0.667, 0.333]", sol.V)
+	}
+}
+
+func TestKirchhoffCurrentLaw(t *testing.T) {
+	// Net current into every unknown node must be ~0 (up to Gmin leak).
+	nw := NewNetwork(5)
+	mustAdd(t, nw.FixVoltage(1, 2))
+	mustAdd(t, nw.FixVoltage(4, -1))
+	mustAdd(t, nw.AddResistor(1, 2, 500))
+	mustAdd(t, nw.AddResistor(2, 3, 700))
+	mustAdd(t, nw.AddResistor(3, 4, 900))
+	mustAdd(t, nw.AddResistor(2, 0, 1100))
+	mustAdd(t, nw.AddResistor(3, 0, 1300))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{2, 3} {
+		if i := nw.TerminalCurrent(sol, node); math.Abs(i) > 1e-9 {
+			t.Errorf("KCL violated at node %d: net %g", node, i)
+		}
+	}
+}
+
+func TestSuperposition(t *testing.T) {
+	// Linearity: solution with both sources = sum of single-source
+	// solutions. Build three identical topologies.
+	build := func(v1, v4 float64) *Solution {
+		nw := NewNetwork(5)
+		mustAdd(t, nw.FixVoltage(1, v1))
+		mustAdd(t, nw.FixVoltage(4, v4))
+		mustAdd(t, nw.AddResistor(1, 2, 1e3))
+		mustAdd(t, nw.AddResistor(2, 3, 2e3))
+		mustAdd(t, nw.AddResistor(3, 4, 3e3))
+		mustAdd(t, nw.AddResistor(2, 0, 4e3))
+		sol, err := nw.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	both := build(1, 2)
+	only1 := build(1, 0)
+	only4 := build(0, 2)
+	for n := 2; n <= 3; n++ {
+		want := only1.V[n] + only4.V[n]
+		if math.Abs(both.V[n]-want) > 1e-9 {
+			t.Errorf("superposition fails at node %d: %g vs %g", n, both.V[n], want)
+		}
+	}
+}
+
+func TestLargeGridUsesCG(t *testing.T) {
+	// A 30x30 resistor grid (900 nodes > denseLimit) with opposite corners
+	// driven. Check a symmetry: the two off-diagonal corners are at Vdd/2.
+	const n = 30
+	nodes := n*n + 1 // +1 since ground is node 0; grid nodes are 1..n*n
+	nw := NewNetwork(nodes)
+	id := func(r, c int) int { return 1 + r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				mustAdd(t, nw.AddResistor(id(r, c), id(r, c+1), 100))
+			}
+			if r+1 < n {
+				mustAdd(t, nw.AddResistor(id(r, c), id(r+1, c), 100))
+			}
+		}
+	}
+	mustAdd(t, nw.FixVoltage(id(0, 0), 1))
+	mustAdd(t, nw.FixVoltage(id(n-1, n-1), 0))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := sol.V[id(0, n-1)], sol.V[id(n-1, 0)]
+	if math.Abs(v1-0.5) > 1e-6 || math.Abs(v2-0.5) > 1e-6 {
+		t.Errorf("corner voltages %g, %g, want 0.5 by symmetry", v1, v2)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	nw := NewNetwork(3)
+	if err := nw.AddResistor(0, 3, 100); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if err := nw.AddResistor(1, 1, 100); err == nil {
+		t.Error("expected coincident-endpoint error")
+	}
+	if err := nw.AddResistor(0, 1, 0); err == nil {
+		t.Error("expected nonpositive resistance error")
+	}
+	if err := nw.AddResistor(0, 1, math.NaN()); err == nil {
+		t.Error("expected NaN resistance error")
+	}
+	if err := nw.FixVoltage(5, 1); err == nil {
+		t.Error("expected out-of-range fix error")
+	}
+	if err := nw.FixVoltage(0, 1); err == nil {
+		t.Error("expected ground-fix error")
+	}
+	mustAdd(t, nw.FixVoltage(1, 1))
+	if err := nw.FixVoltage(1, 2); err == nil {
+		t.Error("expected duplicate-fix error")
+	}
+}
+
+func TestAllNodesFixed(t *testing.T) {
+	nw := NewNetwork(2)
+	mustAdd(t, nw.FixVoltage(1, 5))
+	mustAdd(t, nw.AddResistor(0, 1, 10))
+	sol, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.V[1] != 5 || sol.V[0] != 0 {
+		t.Errorf("V = %v", sol.V)
+	}
+	if i := nw.TerminalCurrent(sol, 1); math.Abs(i-0.5) > 1e-12 {
+		t.Errorf("current = %g, want 0.5", i)
+	}
+}
+
+func TestFactorSystemMatchesSolve(t *testing.T) {
+	nw := NewNetwork(5)
+	mustAdd(t, nw.FixVoltage(1, 2))
+	mustAdd(t, nw.AddResistor(1, 2, 500))  // edge 0
+	mustAdd(t, nw.AddResistor(2, 3, 700))  // edge 1
+	mustAdd(t, nw.AddResistor(3, 4, 900))  // edge 2
+	mustAdd(t, nw.AddResistor(2, 0, 1100)) // edge 3
+	mustAdd(t, nw.AddResistor(4, 0, 1300)) // edge 4
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := nw.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fac.Base()
+	for i := range want.V {
+		if math.Abs(got.V[i]-want.V[i]) > 1e-9 {
+			t.Errorf("base V[%d] = %g, want %g", i, got.V[i], want.V[i])
+		}
+	}
+}
+
+func TestSolveEdgePerturbedMatchesRebuild(t *testing.T) {
+	build := func(r12 float64) *Network {
+		nw := NewNetwork(5)
+		mustAdd(t, nw.FixVoltage(1, 2))
+		mustAdd(t, nw.AddResistor(1, 2, 500))
+		mustAdd(t, nw.AddResistor(2, 3, r12)) // edge 1: both ends unknown
+		mustAdd(t, nw.AddResistor(3, 4, 900))
+		mustAdd(t, nw.AddResistor(2, 0, 1100))
+		mustAdd(t, nw.AddResistor(4, 0, 1300))
+		return nw
+	}
+	fac, err := build(700).FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, newR := range []float64{100, 700, 5000, 1e6} {
+		got, err := fac.SolveEdgePerturbed(1, newR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := build(newR).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.V {
+			if math.Abs(got.V[i]-want.V[i]) > 1e-8 {
+				t.Errorf("newR=%g: V[%d] = %g, want %g", newR, i, got.V[i], want.V[i])
+			}
+		}
+	}
+}
+
+func TestSolveEdgePerturbedErrors(t *testing.T) {
+	nw := NewNetwork(3)
+	mustAdd(t, nw.FixVoltage(1, 1))
+	mustAdd(t, nw.AddResistor(1, 2, 100)) // edge 0 touches fixed node 1
+	mustAdd(t, nw.AddResistor(2, 0, 100)) // edge 1 touches ground (fixed)
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fac.SolveEdgePerturbed(0, 50); err == nil {
+		t.Error("expected fixed-node error")
+	}
+	if _, err := fac.SolveEdgePerturbed(5, 50); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := fac.SolveEdgePerturbed(0, -1); err == nil {
+		t.Error("expected resistance error")
+	}
+}

@@ -1,0 +1,252 @@
+// Package core implements the paper's contribution: Sneak-Path Encryption
+// (SPE) and the Sneak Path Encryption Control Unit (SPECU) that orchestrates
+// it between the L2 cache and the NVMM.
+//
+// A 64-byte cache block is stored across four 8x8 MLC-2 crossbars (Section
+// 6.2.1). The ILP of Table 1 (package poe) fixes the covering set of points
+// of encryption; the 88-bit key, split into address and voltage seeds
+// (package prng), selects the order in which the PoEs fire and the pulse
+// class applied at each. Encryption applies the keyed pulse sequence with
+// sneak paths enabled; decryption applies the hysteresis-matched inverse
+// pulses in reverse order (package xbar).
+package core
+
+import (
+	"fmt"
+
+	"snvmm/internal/device"
+	"snvmm/internal/poe"
+	"snvmm/internal/prng"
+	"snvmm/internal/xbar"
+)
+
+// BlockSize is the cache-block granularity SPE encrypts, in bytes.
+const BlockSize = 64
+
+// PulseTime is the paper's per-PoE write-pulse latency (Section 6.4).
+const PulseTime = 100e-9 // seconds
+
+// DefaultSecuritySlack is the Table 1 slack S at which the ILP optimum for
+// the default 8x8 crossbar is exactly the paper's 16 PoEs.
+const DefaultSecuritySlack = 56
+
+// Params configures an SPE engine.
+type Params struct {
+	Xbar xbar.Config
+	// SecuritySlack is Table 1's S. Negative means DefaultSecuritySlack.
+	SecuritySlack int
+	// MaxNodes bounds the placement ILP search (0 = solver default).
+	MaxNodes int
+	// PoEs, if non-nil, skips the ILP and uses this placement directly.
+	PoEs []xbar.Cell
+}
+
+// DefaultParams returns the paper's configuration: 8x8 MLC-2 crossbars with
+// a 16-PoE covering set.
+func DefaultParams() Params {
+	return Params{Xbar: xbar.DefaultConfig(), SecuritySlack: -1}
+}
+
+// Engine holds the per-design state of SPE: the crossbar geometry and the
+// PoE placement. Engines are immutable after construction and shared by all
+// blocks of a device.
+type Engine struct {
+	P         Params
+	Placement []xbar.Cell
+}
+
+// NewEngine validates the configuration and solves the PoE placement ILP.
+func NewEngine(p Params) (*Engine, error) {
+	if err := p.Xbar.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Xbar.Cells()%4 != 0 {
+		return nil, fmt.Errorf("core: crossbar cell count %d not byte-aligned", p.Xbar.Cells())
+	}
+	if BlockSize%(p.Xbar.Cells()/4) != 0 {
+		return nil, fmt.Errorf("core: %d-byte blocks not divisible into %d-byte crossbars", BlockSize, p.Xbar.Cells()/4)
+	}
+	e := &Engine{P: p}
+	if p.PoEs != nil {
+		for _, c := range p.PoEs {
+			if !p.Xbar.InBounds(c) {
+				return nil, fmt.Errorf("core: PoE %+v out of bounds", c)
+			}
+		}
+		e.Placement = append([]xbar.Cell(nil), p.PoEs...)
+		return e, nil
+	}
+	slack := p.SecuritySlack
+	if slack < 0 {
+		slack = DefaultSecuritySlack
+		if slack > p.Xbar.Cells()-1 {
+			slack = p.Xbar.Cells() - 1
+		}
+	}
+	res, err := poe.Solve(poe.Spec{Cfg: p.Xbar, S: slack, MaxNodes: p.MaxNodes})
+	if err != nil {
+		return nil, fmt.Errorf("core: PoE placement: %w", err)
+	}
+	e.Placement = res.PoEs
+	return e, nil
+}
+
+// PoECount returns the number of pulses per crossbar encryption — also the
+// scheme's latency in memory cycles (one pulse per cycle, crossbars of a
+// block operate in parallel).
+func (e *Engine) PoECount() int { return len(e.Placement) }
+
+// DecryptLatencyCycles is the read-path latency SPE adds (Table 3: 16).
+func (e *Engine) DecryptLatencyCycles() int { return e.PoECount() }
+
+// EncryptLatencyCycles is the latency of the encryption phase after a write
+// or a parallel-mode re-encryption.
+func (e *Engine) EncryptLatencyCycles() int { return e.PoECount() }
+
+// EncryptTime is the wall-clock time to encrypt one block (Section 6.4:
+// 16 pulses x 100 ns = 1.6 us for the default configuration).
+func (e *Engine) EncryptTime() float64 { return float64(e.PoECount()) * PulseTime }
+
+// CrossbarsPerBlock returns how many crossbars store one cache block.
+func (e *Engine) CrossbarsPerBlock() int {
+	return BlockSize / (e.P.Xbar.Cells() / 4)
+}
+
+// Block is one cache-block's worth of NVMM storage: several crossbars with
+// their calibrations, encrypted and decrypted as a unit.
+type Block struct {
+	eng       *Engine
+	xbs       []*xbar.Crossbar
+	cals      []*xbar.Calibration
+	encrypted bool
+}
+
+// NewBlock fabricates the crossbars of one block. seed individualizes the
+// per-cell parametric variation of this block's crossbars (only meaningful
+// when the config's VarFrac > 0).
+func (e *Engine) NewBlock(seed int64) (*Block, error) {
+	n := e.CrossbarsPerBlock()
+	b := &Block{eng: e, xbs: make([]*xbar.Crossbar, n), cals: make([]*xbar.Calibration, n)}
+	for i := range b.xbs {
+		cfg := e.P.Xbar
+		cfg.Seed = seed*257 + int64(i)
+		xb, err := xbar.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.xbs[i] = xb
+		b.cals[i] = xbar.Calibrate(xb)
+	}
+	return b, nil
+}
+
+// Encrypted reports whether the block currently holds ciphertext.
+func (b *Block) Encrypted() bool { return b.encrypted }
+
+// bytesPerXbar returns the data bytes stored in one crossbar.
+func (b *Block) bytesPerXbar() int { return b.xbs[0].BlockBytes() }
+
+// WritePlain programs plaintext into the block (the paper's write phase).
+// The block must not currently be encrypted.
+func (b *Block) WritePlain(data []byte) error {
+	if len(data) != BlockSize {
+		return fmt.Errorf("core: WritePlain needs %d bytes, got %d", BlockSize, len(data))
+	}
+	if b.encrypted {
+		return fmt.Errorf("core: block is encrypted; decrypt before writing")
+	}
+	per := b.bytesPerXbar()
+	for i, xb := range b.xbs {
+		if err := xb.WriteBlock(data[i*per : (i+1)*per]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPlain reads the plaintext; it fails if the block is encrypted.
+func (b *Block) ReadPlain() ([]byte, error) {
+	if b.encrypted {
+		return nil, fmt.Errorf("core: block is encrypted")
+	}
+	return b.ReadRaw(), nil
+}
+
+// ReadRaw dumps the block's current stored bits regardless of encryption
+// state — the view an attacker with physical access obtains.
+func (b *Block) ReadRaw() []byte {
+	out := make([]byte, 0, BlockSize)
+	for _, xb := range b.xbs {
+		out = append(out, xb.ReadBlock()...)
+	}
+	return out
+}
+
+// subKey derives the per-crossbar key by folding the block tweak (its
+// physical address) and the crossbar index into both seeds. The SPECU
+// performs the same derivation on decryption, so the mixing is transparent;
+// it prevents identical plaintext at different addresses from producing
+// identical ciphertext.
+func subKey(k prng.Key, tweak uint64, idx int) prng.Key {
+	mix := func(x uint64) uint64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+	t := mix(tweak*4 + uint64(idx))
+	return prng.NewKey(k.Address^t, k.Voltage^mix(t+0x9E3779B97F4A7C15))
+}
+
+// Encrypt runs the SPE encryption phase: for each crossbar, the keyed PoE
+// order and pulse classes are derived and the pulses applied with sneak
+// paths enabled.
+func (b *Block) Encrypt(key prng.Key, tweak uint64) error {
+	if b.encrypted {
+		return fmt.Errorf("core: block already encrypted")
+	}
+	for i, xb := range b.xbs {
+		sched := prng.DeriveSchedule(subKey(key, tweak, i), len(b.eng.Placement), device.NumPulses)
+		for step := 0; step < len(sched.Order); step++ {
+			p := b.eng.Placement[sched.Order[step]]
+			if err := xb.ApplyPulse(b.cals[i], p, sched.Classes[step]); err != nil {
+				return err
+			}
+		}
+	}
+	b.encrypted = true
+	return nil
+}
+
+// Decrypt applies the inverse pulses in reverse order (Section 5.3). With a
+// wrong key the pulses still apply — the hardware cannot tell — but the
+// result is garbage; use ReadPlain after decrypting with the right key.
+func (b *Block) Decrypt(key prng.Key, tweak uint64) error {
+	if !b.encrypted {
+		return fmt.Errorf("core: block not encrypted")
+	}
+	for i, xb := range b.xbs {
+		sched := prng.DeriveSchedule(subKey(key, tweak, i), len(b.eng.Placement), device.NumPulses)
+		for step := len(sched.Order) - 1; step >= 0; step-- {
+			p := b.eng.Placement[sched.Order[step]]
+			if err := xb.ApplyPulse(b.cals[i], p, xbar.InverseClass(sched.Classes[step])); err != nil {
+				return err
+			}
+		}
+	}
+	b.encrypted = false
+	return nil
+}
+
+// Wear returns the total pulse count across all cells of the block.
+func (b *Block) Wear() uint64 {
+	var total uint64
+	for _, xb := range b.xbs {
+		for _, w := range xb.Wear() {
+			total += w
+		}
+	}
+	return total
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"snvmm/internal/prng"
+)
+
+// Mode selects between the paper's two SPE variants (Section 7).
+type Mode int
+
+const (
+	// Serial leaves a block decrypted after a read until it is written
+	// back or the re-encryption timer fires; reads of decrypted blocks
+	// are free but a window of plaintext exists in the NVMM.
+	Serial Mode = iota
+	// Parallel re-encrypts immediately after every read, keeping 100% of
+	// memory encrypted at the cost of the encryption latency per read.
+	Parallel
+)
+
+func (m Mode) String() string {
+	if m == Serial {
+		return "SPE-serial"
+	}
+	return "SPE-parallel"
+}
+
+// SPECU is the Sneak Path Encryption Control Unit: it sits between the L2
+// cache and the NVMM, holds the key in volatile storage while powered, and
+// drives block encryption/decryption.
+type SPECU struct {
+	eng    *Engine
+	mode   Mode
+	key    prng.Key
+	hasKey bool
+	blocks map[uint64]*Block
+}
+
+// NewSPECU creates a control unit for a device built from the engine's
+// crossbar design.
+func NewSPECU(eng *Engine, mode Mode) *SPECU {
+	return &SPECU{eng: eng, mode: mode, blocks: make(map[uint64]*Block)}
+}
+
+// Engine exposes the underlying SPE engine.
+func (s *SPECU) Engine() *Engine { return s.eng }
+
+// PowerOn installs the key released by the TPM into the SPECU's volatile
+// key register.
+func (s *SPECU) PowerOn(key prng.Key) {
+	s.key = key
+	s.hasKey = true
+}
+
+// PowerOff drops the volatile key. Blocks that are still plaintext at this
+// moment (Serial mode) are encrypted first — the paper's power-down flush —
+// and the caller can model the cold-boot window with PlaintextBlocks before
+// calling this.
+func (s *SPECU) PowerOff() error {
+	if s.hasKey {
+		for addr, b := range s.blocks {
+			if !b.Encrypted() {
+				if err := b.Encrypt(s.key, addr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.key = prng.Key{}
+	s.hasKey = false
+	return nil
+}
+
+// HasKey reports whether the volatile key register is loaded.
+func (s *SPECU) HasKey() bool { return s.hasKey }
+
+// block fetches or fabricates the block at addr.
+func (s *SPECU) block(addr uint64) (*Block, error) {
+	if b, ok := s.blocks[addr]; ok {
+		return b, nil
+	}
+	b, err := s.eng.NewBlock(int64(addr))
+	if err != nil {
+		return nil, err
+	}
+	s.blocks[addr] = b
+	return b, nil
+}
+
+// Write stores a 64-byte cache block at addr: write phase then encryption
+// phase (Section 4.1).
+func (s *SPECU) Write(addr uint64, data []byte) error {
+	if !s.hasKey {
+		return fmt.Errorf("core: SPECU has no key (powered down?)")
+	}
+	b, err := s.block(addr)
+	if err != nil {
+		return err
+	}
+	if b.Encrypted() {
+		// Overwrite: the stale ciphertext is simply reprogrammed.
+		if err := b.Decrypt(s.key, addr); err != nil {
+			return err
+		}
+	}
+	if err := b.WritePlain(data); err != nil {
+		return err
+	}
+	return b.Encrypt(s.key, addr)
+}
+
+// Read returns the plaintext of the block at addr. In Parallel mode the
+// block is re-encrypted immediately; in Serial mode it stays decrypted
+// until written back or EncryptPending is called.
+func (s *SPECU) Read(addr uint64) ([]byte, error) {
+	if !s.hasKey {
+		return nil, fmt.Errorf("core: SPECU has no key (powered down?)")
+	}
+	b, ok := s.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("core: no block at %#x", addr)
+	}
+	if b.Encrypted() {
+		if err := b.Decrypt(s.key, addr); err != nil {
+			return nil, err
+		}
+	}
+	data, err := b.ReadPlain()
+	if err != nil {
+		return nil, err
+	}
+	if s.mode == Parallel {
+		if err := b.Encrypt(s.key, addr); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// EncryptPending encrypts every currently-plaintext block (the Serial-mode
+// background timer, and the first step of power-down).
+func (s *SPECU) EncryptPending() error {
+	if !s.hasKey {
+		return fmt.Errorf("core: SPECU has no key")
+	}
+	for addr, b := range s.blocks {
+		if !b.Encrypted() {
+			if err := b.Encrypt(s.key, addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PlaintextBlocks counts blocks currently stored unencrypted.
+func (s *SPECU) PlaintextBlocks() int {
+	n := 0
+	for _, b := range s.blocks {
+		if !b.Encrypted() {
+			n++
+		}
+	}
+	return n
+}
+
+// Blocks returns the number of allocated blocks.
+func (s *SPECU) Blocks() int { return len(s.blocks) }
+
+// EncryptedFraction is the fraction of allocated blocks holding ciphertext.
+func (s *SPECU) EncryptedFraction() float64 {
+	if len(s.blocks) == 0 {
+		return 1
+	}
+	return 1 - float64(s.PlaintextBlocks())/float64(len(s.blocks))
+}
+
+// Steal returns the raw stored bits at addr without any key — the attacker
+// operation of Attack 1. It fails only if the address was never written.
+func (s *SPECU) Steal(addr uint64) ([]byte, error) {
+	b, ok := s.blocks[addr]
+	if !ok {
+		return nil, fmt.Errorf("core: no block at %#x", addr)
+	}
+	return b.ReadRaw(), nil
+}

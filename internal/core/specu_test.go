@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"snvmm/internal/prng"
+)
+
+func TestSPECULifecycle(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Parallel)
+	key := prng.NewKey(0xAAA, 0xBBB)
+
+	if _, err := s.Read(0); err == nil {
+		t.Error("read without key should fail")
+	}
+	s.PowerOn(key)
+	if !s.HasKey() {
+		t.Error("HasKey false after PowerOn")
+	}
+	data := make([]byte, BlockSize)
+	copy(data, []byte("password: hunter2"))
+	if err := s.Write(0x40, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read-back mismatch")
+	}
+	// In parallel mode memory is always fully encrypted.
+	if f := s.EncryptedFraction(); f != 1 {
+		t.Errorf("encrypted fraction %g, want 1", f)
+	}
+	// Power down, then up with the same key: instant-on.
+	if err := s.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasKey() {
+		t.Error("key survives power-off")
+	}
+	s.PowerOn(key)
+	got, err = s.Read(0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data lost across power cycle")
+	}
+}
+
+func TestSPECUStolenCiphertext(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Parallel)
+	key := prng.NewKey(7, 8)
+	s.PowerOn(key)
+	secret := make([]byte, BlockSize)
+	copy(secret, []byte("TOP-SECRET-KEY-MATERIAL"))
+	if err := s.Write(0x80, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	// Attack 1: attacker dumps the NVMM after power down.
+	dump, err := s.Steal(0x80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(dump, secret) {
+		t.Error("stolen dump equals plaintext")
+	}
+	if bytes.Contains(dump, []byte("SECRET")) {
+		t.Error("plaintext fragment visible in dump")
+	}
+	if _, err := s.Steal(0x999); err == nil {
+		t.Error("stealing unwritten address should fail")
+	}
+}
+
+func TestSPECUSerialModeWindow(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Serial)
+	key := prng.NewKey(100, 200)
+	s.PowerOn(key)
+	for addr := uint64(0); addr < 4; addr++ {
+		if err := s.Write(addr*64, make([]byte, BlockSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial reads leave blocks decrypted.
+	if _, err := s.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlaintextBlocks(); got != 2 {
+		t.Errorf("plaintext blocks = %d, want 2", got)
+	}
+	if f := s.EncryptedFraction(); f != 0.5 {
+		t.Errorf("encrypted fraction = %g, want 0.5", f)
+	}
+	// Background timer re-encrypts.
+	if err := s.EncryptPending(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlaintextBlocks(); got != 0 {
+		t.Errorf("plaintext blocks after flush = %d", got)
+	}
+	// Power-off flushes any stragglers and still round-trips.
+	if _, err := s.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PlaintextBlocks(); got != 0 {
+		t.Errorf("plaintext blocks after power-off = %d", got)
+	}
+}
+
+func TestSPECUOverwrite(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Parallel)
+	key := prng.NewKey(1, 1)
+	s.PowerOn(key)
+	a := make([]byte, BlockSize)
+	a[0] = 1
+	b := make([]byte, BlockSize)
+	b[0] = 2
+	if err := s.Write(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(0, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, b) {
+		t.Error("overwrite lost")
+	}
+	if s.Blocks() != 1 {
+		t.Errorf("blocks = %d, want 1", s.Blocks())
+	}
+}
+
+func TestSPECUWriteWithoutKey(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Serial)
+	if err := s.Write(0, make([]byte, BlockSize)); err == nil {
+		t.Error("write without key should fail")
+	}
+	if err := s.EncryptPending(); err == nil {
+		t.Error("EncryptPending without key should fail")
+	}
+}
+
+func TestSPECUEncryptedFractionEmpty(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Serial)
+	if f := s.EncryptedFraction(); f != 1 {
+		t.Errorf("empty device fraction = %g, want 1", f)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Serial.String() != "SPE-serial" || Parallel.String() != "SPE-parallel" {
+		t.Error("mode strings wrong")
+	}
+}
+
+// TestSPECUStateMachine drives the SPECU through a long random sequence of
+// operations, checking its observable behaviour against a plain map model.
+// This is the whole-device invariant: through any interleaving of writes,
+// reads, flushes and power cycles, reads return the last written data and
+// stolen dumps never equal plaintext.
+func TestSPECUStateMachine(t *testing.T) {
+	e := engineForTest(t)
+	rng := rand.New(rand.NewSource(99))
+	for _, mode := range []Mode{Serial, Parallel} {
+		s := NewSPECU(e, mode)
+		key := prng.NewKey(rng.Uint64(), rng.Uint64())
+		model := map[uint64][]byte{}
+		powered := false
+		addrs := []uint64{0, 64, 128, 192}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(10) {
+			case 0: // power on
+				if !powered {
+					s.PowerOn(key)
+					powered = true
+				}
+			case 1: // power off
+				if powered {
+					if err := s.PowerOff(); err != nil {
+						t.Fatal(err)
+					}
+					powered = false
+				}
+			case 2, 3, 4: // write
+				addr := addrs[rng.Intn(len(addrs))]
+				data := make([]byte, BlockSize)
+				rng.Read(data)
+				err := s.Write(addr, data)
+				if powered {
+					if err != nil {
+						t.Fatalf("op %d: write failed while powered: %v", op, err)
+					}
+					model[addr] = data
+				} else if err == nil {
+					t.Fatalf("op %d: write succeeded without key", op)
+				}
+			case 5, 6, 7: // read
+				addr := addrs[rng.Intn(len(addrs))]
+				got, err := s.Read(addr)
+				want, exists := model[addr]
+				switch {
+				case !powered:
+					if err == nil {
+						t.Fatalf("op %d: read succeeded without key", op)
+					}
+				case !exists:
+					if err == nil {
+						t.Fatalf("op %d: read of unwritten address succeeded", op)
+					}
+				default:
+					if err != nil {
+						t.Fatalf("op %d: read failed: %v", op, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("op %d: read mismatch at %#x", op, addr)
+					}
+				}
+			case 8: // background flush
+				if powered {
+					if err := s.EncryptPending(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 9: // steal: never returns current plaintext while encrypted
+				addr := addrs[rng.Intn(len(addrs))]
+				if want, ok := model[addr]; ok && !powered {
+					dump, err := s.Steal(addr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bytes.Equal(dump, want) {
+						t.Fatalf("op %d: powered-off dump equals plaintext", op)
+					}
+				}
+			}
+		}
+		// Final check: power on and verify every modelled block.
+		if !powered {
+			s.PowerOn(key)
+		}
+		for addr, want := range model {
+			got, err := s.Read(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mode %v: final state mismatch at %#x", mode, addr)
+			}
+		}
+	}
+}

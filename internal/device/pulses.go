@@ -1,0 +1,85 @@
+package device
+
+import "fmt"
+
+// The paper assumes the NVMM's programming circuitry can produce 32 distinct
+// pulses: 16 widths at each of +1 V and -1 V (Section 5.4). This file builds
+// that library from the TEAM parameters, pairing every encryption pulse with
+// its hysteresis-calibrated decryption pulse.
+
+// PulseVoltage is the programming voltage magnitude used by SPE.
+const PulseVoltage = 1.0
+
+// NumWidths is the number of distinct pulse widths per polarity.
+const NumWidths = 16
+
+// NumPulses is the total number of distinct pulses (widths x polarities).
+const NumPulses = 2 * NumWidths
+
+// LibraryEntry is one pulse in the SPE pulse library together with the
+// opposite-polarity pulse that undoes it (from the same starting band).
+type LibraryEntry struct {
+	Index int     // 0..NumPulses-1; index % NumWidths selects width, index / NumWidths selects polarity
+	Enc   Pulse   // the encryption pulse
+	Dec   Pulse   // calibrated decryption pulse
+	Shift float64 // state displacement produced by Enc from mid-range, in MLC levels
+}
+
+// WidthForShift returns the pulse width at voltage v that displaces the
+// state by `levels` MLC levels (levels may be fractional). It returns an
+// error if |v| does not exceed the drift threshold.
+func (p Params) WidthForShift(levels, v float64) (float64, error) {
+	d := p.drift(v)
+	if d == 0 {
+		return 0, fmt.Errorf("device: voltage %g below threshold, no drift", v)
+	}
+	if d < 0 {
+		d = -d
+	}
+	return (levels / Levels) / d, nil
+}
+
+// BuildPulseLibrary constructs the 32-pulse library. Widths are chosen so
+// pulse w (w = 0..15) displaces the state by (w+1)/4 of one MLC level band
+// scaled up to 4 levels: shift_w = (w+1) * 4.0/NumWidths levels, i.e. 0.25,
+// 0.5, ..., 4.0 levels. Decryption widths are calibrated by bisection from
+// mid-range so the KOn/KOff asymmetry is reflected in every entry.
+func BuildPulseLibrary(p Params) ([]LibraryEntry, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lib := make([]LibraryEntry, 0, NumPulses)
+	for pol := 0; pol < 2; pol++ {
+		v := PulseVoltage
+		if pol == 1 {
+			v = -PulseVoltage
+		}
+		for w := 0; w < NumWidths; w++ {
+			shift := float64(w+1) * float64(Levels) / float64(NumWidths)
+			width, err := p.WidthForShift(shift, v)
+			if err != nil {
+				return nil, err
+			}
+			enc := Pulse{Voltage: v, Width: width}
+			// Calibrate from a start state that leaves room in both
+			// directions for this shift, so bisection sees no clipping.
+			x0 := 0.5
+			if v > 0 {
+				x0 = clip01(0.5 - shift/(2*Levels))
+			} else {
+				x0 = clip01(0.5 + shift/(2*Levels))
+			}
+			decW, err := p.CalibrateDecryptWidth(x0, enc, 1e-9)
+			if err != nil {
+				return nil, fmt.Errorf("device: calibrating pulse %d: %w", pol*NumWidths+w, err)
+			}
+			lib = append(lib, LibraryEntry{
+				Index: pol*NumWidths + w,
+				Enc:   enc,
+				Dec:   Pulse{Voltage: -v, Width: decW},
+				Shift: shift,
+			})
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,282 @@
+// Package device models the metal-oxide memristor used as the NVMM storage
+// cell. The dynamics follow the TEAM (ThrEshold Adaptive Memristor) model of
+// Kvatinsky et al.: the internal state variable drifts only while the applied
+// voltage exceeds a polarity-dependent threshold, with asymmetric on/off rate
+// constants. The asymmetry produces the hysteresis the paper exploits in
+// Fig. 5 — the decryption pulse width differs from the encryption pulse
+// width.
+//
+// Cells are multi-level (MLC-2): two bits per cell, stored as four
+// resistance bands on the linear state-to-resistance map.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params holds the TEAM model and crossbar-relevant physical parameters of a
+// memristor cell. The defaults (see DefaultParams) are tuned so a +1 V,
+// 0.071 us pulse moves the state by exactly two MLC levels (logic 10 ->
+// logic 00, reaching ~172 kOhm) and the matching -1 V decrypt pulse is
+// ~0.015 us wide, reproducing Fig. 5.
+type Params struct {
+	ROn  float64 // resistance at state x = 0 (ohms)
+	ROff float64 // resistance at state x = 1 (ohms)
+
+	VtOff float64 // positive drift threshold (volts); v > VtOff increases x
+	VtOn  float64 // negative drift threshold (volts, < 0); v < VtOn decreases x
+
+	KOff float64 // positive-drift rate constant (1/s)
+	KOn  float64 // negative-drift rate constant (1/s)
+
+	AlphaOff float64 // positive-drift nonlinearity exponent
+	AlphaOn  float64 // negative-drift nonlinearity exponent
+}
+
+// DefaultParams returns the nominal cell used throughout the reproduction.
+func DefaultParams() Params {
+	return Params{
+		ROn:      10e3,
+		ROff:     195142.857, // makes R(7/8) = 172 kOhm, the Fig. 5 logic-00 point
+		VtOff:    0.75,
+		VtOn:     -0.75,
+		KOff:     2.1127e7,
+		KOn:      1.0e8,
+		AlphaOff: 1,
+		AlphaOn:  1,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.ROn <= 0 || p.ROff <= p.ROn:
+		return fmt.Errorf("device: need 0 < ROn < ROff, got ROn=%g ROff=%g", p.ROn, p.ROff)
+	case p.VtOff <= 0:
+		return fmt.Errorf("device: VtOff must be > 0, got %g", p.VtOff)
+	case p.VtOn >= 0:
+		return fmt.Errorf("device: VtOn must be < 0, got %g", p.VtOn)
+	case p.KOff <= 0 || p.KOn <= 0:
+		return fmt.Errorf("device: rate constants must be > 0")
+	case p.AlphaOff <= 0 || p.AlphaOn <= 0:
+		return fmt.Errorf("device: alpha exponents must be > 0")
+	}
+	return nil
+}
+
+// Vary returns a copy of p with every continuous parameter independently
+// perturbed by a uniform factor in [1-frac, 1+frac]. Thresholds keep their
+// sign. This implements the Monte-Carlo parametric variation study of
+// Section 5 and the hardware-avalanche data set of Section 6.1.
+func (p Params) Vary(rng *rand.Rand, frac float64) Params {
+	f := func(v float64) float64 { return v * (1 + frac*(2*rng.Float64()-1)) }
+	q := p
+	q.ROn = f(p.ROn)
+	q.ROff = f(p.ROff)
+	if q.ROff <= q.ROn {
+		q.ROff = q.ROn * 1.5
+	}
+	q.VtOff = f(p.VtOff)
+	q.VtOn = -f(-p.VtOn)
+	q.KOff = f(p.KOff)
+	q.KOn = f(p.KOn)
+	return q
+}
+
+// Cell is a single memristor with continuous internal state x in [0, 1].
+type Cell struct {
+	P Params
+	X float64 // internal state: 0 -> ROn, 1 -> ROff
+}
+
+// NewCell returns a cell with the given parameters, initialized to level 0.
+func NewCell(p Params) *Cell {
+	return &Cell{P: p, X: LevelCenter(0)}
+}
+
+// Resistance returns the cell's present resistance on the linear map
+// R(x) = ROn + (ROff-ROn) * x.
+func (c *Cell) Resistance() float64 {
+	return c.P.ROn + (c.P.ROff-c.P.ROn)*c.X
+}
+
+// Conductance returns 1/Resistance.
+func (c *Cell) Conductance() float64 { return 1 / c.Resistance() }
+
+// drift returns dx/dt for an applied voltage v under the TEAM model.
+func (p Params) drift(v float64) float64 {
+	switch {
+	case v > p.VtOff:
+		return p.KOff * math.Pow(v/p.VtOff-1, p.AlphaOff)
+	case v < p.VtOn:
+		return -p.KOn * math.Pow(v/p.VtOn-1, p.AlphaOn)
+	default:
+		return 0
+	}
+}
+
+// Pulse is a rectangular voltage pulse.
+type Pulse struct {
+	Voltage float64 // volts, signed
+	Width   float64 // seconds, > 0
+}
+
+// ApplyPulse integrates the state under a rectangular pulse using fixed-step
+// RK4 (the drift is state-independent inside the bounds, so this is exact up
+// to the clipping boundary, but RK4 keeps the integrator correct if a
+// window function is introduced). State is clipped to [0, 1].
+func (c *Cell) ApplyPulse(p Pulse) {
+	if p.Width <= 0 {
+		return
+	}
+	const steps = 64
+	dt := p.Width / steps
+	for i := 0; i < steps; i++ {
+		c.X = clip01(c.X + dt*c.P.drift(p.Voltage))
+	}
+}
+
+// StateAfter returns the state reached from x0 after the pulse, without
+// mutating any cell. Because TEAM drift is state-independent between the
+// clipping bounds, this closed form matches ApplyPulse.
+func (p Params) StateAfter(x0 float64, pl Pulse) float64 {
+	return clip01(x0 + pl.Width*p.drift(pl.Voltage))
+}
+
+func clip01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// MLC-2 levels. Level L in {0,1,2,3} occupies the band
+// [L/4, (L+1)/4) with center (2L+1)/8. Logic bits are the bitwise complement
+// of the level index so that logic 00 is the highest-resistance band,
+// matching Fig. 5 (logic 00 = 172 kOhm).
+const Levels = 4
+
+// LevelCenter returns the state-variable center of MLC level l.
+func LevelCenter(l int) float64 {
+	if l < 0 || l >= Levels {
+		panic(fmt.Sprintf("device: level %d out of range", l))
+	}
+	return (2*float64(l) + 1) / (2 * Levels)
+}
+
+// QuantizeLevel maps a continuous state to its MLC level.
+func QuantizeLevel(x float64) int {
+	l := int(clip01(x) * Levels)
+	if l == Levels {
+		l = Levels - 1
+	}
+	return l
+}
+
+// LevelBits returns the 2-bit logic value stored by level l (logic =
+// ^level & 3, so level 3 stores 00 and level 0 stores 11).
+func LevelBits(l int) uint8 {
+	if l < 0 || l >= Levels {
+		panic(fmt.Sprintf("device: level %d out of range", l))
+	}
+	return uint8(^l) & 0x3
+}
+
+// BitsLevel is the inverse of LevelBits.
+func BitsLevel(b uint8) int {
+	if b > 3 {
+		panic(fmt.Sprintf("device: bits %d out of range", b))
+	}
+	return int(^b) & 0x3
+}
+
+// WriteLevel programs the cell to the center of level l (an idealized write,
+// as performed by the crossbar write circuitry between encryptions).
+func (c *Cell) WriteLevel(l int) { c.X = LevelCenter(l) }
+
+// ReadLevel returns the quantized MLC level of the cell.
+func (c *Cell) ReadLevel() int { return QuantizeLevel(c.X) }
+
+// CalibrateDecryptWidth finds, by bisection on the integrated dynamics, the
+// width of an opposite-polarity pulse that returns a cell from the state
+// reached after enc back to x0 (within tol). This reproduces the Fig. 5
+// procedure: because KOn != KOff the decrypt width differs from the encrypt
+// width. It returns an error if enc does not move the state or if the
+// reverse pulse cannot reach x0 (e.g. the forward pulse clipped at a bound).
+func (p Params) CalibrateDecryptWidth(x0 float64, enc Pulse, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	x1 := p.StateAfter(x0, enc)
+	if x1 == x0 {
+		return 0, fmt.Errorf("device: encrypt pulse %+v does not move state from %g", enc, x0)
+	}
+	rev := Pulse{Voltage: -enc.Voltage}
+	// Exponential search for an upper bracket.
+	hi := enc.Width
+	for i := 0; i < 60; i++ {
+		rev.Width = hi
+		if movedPast(x0, x1, p.StateAfter(x1, rev)) {
+			break
+		}
+		hi *= 2
+	}
+	rev.Width = hi
+	if !movedPast(x0, x1, p.StateAfter(x1, rev)) {
+		return 0, fmt.Errorf("device: reverse pulse cannot reach x0=%g from x1=%g", x0, x1)
+	}
+	lo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		rev.Width = mid
+		if movedPast(x0, x1, p.StateAfter(x1, rev)) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < tol*enc.Width {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// movedPast reports whether x has reached or passed x0 coming from x1.
+func movedPast(x0, x1, x float64) bool {
+	if x1 > x0 {
+		return x <= x0
+	}
+	return x >= x0
+}
+
+// IVPoint is one sample of a quasi-static current-voltage sweep.
+type IVPoint struct {
+	V float64 // applied voltage
+	I float64 // resulting current
+	X float64 // internal state at the sample
+}
+
+// IVSweep drives the cell with a sinusoidal voltage of the given amplitude
+// and period for the given number of cycles, sampling current at each
+// step. A memristor's signature is the pinched hysteresis loop: the I-V
+// trace always crosses the origin but encloses area whenever the state
+// moves within a cycle.
+func (c *Cell) IVSweep(amplitude, period float64, cycles, stepsPerCycle int) []IVPoint {
+	if cycles < 1 || stepsPerCycle < 4 || period <= 0 {
+		return nil
+	}
+	dt := period / float64(stepsPerCycle)
+	out := make([]IVPoint, 0, cycles*stepsPerCycle)
+	for i := 0; i < cycles*stepsPerCycle; i++ {
+		t := float64(i) * dt
+		v := amplitude * math.Sin(2*math.Pi*t/period)
+		c.X = clip01(c.X + dt*c.P.drift(v))
+		out = append(out, IVPoint{V: v, I: v / c.Resistance(), X: c.X})
+	}
+	return out
+}

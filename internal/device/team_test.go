@@ -1,0 +1,410 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := DefaultParams()
+	cases := []func(*Params){
+		func(p *Params) { p.ROn = -1 },
+		func(p *Params) { p.ROff = p.ROn / 2 },
+		func(p *Params) { p.VtOff = 0 },
+		func(p *Params) { p.VtOn = 0.5 },
+		func(p *Params) { p.KOff = 0 },
+		func(p *Params) { p.KOn = -1 },
+		func(p *Params) { p.AlphaOff = 0 },
+		func(p *Params) { p.AlphaOn = -2 },
+	}
+	for i, mut := range cases {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestThresholdBehaviour(t *testing.T) {
+	p := DefaultParams()
+	c := NewCell(p)
+	c.X = 0.5
+	// Sub-threshold voltages must not move the state (the Fig. 4 white
+	// cells).
+	for _, v := range []float64{0, 0.3, 0.74, -0.74, -0.5} {
+		before := c.X
+		c.ApplyPulse(Pulse{Voltage: v, Width: 1e-6})
+		if c.X != before {
+			t.Errorf("v=%g moved state %g -> %g", v, before, c.X)
+		}
+	}
+	// Above threshold the state must move in the right direction.
+	c.X = 0.5
+	c.ApplyPulse(Pulse{Voltage: 1, Width: 1e-8})
+	if c.X <= 0.5 {
+		t.Errorf("+1V pulse did not increase state: %g", c.X)
+	}
+	c.X = 0.5
+	c.ApplyPulse(Pulse{Voltage: -1, Width: 1e-8})
+	if c.X >= 0.5 {
+		t.Errorf("-1V pulse did not decrease state: %g", c.X)
+	}
+}
+
+func TestStateClipping(t *testing.T) {
+	p := DefaultParams()
+	c := NewCell(p)
+	c.X = 0.9
+	c.ApplyPulse(Pulse{Voltage: 1, Width: 1}) // absurdly long pulse
+	if c.X != 1 {
+		t.Errorf("state = %g, want clipped to 1", c.X)
+	}
+	c.ApplyPulse(Pulse{Voltage: -1, Width: 1})
+	if c.X != 0 {
+		t.Errorf("state = %g, want clipped to 0", c.X)
+	}
+}
+
+func TestStateAfterMatchesApplyPulse(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x0 := rng.Float64()
+		pl := Pulse{Voltage: 2*rng.Float64() - 1, Width: rng.Float64() * 1e-7}
+		c := NewCell(p)
+		c.X = x0
+		c.ApplyPulse(pl)
+		return math.Abs(c.X-p.StateAfter(x0, pl)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroWidthPulseNoop(t *testing.T) {
+	c := NewCell(DefaultParams())
+	c.X = 0.3
+	c.ApplyPulse(Pulse{Voltage: 1, Width: 0})
+	c.ApplyPulse(Pulse{Voltage: 1, Width: -1})
+	if c.X != 0.3 {
+		t.Errorf("state = %g, want 0.3", c.X)
+	}
+}
+
+func TestResistanceMap(t *testing.T) {
+	p := DefaultParams()
+	c := NewCell(p)
+	c.X = 0
+	if got := c.Resistance(); math.Abs(got-p.ROn) > 1e-9 {
+		t.Errorf("R(0) = %g, want ROn %g", got, p.ROn)
+	}
+	c.X = 1
+	if got := c.Resistance(); math.Abs(got-p.ROff) > 1e-9 {
+		t.Errorf("R(1) = %g, want ROff %g", got, p.ROff)
+	}
+	// The Fig. 5 anchor: logic 00 (level 3, x = 7/8) is ~172 kOhm.
+	c.X = LevelCenter(3)
+	if got := c.Resistance(); math.Abs(got-172e3) > 100 {
+		t.Errorf("R(level 3) = %g, want ~172k", got)
+	}
+	if g := c.Conductance(); math.Abs(g*c.Resistance()-1) > 1e-12 {
+		t.Error("conductance is not reciprocal of resistance")
+	}
+}
+
+func TestLevelRoundTrip(t *testing.T) {
+	for l := 0; l < Levels; l++ {
+		if got := QuantizeLevel(LevelCenter(l)); got != l {
+			t.Errorf("QuantizeLevel(center(%d)) = %d", l, got)
+		}
+		if got := BitsLevel(LevelBits(l)); got != l {
+			t.Errorf("BitsLevel(LevelBits(%d)) = %d", l, got)
+		}
+	}
+	// Boundary x=1 maps to the top level.
+	if got := QuantizeLevel(1); got != Levels-1 {
+		t.Errorf("QuantizeLevel(1) = %d", got)
+	}
+	if got := QuantizeLevel(0); got != 0 {
+		t.Errorf("QuantizeLevel(0) = %d", got)
+	}
+}
+
+func TestLevelBitsEncoding(t *testing.T) {
+	// Level 3 (highest resistance) stores logic 00; level 0 stores 11.
+	if LevelBits(3) != 0 {
+		t.Errorf("LevelBits(3) = %02b, want 00", LevelBits(3))
+	}
+	if LevelBits(0) != 3 {
+		t.Errorf("LevelBits(0) = %02b, want 11", LevelBits(0))
+	}
+	// All four logic values are distinct.
+	seen := map[uint8]bool{}
+	for l := 0; l < Levels; l++ {
+		b := LevelBits(l)
+		if seen[b] {
+			t.Errorf("duplicate bits %02b", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestLevelPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LevelCenter(-1) },
+		func() { LevelCenter(4) },
+		func() { LevelBits(5) },
+		func() { BitsLevel(7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCalibrateDecryptWidthFig5(t *testing.T) {
+	// The Fig. 5 anchor: encrypting logic 10 (level 1, x=3/8) with a +1 V,
+	// 0.071 us pulse lands at logic 00 (level 3, x=7/8, ~172 kOhm); the
+	// calibrated decrypt pulse is -1 V, ~0.015 us.
+	p := DefaultParams()
+	enc := Pulse{Voltage: 1, Width: 0.071e-6}
+	x0 := LevelCenter(1)
+	x1 := p.StateAfter(x0, enc)
+	if QuantizeLevel(x1) != 3 {
+		t.Fatalf("encrypt landed at level %d (x=%g), want 3", QuantizeLevel(x1), x1)
+	}
+	c := NewCell(p)
+	c.X = x1
+	if math.Abs(c.Resistance()-172e3) > 4e3 {
+		t.Errorf("encrypted resistance %g, want ~172k", c.Resistance())
+	}
+	decW, err := p.CalibrateDecryptWidth(x0, enc, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(decW-0.015e-6) > 0.002e-6 {
+		t.Errorf("decrypt width %g us, want ~0.015 us", decW*1e6)
+	}
+	// Applying the calibrated pulse restores the original level.
+	x2 := p.StateAfter(x1, Pulse{Voltage: -1, Width: decW})
+	if QuantizeLevel(x2) != 1 {
+		t.Errorf("decrypt landed at level %d, want 1", QuantizeLevel(x2))
+	}
+}
+
+func TestCalibrateDecryptWidthBothPolarities(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x0 := 0.2 + 0.6*rng.Float64()
+		v := 1.0
+		if rng.Intn(2) == 1 {
+			v = -1
+		}
+		// Keep the shift inside the bounds.
+		maxShift := 1 - x0
+		if v < 0 {
+			maxShift = x0
+		}
+		shift := maxShift * (0.1 + 0.8*rng.Float64())
+		w, err := p.WidthForShift(shift*Levels, v)
+		if err != nil {
+			return false
+		}
+		enc := Pulse{Voltage: v, Width: w}
+		decW, err := p.CalibrateDecryptWidth(x0, enc, 1e-9)
+		if err != nil {
+			return false
+		}
+		x1 := p.StateAfter(x0, enc)
+		x2 := p.StateAfter(x1, Pulse{Voltage: -v, Width: decW})
+		return math.Abs(x2-x0) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	p := DefaultParams()
+	// Sub-threshold pulse moves nothing.
+	if _, err := p.CalibrateDecryptWidth(0.5, Pulse{Voltage: 0.1, Width: 1e-6}, 0); err == nil {
+		t.Error("expected error for immobile pulse")
+	}
+}
+
+func TestHysteresisAsymmetry(t *testing.T) {
+	// KOn > KOff: a negative pulse of equal width moves the state farther
+	// than a positive one — that asymmetry is the paper's hysteresis.
+	p := DefaultParams()
+	up := p.StateAfter(0.5, Pulse{Voltage: 1, Width: 1e-8}) - 0.5
+	down := 0.5 - p.StateAfter(0.5, Pulse{Voltage: -1, Width: 1e-8})
+	if down <= up {
+		t.Errorf("expected |down| > |up|: up=%g down=%g", up, down)
+	}
+	ratio := down / up
+	if math.Abs(ratio-p.KOn/p.KOff) > 1e-6*ratio {
+		t.Errorf("asymmetry ratio %g, want KOn/KOff %g", ratio, p.KOn/p.KOff)
+	}
+}
+
+func TestVary(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		q := p.Vary(rng, 0.05)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("varied params invalid: %v", err)
+		}
+		if math.Abs(q.ROn-p.ROn) > 0.05*p.ROn+1e-9 {
+			t.Errorf("ROn varied too far: %g vs %g", q.ROn, p.ROn)
+		}
+		if q.VtOn >= 0 {
+			t.Errorf("VtOn lost sign: %g", q.VtOn)
+		}
+	}
+	// frac = 0 is the identity.
+	q := p.Vary(rng, 0)
+	if q != p {
+		t.Errorf("Vary(0) changed params: %+v vs %+v", q, p)
+	}
+}
+
+func TestBuildPulseLibrary(t *testing.T) {
+	lib, err := BuildPulseLibrary(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != NumPulses {
+		t.Fatalf("library size %d, want %d", len(lib), NumPulses)
+	}
+	p := DefaultParams()
+	for _, e := range lib {
+		if e.Enc.Width <= 0 || e.Dec.Width <= 0 {
+			t.Errorf("pulse %d: nonpositive width %+v", e.Index, e)
+		}
+		if e.Enc.Voltage*e.Dec.Voltage >= 0 {
+			t.Errorf("pulse %d: decrypt polarity not opposite", e.Index)
+		}
+		// Verify invertibility from a compatible start state.
+		x0 := 0.5
+		if e.Enc.Voltage > 0 {
+			x0 = 0.5 - e.Shift/(2*Levels)
+		} else {
+			x0 = 0.5 + e.Shift/(2*Levels)
+		}
+		x1 := p.StateAfter(x0, e.Enc)
+		x2 := p.StateAfter(x1, e.Dec)
+		if math.Abs(x2-x0) > 1e-4 {
+			t.Errorf("pulse %d: round trip %g -> %g -> %g", e.Index, x0, x1, x2)
+		}
+	}
+	// Positive-polarity decrypt widths must be shorter than encrypt widths
+	// (KOn > KOff), and vice versa.
+	for _, e := range lib[:NumWidths] {
+		if e.Dec.Width >= e.Enc.Width {
+			t.Errorf("pulse %d: dec width %g !< enc width %g", e.Index, e.Dec.Width, e.Enc.Width)
+		}
+	}
+	for _, e := range lib[NumWidths:] {
+		if e.Dec.Width <= e.Enc.Width {
+			t.Errorf("pulse %d: dec width %g !> enc width %g", e.Index, e.Dec.Width, e.Enc.Width)
+		}
+	}
+}
+
+func TestBuildPulseLibraryInvalidParams(t *testing.T) {
+	p := DefaultParams()
+	p.KOff = 0
+	if _, err := BuildPulseLibrary(p); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestWidthForShiftBelowThreshold(t *testing.T) {
+	p := DefaultParams()
+	if _, err := p.WidthForShift(1, 0.5); err == nil {
+		t.Error("expected error below threshold")
+	}
+}
+
+func TestIVSweepPinchedHysteresis(t *testing.T) {
+	p := DefaultParams()
+	c := NewCell(p)
+	c.X = 0.5
+	// Amplitude above threshold, period slow enough for full excursions.
+	pts := c.IVSweep(1.2, 2e-6, 2, 400)
+	if len(pts) != 800 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Pinched at the origin: whenever V ~ 0, I ~ 0.
+	for _, pt := range pts {
+		if math.Abs(pt.V) < 1e-3 && math.Abs(pt.I) > 1e-7 {
+			t.Fatalf("loop not pinched: V=%g I=%g", pt.V, pt.I)
+		}
+		if pt.X < 0 || pt.X > 1 {
+			t.Fatalf("state out of bounds: %g", pt.X)
+		}
+	}
+	// Hysteresis: the same voltage (e.g. +0.9 V) must be visited with at
+	// least two distinct currents within a cycle (different states on the
+	// up and down sweeps).
+	var currents []float64
+	for _, pt := range pts[:400] {
+		if math.Abs(pt.V-0.9) < 0.02 {
+			currents = append(currents, pt.I)
+		}
+	}
+	if len(currents) < 2 {
+		t.Fatal("sweep never sampled near +0.9 V")
+	}
+	minI, maxI := currents[0], currents[0]
+	for _, i := range currents {
+		if i < minI {
+			minI = i
+		}
+		if i > maxI {
+			maxI = i
+		}
+	}
+	if (maxI-minI)/maxI < 0.01 {
+		t.Errorf("no hysteresis at +0.9V: I in [%g, %g]", minI, maxI)
+	}
+}
+
+func TestIVSweepSubThresholdIsLinear(t *testing.T) {
+	// Below threshold the device is a fixed resistor: no state motion.
+	p := DefaultParams()
+	c := NewCell(p)
+	c.X = 0.5
+	pts := c.IVSweep(0.5, 1e-6, 1, 200)
+	for _, pt := range pts {
+		if pt.X != 0.5 {
+			t.Fatalf("sub-threshold sweep moved state to %g", pt.X)
+		}
+	}
+}
+
+func TestIVSweepValidation(t *testing.T) {
+	c := NewCell(DefaultParams())
+	if pts := c.IVSweep(1, 0, 1, 100); pts != nil {
+		t.Error("zero period accepted")
+	}
+	if pts := c.IVSweep(1, 1e-6, 0, 100); pts != nil {
+		t.Error("zero cycles accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package ecc implements the single-error-correct / double-error-detect
+// (SECDED) Hamming code the paper points to for mitigating environmental
+// upsets in the NVMM (Section 3, "Other Attacks": heat and radiation
+// effects "can be mitigated by error-correction codes"). The code is the
+// standard (72,64) extended Hamming construction applied per 64-bit word,
+// which is how commodity ECC memories protect lines.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrUncorrectable is returned when a double-bit (or worse) error is
+// detected.
+var ErrUncorrectable = errors.New("ecc: uncorrectable error detected")
+
+// CodewordBytes is the size of one encoded 64-bit word: 8 data bytes plus
+// 1 check byte (7 Hamming bits + overall parity).
+const CodewordBytes = 9
+
+// WordBytes is the data payload per codeword.
+const WordBytes = 8
+
+// hammingPositions maps each of the 64 data bits to its position in the
+// (127-truncated) Hamming codeword; positions that are powers of two hold
+// check bits. Built once at init.
+var dataPos [64]int
+
+func init() {
+	p := 1
+	idx := 0
+	for idx < 64 {
+		p++
+		if p&(p-1) == 0 {
+			continue // power of two: check position
+		}
+		dataPos[idx] = p
+		idx++
+	}
+}
+
+// syndromeOf computes the Hamming syndrome of the 64 data bits plus the 7
+// stored check bits.
+func syndromeOf(word uint64, check uint8) int {
+	syn := 0
+	for i := 0; i < 64; i++ {
+		if word>>uint(i)&1 == 1 {
+			syn ^= dataPos[i]
+		}
+	}
+	for b := 0; b < 7; b++ {
+		if check>>uint(b)&1 == 1 {
+			syn ^= 1 << uint(b)
+		}
+	}
+	return syn
+}
+
+// checkBitsOf derives the 7 Hamming check bits for a word.
+func checkBitsOf(word uint64) uint8 {
+	syn := 0
+	for i := 0; i < 64; i++ {
+		if word>>uint(i)&1 == 1 {
+			syn ^= dataPos[i]
+		}
+	}
+	return uint8(syn) & 0x7f
+}
+
+// parityOf computes the overall parity over data and check bits.
+func parityOf(word uint64, check uint8) uint8 {
+	p := bits.OnesCount64(word) + bits.OnesCount8(check&0x7f)
+	return uint8(p & 1)
+}
+
+// EncodeWord produces the 9-byte codeword for a 64-bit word.
+func EncodeWord(word uint64) [CodewordBytes]byte {
+	var out [CodewordBytes]byte
+	for i := 0; i < 8; i++ {
+		out[i] = byte(word >> uint(8*i))
+	}
+	check := checkBitsOf(word)
+	out[8] = check | parityOf(word, check)<<7
+	return out
+}
+
+// DecodeWord corrects up to one flipped bit anywhere in the codeword and
+// detects double errors. It returns the corrected word and the number of
+// corrected bits (0 or 1).
+func DecodeWord(cw [CodewordBytes]byte) (uint64, int, error) {
+	var word uint64
+	for i := 0; i < 8; i++ {
+		word |= uint64(cw[i]) << uint(8*i)
+	}
+	check := cw[8] & 0x7f
+	storedParity := cw[8] >> 7
+	syn := syndromeOf(word, check)
+	parityOK := parityOf(word, check) == storedParity
+	switch {
+	case syn == 0 && parityOK:
+		return word, 0, nil
+	case syn == 0 && !parityOK:
+		// The overall parity bit itself flipped.
+		return word, 1, nil
+	case syn != 0 && parityOK:
+		// Nonzero syndrome with even parity: double error.
+		return word, 0, ErrUncorrectable
+	default:
+		// Single error at position syn: correct it.
+		if syn&(syn-1) == 0 {
+			// A check bit flipped; data is intact.
+			return word, 1, nil
+		}
+		for i := 0; i < 64; i++ {
+			if dataPos[i] == syn {
+				return word ^ 1<<uint(i), 1, nil
+			}
+		}
+		return word, 0, fmt.Errorf("ecc: syndrome %d addresses no bit", syn)
+	}
+}
+
+// Encode protects a buffer (length must be a multiple of 8) word by word.
+func Encode(data []byte) ([]byte, error) {
+	if len(data)%WordBytes != 0 {
+		return nil, fmt.Errorf("ecc: data length %d not a multiple of %d", len(data), WordBytes)
+	}
+	out := make([]byte, 0, len(data)/WordBytes*CodewordBytes)
+	for i := 0; i < len(data); i += WordBytes {
+		var w uint64
+		for j := 0; j < WordBytes; j++ {
+			w |= uint64(data[i+j]) << uint(8*j)
+		}
+		cw := EncodeWord(w)
+		out = append(out, cw[:]...)
+	}
+	return out, nil
+}
+
+// Decode reverses Encode, correcting single-bit errors per codeword. It
+// returns the data and the total number of corrected bits.
+func Decode(enc []byte) ([]byte, int, error) {
+	if len(enc)%CodewordBytes != 0 {
+		return nil, 0, fmt.Errorf("ecc: encoded length %d not a multiple of %d", len(enc), CodewordBytes)
+	}
+	out := make([]byte, 0, len(enc)/CodewordBytes*WordBytes)
+	corrected := 0
+	for i := 0; i < len(enc); i += CodewordBytes {
+		var cw [CodewordBytes]byte
+		copy(cw[:], enc[i:i+CodewordBytes])
+		w, c, err := DecodeWord(cw)
+		if err != nil {
+			return nil, corrected, fmt.Errorf("ecc: word %d: %w", i/CodewordBytes, err)
+		}
+		corrected += c
+		for j := 0; j < WordBytes; j++ {
+			out = append(out, byte(w>>uint(8*j)))
+		}
+	}
+	return out, corrected, nil
+}

@@ -1,0 +1,132 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	f := func(w uint64) bool {
+		cw := EncodeWord(w)
+		got, c, err := DecodeWord(cw)
+		return err == nil && c == 0 && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleDataBitCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		w := rng.Uint64()
+		cw := EncodeWord(w)
+		bit := rng.Intn(64)
+		cw[bit/8] ^= 1 << uint(bit%8) // flip one data bit
+		got, c, err := DecodeWord(cw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c != 1 || got != w {
+			t.Fatalf("trial %d: bit %d not corrected (c=%d)", trial, bit, c)
+		}
+	}
+}
+
+func TestSingleCheckBitCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		w := rng.Uint64()
+		cw := EncodeWord(w)
+		bit := rng.Intn(8)
+		cw[8] ^= 1 << uint(bit) // flip a check or parity bit
+		got, c, err := DecodeWord(cw)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if c != 1 || got != w {
+			t.Fatalf("trial %d: check bit %d not handled", trial, bit)
+		}
+	}
+}
+
+func TestDoubleErrorDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	detected := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		w := rng.Uint64()
+		cw := EncodeWord(w)
+		b1 := rng.Intn(72)
+		b2 := rng.Intn(72)
+		for b2 == b1 {
+			b2 = rng.Intn(72)
+		}
+		cw[b1/8] ^= 1 << uint(b1%8)
+		cw[b2/8] ^= 1 << uint(b2%8)
+		got, _, err := DecodeWord(cw)
+		if err == ErrUncorrectable {
+			detected++
+		} else if err == nil && got != w {
+			t.Fatalf("trial %d: silent corruption", trial)
+		}
+	}
+	// SECDED detects all double errors.
+	if detected != trials {
+		t.Errorf("detected %d/%d double errors", detected, trials)
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(4)).Read(data)
+	enc, err := Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 64/8*9 {
+		t.Errorf("encoded length %d", len(enc))
+	}
+	got, c, err := Decode(enc)
+	if err != nil || c != 0 {
+		t.Fatalf("err=%v c=%d", err, c)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip failed")
+	}
+	// Scatter one error per codeword: all corrected.
+	for w := 0; w < len(enc)/9; w++ {
+		enc[w*9+w%9] ^= 1 << uint(w%8)
+	}
+	got, c, err = Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != len(enc)/9 {
+		t.Errorf("corrected %d, want %d", c, len(enc)/9)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("corrected data wrong")
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	if _, err := Encode(make([]byte, 7)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestDecodeReportsWordIndex(t *testing.T) {
+	data := make([]byte, 16)
+	enc, _ := Encode(data)
+	// Double error in the second codeword.
+	enc[9] ^= 0x03
+	if _, _, err := Decode(enc); err == nil {
+		t.Error("expected uncorrectable error")
+	}
+}

@@ -1,0 +1,228 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// ILPOptions configures the branch-and-bound search.
+type ILPOptions struct {
+	MaxNodes int     // 0 means 200000
+	Gap      float64 // absolute optimality gap for early stop; 0 = prove optimal
+	// IntegralObjective asserts every feasible 0/1 assignment has an
+	// integer objective value, allowing LP bounds to be rounded up —
+	// a large pruning win for covering problems.
+	IntegralObjective bool
+	// Incumbent, if non-nil, is a known-feasible 0/1 assignment used as
+	// the initial upper bound (e.g. from a greedy heuristic).
+	Incumbent []float64
+}
+
+// SolveILP solves the problem with all variables restricted to {0, 1} by
+// depth-first branch and bound over LP relaxations, branching on the most
+// fractional variable. Fixed variables are substituted out of the
+// relaxation rather than carried as constraints.
+func SolveILP(p *Problem, opt ILPOptions) (Solution, error) {
+	if err := p.validate(); err != nil {
+		return Solution{}, err
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	best := Solution{Status: Infeasible, Objective: math.Inf(1)}
+	if opt.Incumbent != nil {
+		if len(opt.Incumbent) != p.NumVars {
+			return Solution{}, fmt.Errorf("%w: incumbent length", ErrBadProblem)
+		}
+		if feasible(p, opt.Incumbent) {
+			best = Solution{Status: Optimal, X: append([]float64(nil), opt.Incumbent...), Objective: objValue(p, opt.Incumbent)}
+		}
+	}
+
+	type node struct {
+		fixVar []int // parallel slices: fixed variable indices and values
+		fixVal []float64
+	}
+	stack := []node{{}}
+	nodes := 0
+	for len(stack) > 0 && nodes < maxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		sub, offset := substitute(p, nd.fixVar, nd.fixVal)
+		if sub == nil { // fixing already violates a constraint
+			continue
+		}
+		rel, err := SolveLP(sub)
+		if err != nil {
+			return Solution{}, err
+		}
+		if rel.Status == Infeasible {
+			continue
+		}
+		if rel.Status != Optimal {
+			continue
+		}
+		bound := rel.Objective + offset
+		if opt.IntegralObjective {
+			bound = math.Ceil(bound - 1e-7)
+		}
+		if bound >= best.Objective-1e-7-opt.Gap {
+			continue
+		}
+		// Reconstruct full X and find most fractional free variable.
+		x := make([]float64, p.NumVars)
+		copy(x, rel.X)
+		for k, j := range nd.fixVar {
+			x[j] = nd.fixVal[k]
+		}
+		branch := -1
+		bestFrac := -1.0
+		for j, v := range x {
+			f := math.Abs(v - math.Round(v))
+			if f > 1e-6 {
+				// Prefer the variable closest to 0.5.
+				score := 0.5 - math.Abs(f-0.5)
+				if score > bestFrac {
+					bestFrac = score
+					branch = j
+				}
+			}
+		}
+		if branch < 0 {
+			for j := range x {
+				x[j] = math.Round(x[j])
+			}
+			if feasible(p, x) {
+				obj := objValue(p, x)
+				if obj < best.Objective {
+					best = Solution{Status: Optimal, X: x, Objective: obj}
+				}
+			}
+			continue
+		}
+		// Depth-first; explore x=1 first (progress toward coverage) unless
+		// the relaxation leans strongly to 0.
+		first, second := 1.0, 0.0
+		if x[branch] < 0.3 {
+			first, second = 0.0, 1.0
+		}
+		mk := func(v float64) node {
+			return node{
+				fixVar: append(append([]int(nil), nd.fixVar...), branch),
+				fixVal: append(append([]float64(nil), nd.fixVal...), v),
+			}
+		}
+		stack = append(stack, mk(second), mk(first))
+	}
+	if best.Status != Optimal {
+		if nodes >= maxNodes {
+			return Solution{Status: LimitReached}, nil
+		}
+		return Solution{Status: Infeasible}, nil
+	}
+	if nodes >= maxNodes {
+		best.Status = LimitReached // best known, optimality unproven
+	}
+	return best, nil
+}
+
+// substitute builds the reduced problem with the fixed variables eliminated:
+// their contribution moves into constraint RHS values and the returned
+// objective offset. Variables keep their indices; fixed ones get UB 0 and
+// zero objective/constraint coefficients. Returns nil if a constraint is
+// already unsatisfiable with every free variable at its most favourable
+// bound (quick infeasibility check is left to the LP; nil only for empty
+// rows that fail).
+func substitute(p *Problem, fixVar []int, fixVal []float64) (*Problem, float64) {
+	isFixed := make(map[int]float64, len(fixVar))
+	for k, j := range fixVar {
+		isFixed[j] = fixVal[k]
+	}
+	q := &Problem{NumVars: p.NumVars, Objective: make([]float64, p.NumVars)}
+	offset := 0.0
+	for j, c := range p.Objective {
+		if v, ok := isFixed[j]; ok {
+			offset += c * v
+		} else {
+			q.Objective[j] = c
+		}
+	}
+	q.UB = make([]float64, p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		if _, ok := isFixed[j]; ok {
+			q.UB[j] = 0
+		} else {
+			q.UB[j] = p.ub(j)
+		}
+	}
+	for _, c := range p.Cons {
+		rhs := c.RHS
+		terms := make([]Term, 0, len(c.Terms))
+		for _, t := range c.Terms {
+			if v, ok := isFixed[t.Var]; ok {
+				rhs -= t.Coef * v
+			} else {
+				terms = append(terms, t)
+			}
+		}
+		if len(terms) == 0 {
+			switch c.Sense {
+			case LE:
+				if rhs < -1e-9 {
+					return nil, 0
+				}
+			case GE:
+				if rhs > 1e-9 {
+					return nil, 0
+				}
+			case EQ:
+				if math.Abs(rhs) > 1e-9 {
+					return nil, 0
+				}
+			}
+			continue
+		}
+		q.Cons = append(q.Cons, Constraint{Terms: terms, Sense: c.Sense, RHS: rhs})
+	}
+	return q, offset
+}
+
+// feasible checks a 0/1 assignment against all constraints.
+func feasible(p *Problem, x []float64) bool {
+	for _, c := range p.Cons {
+		s := 0.0
+		for _, t := range c.Terms {
+			s += t.Coef * x[t.Var]
+		}
+		switch c.Sense {
+		case LE:
+			if s > c.RHS+1e-6 {
+				return false
+			}
+		case GE:
+			if s < c.RHS-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(s-c.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	for j, v := range x {
+		if v < -1e-9 || v > p.ub(j)+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func objValue(p *Problem, x []float64) float64 {
+	s := 0.0
+	for j, c := range p.Objective {
+		s += c * x[j]
+	}
+	return s
+}

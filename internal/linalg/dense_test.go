@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(n int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewDense(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	// Diagonal dominance keeps the random systems well conditioned.
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func TestSolveDenseKnown(t *testing.T) {
+	// [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5].
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveDense(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Errorf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveDenseResidual(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 100} {
+		a := randMatrix(n, int64(n))
+		rng := rand.New(rand.NewSource(int64(n) + 1000))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		if res := Norm2(r); res > 1e-9 {
+			t.Errorf("n=%d: residual %g", n, res)
+		}
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	// Row 2 all zeros.
+	if _, err := Factor(a); err == nil {
+		t.Error("expected singular error")
+	}
+	// Duplicate rows.
+	b := NewDense(2, 2)
+	b.Set(0, 0, 1)
+	b.Set(0, 1, 2)
+	b.Set(1, 0, 1)
+	b.Set(1, 1, 2)
+	if _, err := Factor(b); err == nil {
+		t.Error("expected singular error for dependent rows")
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewDense(2, 3)); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-10) > 1e-12 {
+		t.Errorf("det = %g, want 10", d)
+	}
+	// Determinant sign flips when rows are swapped.
+	b := NewDense(2, 2)
+	b.Set(0, 0, 2)
+	b.Set(0, 1, 4)
+	b.Set(1, 0, 3)
+	b.Set(1, 1, 1)
+	g, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Det(); math.Abs(d+10) > 1e-12 {
+		t.Errorf("det = %g, want -10", d)
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero in leading position forces a pivot; the solve must still work.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveDense(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveWrongLength(t *testing.T) {
+	f, err := Factor(randMatrix(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestSolveLinearityQuick(t *testing.T) {
+	// Solving is linear: solve(b1) + solve(b2) == solve(b1+b2).
+	a := randMatrix(8, 99)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b1 := make([]float64, 8)
+		b2 := make([]float64, 8)
+		bs := make([]float64, 8)
+		for i := range b1 {
+			b1[i] = rng.NormFloat64()
+			b2[i] = rng.NormFloat64()
+			bs[i] = b1[i] + b2[i]
+		}
+		x1, _ := f.Solve(b1)
+		x2, _ := f.Solve(b2)
+		xs, _ := f.Solve(bs)
+		for i := range xs {
+			if math.Abs(xs[i]-x1[i]-x2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDense(2, 2).MulVec([]float64{1})
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is one (row, col, value) triplet used to assemble a sparse matrix.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix. Duplicate coordinates passed to
+// NewCSR are summed, which matches the stamp-accumulation style of MNA
+// assembly.
+type CSR struct {
+	N      int // square dimension
+	RowPtr []int
+	ColIdx []int
+	Val    []float64
+}
+
+// NewCSR builds an n x n CSR matrix from coordinate triplets, summing
+// duplicates.
+func NewCSR(n int, coords []Coord) *CSR {
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Row != coords[j].Row {
+			return coords[i].Row < coords[j].Row
+		}
+		return coords[i].Col < coords[j].Col
+	})
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < len(coords); {
+		r, c := coords[i].Row, coords[i].Col
+		if r < 0 || r >= n || c < 0 || c >= n {
+			panic(fmt.Sprintf("linalg: coord (%d,%d) out of range for n=%d", r, c, n))
+		}
+		v := 0.0
+		for i < len(coords) && coords[i].Row == r && coords[i].Col == c {
+			v += coords[i].Val
+			i++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, v)
+			m.RowPtr[r+1]++
+		}
+	}
+	for r := 0; r < n; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// MulVec computes y = m*x.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("linalg: CSR MulVec dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// Diag returns the diagonal entries of m (zeros where absent).
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.N)
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.ColIdx[k] == r {
+				d[r] = m.Val[k]
+			}
+		}
+	}
+	return d
+}
+
+// CGOptions configures the conjugate gradient solver.
+type CGOptions struct {
+	MaxIter int     // 0 means 10*N
+	Tol     float64 // relative residual tolerance; 0 means 1e-10
+}
+
+// CGResult reports convergence information from a CG solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ||b-Ax|| / ||b||
+	Converged  bool
+}
+
+// SolveCG solves A*x = b for symmetric positive-definite A using
+// Jacobi-preconditioned conjugate gradients. The returned x is the best
+// iterate; check CGResult.Converged.
+func SolveCG(a *CSR, b []float64, opt CGOptions) ([]float64, CGResult, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, CGResult{}, fmt.Errorf("linalg: SolveCG rhs length %d != %d", len(b), n)
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	normB := Norm2(b)
+	if normB == 0 {
+		return make([]float64, n), CGResult{Converged: true}, nil
+	}
+	// Jacobi preconditioner M = diag(A).
+	d := a.Diag()
+	for i, v := range d {
+		if v <= 0 {
+			return nil, CGResult{}, fmt.Errorf("linalg: SolveCG nonpositive diagonal %g at %d (matrix not SPD)", v, i)
+		}
+		d[i] = 1 / v
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = d[i] * r[i]
+	}
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+	rz := Dot(r, z)
+	res := CGResult{}
+	for it := 0; it < maxIter; it++ {
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return x, res, fmt.Errorf("linalg: SolveCG breakdown pAp=%g (matrix not SPD)", pap)
+		}
+		alpha := rz / pap
+		for i := 0; i < n; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res.Iterations = it + 1
+		res.Residual = Norm2(r) / normB
+		if res.Residual < tol {
+			res.Converged = true
+			return x, res, nil
+		}
+		for i := range z {
+			z[i] = d[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, res, nil
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|, a convenience for tests and
+// convergence checks.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewCSRSumsDuplicates(t *testing.T) {
+	m := NewCSR(2, []Coord{
+		{0, 0, 1}, {0, 0, 2}, {1, 1, 5}, {0, 1, -1},
+	})
+	x := []float64{1, 1}
+	y := make([]float64, 2)
+	m.MulVec(x, y)
+	if y[0] != 2 || y[1] != 5 { // (1+2)*1 + (-1)*1 = 2
+		t.Errorf("y = %v, want [2 5]", y)
+	}
+}
+
+func TestCSRDropsZeros(t *testing.T) {
+	m := NewCSR(2, []Coord{{0, 0, 1}, {0, 0, -1}, {1, 1, 3}})
+	if len(m.Val) != 1 {
+		t.Errorf("stored %d entries, want 1 (cancelled entries dropped)", len(m.Val))
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCSR(2, []Coord{{2, 0, 1}})
+}
+
+func TestCSRDiag(t *testing.T) {
+	m := NewCSR(3, []Coord{{0, 0, 4}, {1, 2, 7}, {2, 2, 9}})
+	d := m.Diag()
+	want := []float64{4, 0, 9}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("diag[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+// randSPD builds a random symmetric diagonally-dominant sparse matrix, which
+// is guaranteed SPD.
+func randSPD(n int, density float64, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	var coords []Coord
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				v := rng.Float64()*2 - 1
+				coords = append(coords, Coord{i, j, v}, Coord{j, i, v})
+				diag[i] += math.Abs(v)
+				diag[j] += math.Abs(v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{i, i, diag[i] + 1})
+	}
+	return NewCSR(n, coords)
+}
+
+func TestSolveCGMatchesDense(t *testing.T) {
+	for _, n := range []int{2, 10, 50} {
+		sp := randSPD(n, 0.3, int64(n))
+		// Convert to dense for reference solve.
+		dn := NewDense(n, n)
+		for r := 0; r < n; r++ {
+			for k := sp.RowPtr[r]; k < sp.RowPtr[r+1]; k++ {
+				dn.Set(r, sp.ColIdx[k], sp.Val[k])
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(n) * 7))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := SolveDense(dn, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, res, err := SolveCG(sp, b, CGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: CG did not converge (res %g)", n, res.Residual)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-7 {
+			t.Errorf("n=%d: CG vs dense max diff %g", n, d)
+		}
+	}
+}
+
+func TestSolveCGZeroRHS(t *testing.T) {
+	sp := randSPD(5, 0.5, 3)
+	x, res, err := SolveCG(sp, make([]float64, 5), CGOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("err=%v converged=%v", err, res.Converged)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Errorf("x = %v, want zeros", x)
+		}
+	}
+}
+
+func TestSolveCGNonSPDDiagonal(t *testing.T) {
+	m := NewCSR(2, []Coord{{0, 0, -1}, {1, 1, 1}})
+	if _, _, err := SolveCG(m, []float64{1, 1}, CGOptions{}); err == nil {
+		t.Error("expected error for nonpositive diagonal")
+	}
+}
+
+func TestSolveCGLengthMismatch(t *testing.T) {
+	m := randSPD(4, 0.5, 1)
+	if _, _, err := SolveCG(m, []float64{1}, CGOptions{}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestSolveCGLargeLaplacian(t *testing.T) {
+	// 1-D Laplacian with Dirichlet ends: classic SPD test. Solution of
+	// -u'' = 0 with u(0)=0, u(n+1)=1 is linear.
+	n := 200
+	var coords []Coord
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{i, i, 2})
+		if i > 0 {
+			coords = append(coords, Coord{i, i - 1, -1})
+		}
+		if i < n-1 {
+			coords = append(coords, Coord{i, i + 1, -1})
+		}
+	}
+	b[n-1] = 1 // boundary u(n+1)=1
+	m := NewCSR(n, coords)
+	x, res, err := SolveCG(m, b, CGOptions{MaxIter: 5000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i+1) / float64(n+1)
+		if math.Abs(x[i]-want) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package mem
+
+import "fmt"
+
+// EncryptionEngine is the hook an NVMM encryption scheme installs at the
+// memory interface (package secure implements the paper's five schemes).
+// All times are CPU cycles.
+type EncryptionEngine interface {
+	Name() string
+	// ReadDelay returns the extra read-path latency for the block at addr
+	// (data: cycles added before the data reaches the core; busy: further
+	// cycles the bank stays occupied, e.g. an immediate re-encryption that
+	// overlaps with returning the data) and lets the engine update its
+	// state (e.g. mark the block decrypted).
+	ReadDelay(addr uint64, now uint64) (data, busy uint64)
+	// WriteDelay returns the extra latency a block write adds to bank
+	// occupancy (encryption after the write phase).
+	WriteDelay(addr uint64, now uint64) uint64
+	// Tick lets the engine do background work (inert-page walkers,
+	// re-encryption timers).
+	Tick(now uint64)
+	// EncryptedFraction reports the fraction of touched memory currently
+	// held in ciphertext.
+	EncryptedFraction() float64
+	// PowerDown flushes engine state at power-off and returns the time
+	// (in cycles) needed to secure all remaining plaintext.
+	PowerDown(now uint64) uint64
+}
+
+// NVMMConfig times the main memory (Section 7: single-rank 800 MHz, 2 GB,
+// 8 devices; the CPU runs at 3.2 GHz so one memory cycle is 4 CPU cycles).
+type NVMMConfig struct {
+	Banks          int
+	RowHitCycles   uint64 // CPU cycles for a row-buffer hit
+	RowMissCycles  uint64 // CPU cycles for a row activation + access
+	RowBytes       uint64 // row-buffer reach per bank
+	CPUPerMemCycle uint64
+}
+
+// DefaultNVMMConfig mirrors the paper's platform.
+func DefaultNVMMConfig() NVMMConfig {
+	return NVMMConfig{
+		Banks:          8,
+		RowHitCycles:   200, // ~60 ns memristor row-buffer read at 3.2 GHz
+		RowMissCycles:  480, // ~150 ns array read: NVMM is slower than DRAM
+		RowBytes:       4096,
+		CPUPerMemCycle: 4,
+	}
+}
+
+// NVMM is the banked main-memory timing model with an encryption engine at
+// its interface.
+type NVMM struct {
+	cfg      NVMMConfig
+	engine   EncryptionEngine
+	bankBusy []uint64 // cycle until which each bank is busy
+	openRow  []uint64
+
+	Reads, Writes, RowHits uint64
+}
+
+// NewNVMM builds the memory model. engine may be nil (plaintext NVMM).
+func NewNVMM(cfg NVMMConfig, engine EncryptionEngine) (*NVMM, error) {
+	if cfg.Banks <= 0 || cfg.RowBytes == 0 || cfg.RowHitCycles == 0 || cfg.RowMissCycles < cfg.RowHitCycles {
+		return nil, fmt.Errorf("mem: invalid NVMM config %+v", cfg)
+	}
+	m := &NVMM{
+		cfg:      cfg,
+		engine:   engine,
+		bankBusy: make([]uint64, cfg.Banks),
+		openRow:  make([]uint64, cfg.Banks),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = ^uint64(0) // no row open
+	}
+	return m, nil
+}
+
+func (m *NVMM) bank(addr uint64) int {
+	return int(addr / m.cfg.RowBytes % uint64(m.cfg.Banks))
+}
+
+func (m *NVMM) row(addr uint64) uint64 {
+	return addr / (m.cfg.RowBytes * uint64(m.cfg.Banks))
+}
+
+// Read returns the cycle at which the block's data is available, modelling
+// bank conflicts, row-buffer locality and the encryption engine's read
+// path.
+func (m *NVMM) Read(addr uint64, now uint64) uint64 {
+	m.Reads++
+	b := m.bank(addr)
+	start := now
+	if m.bankBusy[b] > start {
+		start = m.bankBusy[b]
+	}
+	lat := m.cfg.RowMissCycles
+	if m.openRow[b] == m.row(addr) {
+		lat = m.cfg.RowHitCycles
+		m.RowHits++
+	}
+	m.openRow[b] = m.row(addr)
+	var busy uint64
+	if m.engine != nil {
+		var data uint64
+		data, busy = m.engine.ReadDelay(addr, start)
+		lat += data
+	}
+	done := start + lat
+	m.bankBusy[b] = done + busy
+	return done
+}
+
+// Write schedules a block write (posted: the caller does not wait, but the
+// bank is occupied; encryption-phase latency extends the occupancy).
+func (m *NVMM) Write(addr uint64, now uint64) {
+	m.Writes++
+	b := m.bank(addr)
+	start := now
+	if m.bankBusy[b] > start {
+		start = m.bankBusy[b]
+	}
+	lat := m.cfg.RowMissCycles
+	if m.openRow[b] == m.row(addr) {
+		lat = m.cfg.RowHitCycles
+		m.RowHits++
+	}
+	m.openRow[b] = m.row(addr)
+	if m.engine != nil {
+		lat += m.engine.WriteDelay(addr, start)
+	}
+	m.bankBusy[b] = start + lat
+}
+
+// Tick forwards background time to the engine.
+func (m *NVMM) Tick(now uint64) {
+	if m.engine != nil {
+		m.engine.Tick(now)
+	}
+}
+
+// Engine exposes the installed encryption engine (may be nil).
+func (m *NVMM) Engine() EncryptionEngine { return m.engine }
+
+// Hierarchy bundles L1I, L1D, the shared L2 and the NVMM.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	Mem          *NVMM
+}
+
+// DefaultHierarchy builds the Section 7 platform around the given engine.
+func DefaultHierarchy(engine EncryptionEngine) (*Hierarchy, error) {
+	l1i, err := NewCache(CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 4})
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 4})
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(CacheConfig{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, LatencyCycle: 16})
+	if err != nil {
+		return nil, err
+	}
+	nvmm, err := NewNVMM(DefaultNVMMConfig(), engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Mem: nvmm}, nil
+}
+
+// LoadLatency walks a data read through the hierarchy and returns the
+// cycle count until the data arrives at the core.
+func (h *Hierarchy) LoadLatency(addr uint64, now uint64) uint64 {
+	lat := uint64(h.L1D.Latency())
+	r1 := h.L1D.Access(addr, false)
+	if r1.Hit {
+		return lat
+	}
+	if r1.Writeback {
+		h.l2WriteBack(r1.WBAddr, now)
+	}
+	lat += uint64(h.L2.Latency())
+	r2 := h.L2.Access(addr, false)
+	if r2.Hit {
+		return lat
+	}
+	if r2.Writeback {
+		h.Mem.Write(r2.WBAddr, now+lat)
+	}
+	done := h.Mem.Read(addr, now+lat)
+	return done - now
+}
+
+// StoreAccess records a data write (write-allocate). Returns the latency
+// to ownership; the store itself retires through the store buffer.
+func (h *Hierarchy) StoreAccess(addr uint64, now uint64) uint64 {
+	lat := uint64(h.L1D.Latency())
+	r1 := h.L1D.Access(addr, true)
+	if r1.Hit {
+		return lat
+	}
+	if r1.Writeback {
+		h.l2WriteBack(r1.WBAddr, now)
+	}
+	lat += uint64(h.L2.Latency())
+	r2 := h.L2.Access(addr, false) // allocate clean in L2; dirt lives in L1D
+	if r2.Hit {
+		return lat
+	}
+	if r2.Writeback {
+		h.Mem.Write(r2.WBAddr, now+lat)
+	}
+	done := h.Mem.Read(addr, now+lat) // fetch-for-ownership
+	return done - now
+}
+
+// l2WriteBack pushes a dirty L1 line into L2, spilling to memory if L2
+// evicts a dirty victim.
+func (h *Hierarchy) l2WriteBack(addr uint64, now uint64) {
+	r := h.L2.Access(addr, true)
+	if !r.Hit && r.Writeback {
+		h.Mem.Write(r.WBAddr, now)
+	}
+}
+
+// FetchLatency walks an instruction fetch through L1I and the shared L2.
+func (h *Hierarchy) FetchLatency(pc uint64, now uint64) uint64 {
+	lat := uint64(h.L1I.Latency())
+	r1 := h.L1I.Access(pc, false)
+	if r1.Hit {
+		return lat
+	}
+	lat += uint64(h.L2.Latency())
+	r2 := h.L2.Access(pc, false)
+	if r2.Hit {
+		return lat
+	}
+	if r2.Writeback {
+		h.Mem.Write(r2.WBAddr, now+lat)
+	}
+	done := h.Mem.Read(pc, now+lat)
+	return done - now
+}
+
+// PowerDown models Section 6.4: flush all dirty cache lines to the NVMM
+// and let the engine secure the remainder. It returns the number of dirty
+// lines flushed and the total time in cycles the flush+encrypt takes.
+func (h *Hierarchy) PowerDown(now uint64) (dirtyLines int, cycles uint64) {
+	var last uint64 = now
+	for _, c := range []*Cache{h.L1D, h.L2} {
+		for _, addr := range c.Flush() {
+			dirtyLines++
+			h.Mem.Write(addr, now)
+		}
+	}
+	for _, busy := range h.Mem.bankBusy {
+		if busy > last {
+			last = busy
+		}
+	}
+	if h.Mem.engine != nil {
+		last += h.Mem.engine.PowerDown(last)
+	}
+	return dirtyLines, last - now
+}

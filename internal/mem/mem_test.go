@@ -1,0 +1,248 @@
+package mem
+
+import (
+	"testing"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func small(t *testing.T) *Cache {
+	return mustCache(t, CacheConfig{SizeBytes: 1024, Ways: 2, LineBytes: 64, LatencyCycle: 4})
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{SizeBytes: 1024, Ways: 3, LineBytes: 64}, // 1024/(3*64) not integral
+		{SizeBytes: 1536, Ways: 2, LineBytes: 64}, // 12 sets, not power of two
+		{SizeBytes: 1024, Ways: 2, LineBytes: 48}, // line not power of two
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := small(t)
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	if r := c.Access(0x1004, false); !r.Hit {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := small(t)                                   // 8 sets, 2 ways; set stride = 64*8 = 512
+	a, b, d := uint64(0), uint64(512), uint64(1024) // all map to set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(d, false) // evicts b
+	if r := c.Access(a, false); !r.Hit {
+		t.Error("a evicted despite being MRU")
+	}
+	if r := c.Access(b, false); r.Hit {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheWriteback(t *testing.T) {
+	c := small(t)
+	c.Access(0, true) // dirty
+	c.Access(512, false)
+	r := c.Access(1024, false) // evicts line 0 (dirty)
+	if !r.Writeback || r.WBAddr != 0 {
+		t.Errorf("expected writeback of addr 0, got %+v", r)
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := small(t)
+	c.Access(0, true)
+	c.Access(64, true)
+	c.Access(128, false)
+	if n := c.DirtyLines(); n != 2 {
+		t.Errorf("dirty = %d, want 2", n)
+	}
+	dirty := c.Flush()
+	if len(dirty) != 2 {
+		t.Errorf("flushed %d lines, want 2", len(dirty))
+	}
+	if n := c.DirtyLines(); n != 0 {
+		t.Errorf("dirty after flush = %d", n)
+	}
+	if r := c.Access(0, false); r.Hit {
+		t.Error("flush did not invalidate")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small(t)
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate nonzero")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if mr := c.MissRate(); mr != 0.5 {
+		t.Errorf("miss rate %g, want 0.5", mr)
+	}
+}
+
+func TestNVMMBankConflicts(t *testing.T) {
+	m, err := NewNVMM(DefaultNVMMConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two reads to the same bank serialize.
+	d1 := m.Read(0, 0)
+	d2 := m.Read(1<<20, 0) // different row, same bank 0 (RowBytes*Banks stride)
+	if d2 <= d1 {
+		t.Errorf("same-bank reads did not serialize: %d then %d", d1, d2)
+	}
+	// Reads to different banks proceed in parallel.
+	m2, _ := NewNVMM(DefaultNVMMConfig(), nil)
+	a := m2.Read(0, 0)
+	b := m2.Read(4096, 0) // next bank
+	if b > a+m2.cfg.RowMissCycles {
+		t.Errorf("different banks serialized: %d vs %d", a, b)
+	}
+}
+
+func TestNVMMRowBufferHit(t *testing.T) {
+	m, _ := NewNVMM(DefaultNVMMConfig(), nil)
+	d1 := m.Read(0, 0)
+	d2 := m.Read(64, d1) // same row
+	if d2-d1 != m.cfg.RowHitCycles {
+		t.Errorf("row hit latency %d, want %d", d2-d1, m.cfg.RowHitCycles)
+	}
+	if m.RowHits != 1 {
+		t.Errorf("row hits = %d", m.RowHits)
+	}
+}
+
+func TestNVMMInvalidConfig(t *testing.T) {
+	cfg := DefaultNVMMConfig()
+	cfg.Banks = 0
+	if _, err := NewNVMM(cfg, nil); err == nil {
+		t.Error("expected config error")
+	}
+}
+
+// fakeEngine counts calls and adds fixed delays.
+type fakeEngine struct {
+	readDelay, writeDelay uint64
+	reads, writes, ticks  int
+}
+
+func (f *fakeEngine) Name() string                                { return "fake" }
+func (f *fakeEngine) ReadDelay(addr, now uint64) (uint64, uint64) { f.reads++; return f.readDelay, 0 }
+func (f *fakeEngine) WriteDelay(addr, now uint64) uint64          { f.writes++; return f.writeDelay }
+func (f *fakeEngine) Tick(now uint64)                             { f.ticks++ }
+func (f *fakeEngine) EncryptedFraction() float64                  { return 1 }
+func (f *fakeEngine) PowerDown(now uint64) uint64                 { return 100 }
+
+func TestNVMMEngineHook(t *testing.T) {
+	eng := &fakeEngine{readDelay: 80, writeDelay: 80}
+	m, _ := NewNVMM(DefaultNVMMConfig(), eng)
+	base, _ := NewNVMM(DefaultNVMMConfig(), nil)
+	dEnc := m.Read(0, 0)
+	dPlain := base.Read(0, 0)
+	if dEnc-dPlain != 80 {
+		t.Errorf("engine read delay %d, want 80", dEnc-dPlain)
+	}
+	m.Write(64, dEnc)
+	if eng.writes != 1 {
+		t.Errorf("engine writes = %d", eng.writes)
+	}
+	m.Tick(100)
+	if eng.ticks != 1 {
+		t.Errorf("ticks = %d", eng.ticks)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := DefaultHierarchy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold load goes to memory.
+	cold := h.LoadLatency(0x10000, 0)
+	if cold < 4+16+120 {
+		t.Errorf("cold load latency %d too small", cold)
+	}
+	// Warm load hits L1.
+	warm := h.LoadLatency(0x10000, cold)
+	if warm != 4 {
+		t.Errorf("L1 hit latency %d, want 4", warm)
+	}
+	// L2 hit: evict from L1 by filling its set, then re-access.
+	// L1D: 32KB/8way/64B = 64 sets; set stride = 64*64 = 4096.
+	for i := 1; i <= 8; i++ {
+		h.LoadLatency(0x10000+uint64(i)*4096, 0)
+	}
+	l2hit := h.LoadLatency(0x10000, 0)
+	if l2hit != 4+16 {
+		t.Errorf("L2 hit latency %d, want 20", l2hit)
+	}
+}
+
+func TestHierarchyFetch(t *testing.T) {
+	h, _ := DefaultHierarchy(nil)
+	cold := h.FetchLatency(0x400000, 0)
+	if cold <= 20 {
+		t.Errorf("cold fetch latency %d too small", cold)
+	}
+	warm := h.FetchLatency(0x400000, cold)
+	if warm != 4 {
+		t.Errorf("warm fetch latency %d, want 4", warm)
+	}
+}
+
+func TestHierarchyPowerDown(t *testing.T) {
+	eng := &fakeEngine{}
+	h, _ := DefaultHierarchy(eng)
+	for i := 0; i < 32; i++ {
+		h.StoreAccess(uint64(i)*64, 0)
+	}
+	dirty, cycles := h.PowerDown(1000)
+	if dirty == 0 {
+		t.Error("no dirty lines flushed")
+	}
+	if cycles < 100 { // must at least include the engine's PowerDown time
+		t.Errorf("power-down cycles %d too small", cycles)
+	}
+	if h.L1D.DirtyLines() != 0 || h.L2.DirtyLines() != 0 {
+		t.Error("dirty lines remain after power-down")
+	}
+}
+
+func TestStoreAccessDirtiesL1(t *testing.T) {
+	h, _ := DefaultHierarchy(nil)
+	h.StoreAccess(0x2000, 0)
+	if h.L1D.DirtyLines() != 1 {
+		t.Errorf("dirty lines = %d, want 1", h.L1D.DirtyLines())
+	}
+	// Write-allocate: the subsequent load hits.
+	if lat := h.LoadLatency(0x2000, 100); lat != 4 {
+		t.Errorf("load after store latency %d, want 4", lat)
+	}
+}

@@ -1,0 +1,403 @@
+package nist
+
+import (
+	"fmt"
+
+	"snvmm/internal/core"
+	"snvmm/internal/prng"
+)
+
+// This file builds the paper's nine randomness data sets (Section 6.1).
+// Each data set is a collection of binary sequences assembled from SPE
+// block encryptions (128-bit blocks — one 8x8 MLC-2 crossbar). The paper
+// uses 150 sequences of 120 kbits each; DataSetSpec scales both down for
+// tractable runs while preserving every construction.
+
+// DataSetName enumerates the nine Table 2 columns.
+type DataSetName string
+
+const (
+	KeyAvalanche   DataSetName = "Avalanche-Key"
+	PTAvalanche    DataSetName = "Avalanche-PT"
+	HWAvalanche    DataSetName = "Avalanche-h/w"
+	PTCTCorr       DataSetName = "PT/CT-corr"
+	RandomPTKey    DataSetName = "Rnd-PT/CT"
+	LowDensityKey  DataSetName = "LowDen-Key"
+	LowDensityPT   DataSetName = "LowDen-PT"
+	HighDensityKey DataSetName = "HighDen-Key"
+	HighDensityPT  DataSetName = "HighDen-PT"
+)
+
+// AllDataSets lists the nine constructions in Table 2 column order.
+var AllDataSets = []DataSetName{
+	KeyAvalanche, PTAvalanche, HWAvalanche, PTCTCorr, RandomPTKey,
+	LowDensityKey, LowDensityPT, HighDensityKey, HighDensityPT,
+}
+
+// DataSetSpec sizes a data-set build.
+type DataSetSpec struct {
+	Sequences int // paper: 150
+	SeqBits   int // paper: 120000
+	Seed      int64
+}
+
+// DefaultSpec is a reduced load suitable for test runs.
+func DefaultSpec() DataSetSpec {
+	return DataSetSpec{Sequences: 10, SeqBits: 20000, Seed: 1}
+}
+
+// PaperSpec is the full Table 2 load.
+func PaperSpec() DataSetSpec {
+	return DataSetSpec{Sequences: 150, SeqBits: 120000, Seed: 1}
+}
+
+// blockBits is the SPE block size in bits.
+const blockBits = 128
+
+func bytesToBits(dst []uint8, src []byte) []uint8 {
+	for _, b := range src {
+		for i := 0; i < 8; i++ {
+			dst = append(dst, b>>uint(i)&1)
+		}
+	}
+	return dst
+}
+
+func xorBytes(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Builder generates data sets against one SPE engine.
+type Builder struct {
+	eng *Engine
+}
+
+// Engine aliases core.Engine for the builder API.
+type Engine = core.Engine
+
+// NewBuilder wraps an SPE engine.
+func NewBuilder(eng *Engine) *Builder { return &Builder{eng: eng} }
+
+// Build produces the sequences of the named data set.
+func (b *Builder) Build(name DataSetName, spec DataSetSpec) ([][]uint8, error) {
+	switch name {
+	case KeyAvalanche:
+		return b.keyAvalanche(spec)
+	case PTAvalanche:
+		return b.ptAvalanche(spec)
+	case HWAvalanche:
+		return b.hwAvalanche(spec)
+	case PTCTCorr:
+		return b.ptctCorr(spec)
+	case RandomPTKey:
+		return b.randomPTKey(spec)
+	case LowDensityKey:
+		return b.densityKey(spec, false)
+	case LowDensityPT:
+		return b.densityPT(spec, false)
+	case HighDensityKey:
+		return b.densityKey(spec, true)
+	case HighDensityPT:
+		return b.densityPT(spec, true)
+	default:
+		return nil, fmt.Errorf("nist: unknown data set %q", name)
+	}
+}
+
+// keyAvalanche: fixed all-zero plaintext; XOR the ciphertext under a random
+// key with the ciphertexts under single-bit-flipped keys.
+func (b *Builder) keyAvalanche(spec DataSetSpec) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed) * 77)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*1000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		pt := make([]byte, ciph.BlockBytes())
+		bits := make([]uint8, 0, spec.SeqBits)
+		bitIdx := 0
+		var key prng.Key
+		var base []byte
+		for len(bits) < spec.SeqBits {
+			if bitIdx%prng.KeyBits == 0 {
+				// A fresh random base key for each 88-flip sweep keeps
+				// the sequence aperiodic.
+				key = prng.NewKey(g.Uint64(), g.Uint64())
+				var err error
+				base, err = ciph.Encrypt(key, pt)
+				if err != nil {
+					return nil, err
+				}
+			}
+			ct, err := ciph.Encrypt(key.FlipBit(bitIdx%prng.KeyBits), pt)
+			if err != nil {
+				return nil, err
+			}
+			bits = bytesToBits(bits, xorBytes(base, ct))
+			bitIdx++
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// ptAvalanche: all-zero key; XOR ciphertexts of random plaintexts with the
+// ciphertexts of their single-bit-flipped variants.
+func (b *Builder) ptAvalanche(spec DataSetSpec) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed)*131 + 5)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	key := prng.NewKey(0, 0)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*2000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		bits := make([]uint8, 0, spec.SeqBits)
+		for len(bits) < spec.SeqBits {
+			pt := make([]byte, ciph.BlockBytes())
+			for i := range pt {
+				pt[i] = byte(g.Uint64())
+			}
+			base, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return nil, err
+			}
+			flip := g.Intn(blockBits)
+			pt[flip/8] ^= 1 << uint(flip%8)
+			ct, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return nil, err
+			}
+			bits = bytesToBits(bits, xorBytes(base, ct))
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// hwAvalanche: all-zero plaintext and key; perturb the crossbar's physical
+// parameters (5-10% in 0.5% steps, Section 6.1) and XOR the resulting
+// ciphertexts against the nominal device's.
+func (b *Builder) hwAvalanche(spec DataSetSpec) ([][]uint8, error) {
+	base, err := core.NewCipher(b.eng, spec.Seed*3000)
+	if err != nil {
+		return nil, err
+	}
+	key := prng.NewKey(0, 0)
+	pt := make([]byte, base.BlockBytes())
+	baseCT, err := base.Encrypt(key, pt)
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		bits := make([]uint8, 0, spec.SeqBits)
+		step := 0
+		for len(bits) < spec.SeqBits {
+			frac := 0.05 + 0.005*float64(step%11) // 5% .. 10% in 0.5% steps
+			p := b.eng.P
+			p.Xbar.VarFrac = frac
+			p.PoEs = b.eng.Placement // reuse placement; hardware change is device-level
+			pertEng, err := core.NewEngine(p)
+			if err != nil {
+				return nil, err
+			}
+			pert, err := core.NewCipher(pertEng, spec.Seed*4000+int64(s)*97+int64(step))
+			if err != nil {
+				return nil, err
+			}
+			ct, err := pert.Encrypt(key, pt)
+			if err != nil {
+				return nil, err
+			}
+			bits = bytesToBits(bits, xorBytes(baseCT, ct))
+			step++
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// ptctCorr: concatenate PT XOR CT over random plaintexts under one random
+// key per sequence.
+func (b *Builder) ptctCorr(spec DataSetSpec) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed)*191 + 3)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*5000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		key := prng.NewKey(g.Uint64(), g.Uint64())
+		bits := make([]uint8, 0, spec.SeqBits)
+		for len(bits) < spec.SeqBits {
+			pt := make([]byte, ciph.BlockBytes())
+			for i := range pt {
+				pt[i] = byte(g.Uint64())
+			}
+			ct, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return nil, err
+			}
+			bits = bytesToBits(bits, xorBytes(pt, ct))
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// randomPTKey: concatenated ciphertexts of random plaintexts under a random
+// key.
+func (b *Builder) randomPTKey(spec DataSetSpec) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed)*211 + 9)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*6000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		key := prng.NewKey(g.Uint64(), g.Uint64())
+		bits := make([]uint8, 0, spec.SeqBits)
+		for len(bits) < spec.SeqBits {
+			pt := make([]byte, ciph.BlockBytes())
+			for i := range pt {
+				pt[i] = byte(g.Uint64())
+			}
+			ct, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return nil, err
+			}
+			bits = bytesToBits(bits, ct)
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// densityPT: ciphertexts of low-density (or high-density) plaintext blocks:
+// the all-zero (all-one) block, all single-bit blocks, then two-bit blocks.
+func (b *Builder) densityPT(spec DataSetSpec, high bool) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed)*223 + 1)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*7000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		key := prng.NewKey(g.Uint64(), g.Uint64())
+		bits := make([]uint8, 0, spec.SeqBits)
+		emit := func(pt []byte) error {
+			if high {
+				for i := range pt {
+					pt[i] = ^pt[i]
+				}
+			}
+			ct, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return err
+			}
+			bits = bytesToBits(bits, ct)
+			return nil
+		}
+		// All-zero block, then single-one blocks, then two-one blocks.
+		if err := emit(make([]byte, ciph.BlockBytes())); err != nil {
+			return nil, err
+		}
+	outer:
+		for i := 0; i < blockBits && len(bits) < spec.SeqBits; i++ {
+			pt := make([]byte, ciph.BlockBytes())
+			pt[i/8] |= 1 << uint(i%8)
+			if err := emit(pt); err != nil {
+				return nil, err
+			}
+			for j := i + 1; j < blockBits; j++ {
+				if len(bits) >= spec.SeqBits {
+					break outer
+				}
+				pt2 := make([]byte, ciph.BlockBytes())
+				pt2[i/8] |= 1 << uint(i%8)
+				pt2[j/8] |= 1 << uint(j%8)
+				if err := emit(pt2); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(bits) < spec.SeqBits {
+			return nil, fmt.Errorf("nist: density-PT construction exhausted at %d bits", len(bits))
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}
+
+// densityKey: ciphertexts of a fixed random plaintext under low-density (or
+// high-density) keys: all-zero key, single-one keys, two-one keys.
+func (b *Builder) densityKey(spec DataSetSpec, high bool) ([][]uint8, error) {
+	g := prng.NewGen(uint64(spec.Seed)*227 + 8)
+	seqs := make([][]uint8, 0, spec.Sequences)
+	for s := 0; s < spec.Sequences; s++ {
+		ciph, err := core.NewCipher(b.eng, spec.Seed*8000+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		pt := make([]byte, ciph.BlockBytes())
+		for i := range pt {
+			pt[i] = byte(g.Uint64())
+		}
+		mk := func(kb []byte) (prng.Key, error) {
+			if high {
+				inv := make([]byte, len(kb))
+				for i := range kb {
+					inv[i] = ^kb[i]
+				}
+				kb = inv
+			}
+			return prng.KeyFromBytes(kb)
+		}
+		bits := make([]uint8, 0, spec.SeqBits)
+		emit := func(kb []byte) error {
+			key, err := mk(kb)
+			if err != nil {
+				return err
+			}
+			ct, err := ciph.Encrypt(key, pt)
+			if err != nil {
+				return err
+			}
+			bits = bytesToBits(bits, ct)
+			return nil
+		}
+		if err := emit(make([]byte, prng.KeyBits/8)); err != nil {
+			return nil, err
+		}
+	outer:
+		for i := 0; i < prng.KeyBits && len(bits) < spec.SeqBits; i++ {
+			kb := make([]byte, prng.KeyBits/8)
+			kb[i/8] |= 1 << uint(7-i%8)
+			if err := emit(kb); err != nil {
+				return nil, err
+			}
+			for j := i + 1; j < prng.KeyBits; j++ {
+				if len(bits) >= spec.SeqBits {
+					break outer
+				}
+				kb2 := make([]byte, prng.KeyBits/8)
+				kb2[i/8] |= 1 << uint(7-i%8)
+				kb2[j/8] |= 1 << uint(7-j%8)
+				if err := emit(kb2); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(bits) < spec.SeqBits {
+			return nil, fmt.Errorf("nist: density-key construction exhausted at %d bits", len(bits))
+		}
+		seqs = append(seqs, bits[:spec.SeqBits])
+	}
+	return seqs, nil
+}

@@ -1,0 +1,692 @@
+// Package nist implements the fifteen statistical tests of NIST SP 800-22
+// (the suite the paper applies in Section 6.1 / Table 2) plus the paper's
+// nine data-set constructions. Each test converts a binary sequence into
+// one or more p-values; a sequence fails a test at significance alpha
+// (0.01 in the paper) if its representative p-value falls below alpha.
+package nist
+
+import (
+	"fmt"
+	"math"
+
+	"snvmm/internal/numeric"
+)
+
+// Alpha is the significance level used throughout Table 2.
+const Alpha = 0.01
+
+// Result is one test's outcome on one sequence.
+type Result struct {
+	Name       string
+	P          []float64 // one or more p-values
+	Applicable bool      // false when the sequence is too short / J too small
+}
+
+// Pass reports whether the sequence passes at the given significance level.
+// Inapplicable tests pass vacuously (they are excluded from Table 2 counts
+// by the caller if desired). For multi-p tests the representative
+// (first) p-value decides, matching how Table 2 reports one row per test.
+func (r Result) Pass(alpha float64) bool {
+	if !r.Applicable || len(r.P) == 0 {
+		return true
+	}
+	return r.P[0] >= alpha
+}
+
+func bitsToPM1(bits []uint8) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		out[i] = 2*float64(b) - 1
+	}
+	return out
+}
+
+// Frequency is the monobit test (SP 800-22 section 2.1).
+func Frequency(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "F-mono", Applicable: n >= 100}
+	s := 0
+	for _, b := range bits {
+		s += 2*int(b) - 1
+	}
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	r.P = []float64{numeric.Erfc(sObs / math.Sqrt2)}
+	return r
+}
+
+// BlockFrequency is the frequency-within-a-block test (2.2) with block
+// size M.
+func BlockFrequency(bits []uint8, M int) Result {
+	n := len(bits)
+	r := Result{Name: "F-block"}
+	if M <= 0 {
+		M = 128
+	}
+	N := n / M
+	r.Applicable = N >= 1 && n >= 100
+	if !r.Applicable {
+		return r
+	}
+	chi := 0.0
+	for i := 0; i < N; i++ {
+		ones := 0
+		for j := 0; j < M; j++ {
+			ones += int(bits[i*M+j])
+		}
+		pi := float64(ones) / float64(M)
+		chi += (pi - 0.5) * (pi - 0.5)
+	}
+	chi *= 4 * float64(M)
+	r.P = []float64{numeric.Igamc(float64(N)/2, chi/2)}
+	return r
+}
+
+// Runs is the runs test (2.3).
+func Runs(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "Runs", Applicable: n >= 100}
+	if !r.Applicable {
+		return r
+	}
+	ones := 0
+	for _, b := range bits {
+		ones += int(b)
+	}
+	pi := float64(ones) / float64(n)
+	// Prerequisite frequency check.
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		r.P = []float64{0}
+		return r
+	}
+	v := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			v++
+		}
+	}
+	num := math.Abs(float64(v) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	r.P = []float64{numeric.Erfc(num / den)}
+	return r
+}
+
+// LongestRunOfOnes is test 2.4. Parameters auto-select on length.
+func LongestRunOfOnes(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "LRoO", Applicable: n >= 128}
+	if !r.Applicable {
+		return r
+	}
+	var m, k int
+	var vMin int
+	var pi []float64
+	switch {
+	case n < 6272:
+		m, k, vMin = 8, 3, 1
+		pi = []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	case n < 750000:
+		m, k, vMin = 128, 5, 4
+		pi = []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	default:
+		m, k, vMin = 10000, 6, 10
+		pi = []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}
+	}
+	N := n / m
+	counts := make([]int, k+1)
+	for i := 0; i < N; i++ {
+		longest, cur := 0, 0
+		for j := 0; j < m; j++ {
+			if bits[i*m+j] == 1 {
+				cur++
+				if cur > longest {
+					longest = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		cat := longest - vMin
+		if cat < 0 {
+			cat = 0
+		}
+		if cat > k {
+			cat = k
+		}
+		counts[cat]++
+	}
+	chi := 0.0
+	for i := 0; i <= k; i++ {
+		exp := float64(N) * pi[i]
+		d := float64(counts[i]) - exp
+		chi += d * d / exp
+	}
+	r.P = []float64{numeric.Igamc(float64(k)/2, chi/2)}
+	return r
+}
+
+// BinaryMatrixRank is test 2.5 over 32x32 matrices.
+func BinaryMatrixRank(bits []uint8) Result {
+	const M, Q = 32, 32
+	n := len(bits)
+	N := n / (M * Q)
+	r := Result{Name: "BMR", Applicable: N >= 38}
+	if !r.Applicable {
+		return r
+	}
+	// Asymptotic rank probabilities for 32x32 over GF(2).
+	const pFull, pM1 = 0.2888, 0.5776
+	pRest := 1 - pFull - pM1
+	var fFull, fM1, fRest int
+	for b := 0; b < N; b++ {
+		rank := numeric.GF2RankBits(bits[b*M*Q:(b+1)*M*Q], M)
+		switch rank {
+		case M:
+			fFull++
+		case M - 1:
+			fM1++
+		default:
+			fRest++
+		}
+	}
+	chi := sq(float64(fFull)-pFull*float64(N))/(pFull*float64(N)) +
+		sq(float64(fM1)-pM1*float64(N))/(pM1*float64(N)) +
+		sq(float64(fRest)-pRest*float64(N))/(pRest*float64(N))
+	r.P = []float64{math.Exp(-chi / 2)} // igamc(1, chi/2) = exp(-chi/2) for 2 df
+	return r
+}
+
+func sq(x float64) float64 { return x * x }
+
+// DFT is the discrete Fourier transform (spectral) test 2.6.
+func DFT(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "DFT", Applicable: n >= 1000}
+	if !r.Applicable {
+		return r
+	}
+	x := bitsToPM1(bits)
+	mod := numeric.DFTModulus(x)
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(n))
+	n0 := 0.95 * float64(n) / 2
+	n1 := 0
+	for k := 0; k < n/2; k++ {
+		if mod[k] < threshold {
+			n1++
+		}
+	}
+	d := (float64(n1) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	r.P = []float64{numeric.Erfc(math.Abs(d) / math.Sqrt2)}
+	return r
+}
+
+// NonOverlappingTemplate is test 2.7 for one m-bit aperiodic template.
+func NonOverlappingTemplate(bits []uint8, tpl []uint8) Result {
+	n := len(bits)
+	m := len(tpl)
+	r := Result{Name: "NOTM"}
+	const N = 8
+	M := n / N
+	r.Applicable = m >= 2 && M > m && n >= 100
+	if !r.Applicable {
+		return r
+	}
+	mu := float64(M-m+1) / math.Pow(2, float64(m))
+	sigma2 := float64(M) * (1/math.Pow(2, float64(m)) - float64(2*m-1)/math.Pow(2, float64(2*m)))
+	chi := 0.0
+	for b := 0; b < N; b++ {
+		block := bits[b*M : (b+1)*M]
+		w := 0
+		for i := 0; i <= M-m; {
+			if matchAt(block, tpl, i) {
+				w++
+				i += m // non-overlapping scan
+			} else {
+				i++
+			}
+		}
+		chi += sq(float64(w)-mu) / sigma2
+	}
+	r.P = []float64{numeric.Igamc(N/2.0, chi/2)}
+	return r
+}
+
+func matchAt(block, tpl []uint8, i int) bool {
+	for j, t := range tpl {
+		if block[i+j] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// defaultTemplate is the representative template used when the suite
+// reports one NOTM row (the first length-9 aperiodic template, 000000001).
+var defaultTemplate = []uint8{0, 0, 0, 0, 0, 0, 0, 0, 1}
+
+// OverlappingTemplate is test 2.8 with the all-ones 9-bit template.
+func OverlappingTemplate(bits []uint8) Result {
+	const m = 9
+	const M = 1032
+	const K = 5
+	n := len(bits)
+	N := n / M
+	r := Result{Name: "OTM", Applicable: N >= 1 && n >= 10320}
+	if !r.Applicable {
+		return r
+	}
+	pi := []float64{0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865}
+	counts := make([]int, K+1)
+	tpl := make([]uint8, m)
+	for i := range tpl {
+		tpl[i] = 1
+	}
+	for b := 0; b < N; b++ {
+		block := bits[b*M : (b+1)*M]
+		w := 0
+		for i := 0; i <= M-m; i++ {
+			if matchAt(block, tpl, i) {
+				w++
+			}
+		}
+		if w > K {
+			w = K
+		}
+		counts[w]++
+	}
+	chi := 0.0
+	for i := 0; i <= K; i++ {
+		exp := float64(N) * pi[i]
+		chi += sq(float64(counts[i])-exp) / exp
+	}
+	r.P = []float64{numeric.Igamc(K/2.0, chi/2)}
+	return r
+}
+
+// maurerParams maps register length L to the expected value and variance of
+// the universal statistic (Maurer 1992 / SP 800-22 table, extended down to
+// L=3 for short sequences).
+var maurerParams = map[int][2]float64{
+	3:  {2.4016068, 1.901},
+	4:  {3.3112247, 2.358},
+	5:  {4.2534266, 2.705},
+	6:  {5.2177052, 2.954},
+	7:  {6.1962507, 3.125},
+	8:  {7.1836656, 3.238},
+	9:  {8.1764248, 3.311},
+	10: {9.1723243, 3.356},
+	11: {10.170032, 3.384},
+	12: {11.168765, 3.401},
+	13: {12.168070, 3.410},
+	14: {13.167693, 3.416},
+	15: {14.167488, 3.419},
+	16: {15.167379, 3.421},
+}
+
+// MaurerUniversal is test 2.9. L auto-selects on sequence length per the
+// SP 800-22 rule n >= 1010 * 2^L * L.
+func MaurerUniversal(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "Maurer"}
+	L := 16
+	for ; L >= 3; L-- {
+		if n >= 1010*(1<<uint(L))*L {
+			break
+		}
+	}
+	if L < 3 {
+		return r // too short
+	}
+	Q := 10 * (1 << uint(L))
+	K := n/L - Q
+	if K < 1000 {
+		return r
+	}
+	r.Applicable = true
+	table := make([]int, 1<<uint(L))
+	block := func(i int) int {
+		v := 0
+		for j := 0; j < L; j++ {
+			v = v<<1 | int(bits[i*L+j])
+		}
+		return v
+	}
+	for i := 0; i < Q; i++ {
+		table[block(i)] = i + 1
+	}
+	sum := 0.0
+	for i := Q; i < Q+K; i++ {
+		v := block(i)
+		sum += math.Log2(float64(i + 1 - table[v]))
+		table[v] = i + 1
+	}
+	fn := sum / float64(K)
+	par := maurerParams[L]
+	c := 0.7 - 0.8/float64(L) + (4+32/float64(L))*math.Pow(float64(K), -3/float64(L))/15
+	sigma := c * math.Sqrt(par[1]/float64(K))
+	r.P = []float64{numeric.Erfc(math.Abs(fn-par[0]) / (math.Sqrt2 * sigma))}
+	return r
+}
+
+// LinearComplexity is test 2.10 with block length M=500.
+func LinearComplexity(bits []uint8) Result {
+	const M = 500
+	const K = 6
+	n := len(bits)
+	N := n / M
+	r := Result{Name: "Lin.Com", Applicable: N >= 20}
+	if !r.Applicable {
+		return r
+	}
+	pi := []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+	mu := float64(M)/2 + (9+math.Pow(-1, M+1))/36 - (float64(M)/3+2.0/9)/math.Pow(2, M)
+	counts := make([]int, K+1)
+	sign := 1.0
+	if M%2 == 1 {
+		sign = -1
+	}
+	for b := 0; b < N; b++ {
+		L := numeric.BerlekampMassey(bits[b*M : (b+1)*M])
+		T := sign*(float64(L)-mu) + 2.0/9
+		switch {
+		case T <= -2.5:
+			counts[0]++
+		case T <= -1.5:
+			counts[1]++
+		case T <= -0.5:
+			counts[2]++
+		case T <= 0.5:
+			counts[3]++
+		case T <= 1.5:
+			counts[4]++
+		case T <= 2.5:
+			counts[5]++
+		default:
+			counts[6]++
+		}
+	}
+	chi := 0.0
+	for i := 0; i <= K; i++ {
+		exp := float64(N) * pi[i]
+		chi += sq(float64(counts[i])-exp) / exp
+	}
+	r.P = []float64{numeric.Igamc(K/2.0, chi/2)}
+	return r
+}
+
+// psiSquared computes the psi^2_m statistic over cyclic overlapping m-bit
+// patterns (helper for Serial and ApproximateEntropy).
+func psiSquared(bits []uint8, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	n := len(bits)
+	counts := make([]int, 1<<uint(m))
+	mask := 1<<uint(m) - 1
+	v := 0
+	for i := 0; i < m-1; i++ {
+		v = v<<1 | int(bits[i])
+	}
+	for i := 0; i < n; i++ {
+		v = (v<<1 | int(bits[(i+m-1)%n])) & mask
+		counts[v]++
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += float64(c) * float64(c)
+	}
+	return sum*math.Pow(2, float64(m))/float64(n) - float64(n)
+}
+
+// Serial is test 2.11 with pattern length m; it yields two p-values.
+func Serial(bits []uint8, m int) Result {
+	n := len(bits)
+	r := Result{Name: "Ser.Com"}
+	if m <= 0 {
+		m = 5
+	}
+	r.Applicable = m >= 2 && n >= 1<<uint(m+2)
+	if !r.Applicable {
+		return r
+	}
+	p0 := psiSquared(bits, m)
+	p1 := psiSquared(bits, m-1)
+	p2 := psiSquared(bits, m-2)
+	d1 := p0 - p1
+	d2 := p0 - 2*p1 + p2
+	r.P = []float64{
+		numeric.Igamc(math.Pow(2, float64(m-2)), d1/2),
+		numeric.Igamc(math.Pow(2, float64(m-3)), d2/2),
+	}
+	return r
+}
+
+// ApproximateEntropy is test 2.12 with pattern length m.
+func ApproximateEntropy(bits []uint8, m int) Result {
+	n := len(bits)
+	r := Result{Name: "App.Ent"}
+	if m <= 0 {
+		m = 5
+	}
+	r.Applicable = n >= 1<<uint(m+3)
+	if !r.Applicable {
+		return r
+	}
+	phi := func(mm int) float64 {
+		counts := make([]int, 1<<uint(mm))
+		mask := 1<<uint(mm) - 1
+		v := 0
+		for i := 0; i < mm-1; i++ {
+			v = v<<1 | int(bits[i])
+		}
+		for i := 0; i < n; i++ {
+			v = (v<<1 | int(bits[(i+mm-1)%n])) & mask
+			counts[v]++
+		}
+		s := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				s += p * math.Log(p)
+			}
+		}
+		return s
+	}
+	apen := phi(m) - phi(m+1)
+	chi := 2 * float64(n) * (math.Ln2 - apen)
+	if chi < 0 {
+		chi = 0
+	}
+	r.P = []float64{numeric.Igamc(math.Pow(2, float64(m-1)), chi/2)}
+	return r
+}
+
+// CumulativeSums is test 2.13; two p-values (forward, backward).
+func CumulativeSums(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "Cusums", Applicable: n >= 100}
+	if !r.Applicable {
+		return r
+	}
+	p := func(reverse bool) float64 {
+		s, z := 0, 0
+		for i := 0; i < n; i++ {
+			idx := i
+			if reverse {
+				idx = n - 1 - i
+			}
+			s += 2*int(bits[idx]) - 1
+			if a := abs(s); a > z {
+				z = a
+			}
+		}
+		zf := float64(z)
+		nf := float64(n)
+		ratio := nf / zf
+		sum1 := 0.0
+		for k := int(math.Floor((-ratio + 1) / 4)); k <= int(math.Floor((ratio-1)/4)); k++ {
+			sum1 += numeric.NormalCDF((4*float64(k)+1)*zf/math.Sqrt(nf)) -
+				numeric.NormalCDF((4*float64(k)-1)*zf/math.Sqrt(nf))
+		}
+		sum2 := 0.0
+		for k := int(math.Floor((-ratio - 3) / 4)); k <= int(math.Floor((ratio-1)/4)); k++ {
+			sum2 += numeric.NormalCDF((4*float64(k)+3)*zf/math.Sqrt(nf)) -
+				numeric.NormalCDF((4*float64(k)+1)*zf/math.Sqrt(nf))
+		}
+		return 1 - sum1 + sum2
+	}
+	r.P = []float64{clamp01(p(false)), clamp01(p(true))}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// RandomExcursions is test 2.14; eight p-values (states -4..-1, 1..4), the
+// representative being state +1 (index 4).
+func RandomExcursions(bits []uint8) Result {
+	n := len(bits)
+	r := Result{Name: "Rnd.Ex"}
+	// Build the random walk and find cycles.
+	s := 0
+	walk := make([]int, n)
+	for i, b := range bits {
+		s += 2*int(b) - 1
+		walk[i] = s
+	}
+	// Cycles are maximal segments between zero crossings.
+	var cycles [][2]int
+	start := 0
+	for i, v := range walk {
+		if v == 0 {
+			cycles = append(cycles, [2]int{start, i})
+			start = i + 1
+		}
+	}
+	if start <= n-1 { // final partial cycle only if the walk ends off zero
+		cycles = append(cycles, [2]int{start, n - 1})
+	}
+	J := len(cycles)
+	r.Applicable = J >= 500
+	if !r.Applicable {
+		return r
+	}
+	states := []int{1, -1, 2, -2, 3, -3, 4, -4} // representative first
+	r.P = make([]float64, len(states))
+	for si, x := range states {
+		// counts[k] = number of cycles visiting state x exactly k times
+		// (k capped at 5).
+		counts := make([]int, 6)
+		for _, c := range cycles {
+			visits := 0
+			for i := c[0]; i <= c[1] && i < n; i++ {
+				if walk[i] == x {
+					visits++
+				}
+			}
+			if visits > 5 {
+				visits = 5
+			}
+			counts[visits]++
+		}
+		ax := float64(abs(x))
+		pi := make([]float64, 6)
+		pi[0] = 1 - 1/(2*ax)
+		for k := 1; k <= 4; k++ {
+			pi[k] = 1 / (4 * ax * ax) * math.Pow(1-1/(2*ax), float64(k-1))
+		}
+		pi[5] = 1 / (2 * ax) * math.Pow(1-1/(2*ax), 4)
+		chi := 0.0
+		for k := 0; k <= 5; k++ {
+			exp := float64(J) * pi[k]
+			chi += sq(float64(counts[k])-exp) / exp
+		}
+		r.P[si] = numeric.Igamc(2.5, chi/2)
+	}
+	return r
+}
+
+// RandomExcursionsVariant is test 2.15; eighteen p-values (states -9..9
+// excluding 0), the representative being state +1.
+func RandomExcursionsVariant(bits []uint8) Result {
+	r := Result{Name: "REV"}
+	s := 0
+	visits := map[int]int{}
+	J := 0
+	for _, b := range bits {
+		s += 2*int(b) - 1
+		if s == 0 {
+			J++
+		} else if s >= -9 && s <= 9 {
+			visits[s]++
+		}
+	}
+	J++ // final cycle
+	r.Applicable = J >= 500
+	if !r.Applicable {
+		return r
+	}
+	states := []int{1, -1}
+	for x := 2; x <= 9; x++ {
+		states = append(states, x, -x)
+	}
+	r.P = make([]float64, len(states))
+	for i, x := range states {
+		num := math.Abs(float64(visits[x]) - float64(J))
+		den := math.Sqrt(2 * float64(J) * (4*math.Abs(float64(x)) - 2))
+		r.P[i] = numeric.Erfc(num / den)
+	}
+	return r
+}
+
+// ErrShort is returned by Suite for sequences too short to test at all.
+var ErrShort = fmt.Errorf("nist: sequence too short")
+
+// NonOverlappingTemplateAll runs test 2.7 for every aperiodic template of
+// length m (148 templates at the standard m=9), as the full STS does. The
+// returned Result carries one p-value per template; Pass still judges by
+// the representative first entry, while callers wanting the full battery
+// can apply alpha across the slice.
+func NonOverlappingTemplateAll(bits []uint8, m int) Result {
+	r := Result{Name: "NOTM-all"}
+	templates := numeric.AperiodicTemplates(m)
+	if len(templates) == 0 {
+		return r
+	}
+	probe := NonOverlappingTemplate(bits, templates[0])
+	if !probe.Applicable {
+		return r
+	}
+	r.Applicable = true
+	r.P = make([]float64, 0, len(templates))
+	for _, tpl := range templates {
+		tr := NonOverlappingTemplate(bits, tpl)
+		r.P = append(r.P, tr.P[0])
+	}
+	return r
+}
+
+// FailingTemplates counts how many templates in a NOTM-all result fall
+// below alpha — the quantity STS reports as the per-template proportion.
+func FailingTemplates(r Result, alpha float64) int {
+	n := 0
+	for _, p := range r.P {
+		if p < alpha {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package numeric
+
+import "math"
+
+// FFT computes the in-place radix-2 Cooley–Tukey discrete Fourier transform
+// of x. The length of x must be a power of two; FFT panics otherwise. The
+// transform is unnormalized: X[k] = sum_n x[n] * exp(-2*pi*i*n*k/N).
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("numeric: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse discrete Fourier transform of x in place,
+// including the 1/N normalization. The length must be a power of two.
+func IFFT(x []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+	FFT(x)
+	inv := 1 / float64(n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+// DFT computes the discrete Fourier transform of x for arbitrary length
+// using the Bluestein chirp-Z algorithm (O(n log n)). For power-of-two
+// lengths it falls back to the radix-2 FFT directly. The input is not
+// modified; a new slice is returned.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		copy(out, x)
+		FFT(out)
+		return out
+	}
+	return bluestein(x)
+}
+
+// bluestein implements the chirp-Z transform: express the DFT as a
+// convolution and evaluate it with power-of-two FFTs.
+func bluestein(x []complex128) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n+1 {
+		m <<= 1
+	}
+	// chirp[k] = exp(-i*pi*k^2/n). Index k^2 mod 2n keeps the argument
+	// bounded and exact for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		bc := complex(real(chirp[k]), -imag(chirp[k])) // conj
+		b[k] = bc
+		if k > 0 {
+			b[m-k] = bc
+		}
+	}
+	FFT(a)
+	FFT(b)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	IFFT(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * chirp[k]
+	}
+	return out
+}
+
+// DFTModulus returns |X[k]| for k in [0, len(x)) of the DFT of the real
+// sequence x. This is the quantity the NIST spectral test thresholds.
+func DFTModulus(x []float64) []float64 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	X := DFT(cx)
+	out := make([]float64, len(X))
+	for i, v := range X {
+		out[i] = math.Hypot(real(v), imag(v))
+	}
+	return out
+}

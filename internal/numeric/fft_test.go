@@ -1,0 +1,130 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for i := 0; i < n; i++ {
+			ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			s += x[i] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randomComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randomComplex(n, int64(n))
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: FFT max err %g", n, e)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=6")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestIFFTInverts(t *testing.T) {
+	for _, n := range []int{2, 16, 128, 1024} {
+		x := randomComplex(n, int64(n)+7)
+		y := make([]complex128, n)
+		copy(y, x)
+		FFT(y)
+		IFFT(y)
+		if e := maxErr(x, y); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: IFFT(FFT(x)) err %g", n, e)
+		}
+	}
+}
+
+func TestBluesteinMatchesNaive(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 12, 100, 120} {
+		x := randomComplex(n, int64(n)*3)
+		want := naiveDFT(x)
+		got := DFT(x)
+		if e := maxErr(got, want); e > 1e-7*float64(n) {
+			t.Errorf("n=%d: Bluestein max err %g", n, e)
+		}
+	}
+}
+
+func TestDFTParseval(t *testing.T) {
+	// sum |x|^2 = (1/N) sum |X|^2.
+	for _, n := range []int{17, 64, 250} {
+		x := randomComplex(n, 99)
+		X := DFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-7*et {
+			t.Errorf("n=%d: Parseval mismatch time=%g freq=%g", n, et, ef)
+		}
+	}
+}
+
+func TestDFTModulusConstantSignal(t *testing.T) {
+	// DFT of all-ones: X[0]=n, rest 0.
+	n := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	mod := DFTModulus(x)
+	if math.Abs(mod[0]-float64(n)) > 1e-9 {
+		t.Errorf("mod[0] = %g, want %d", mod[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if mod[k] > 1e-9 {
+			t.Errorf("mod[%d] = %g, want 0", k, mod[k])
+		}
+	}
+}
+
+func TestDFTEmpty(t *testing.T) {
+	if got := DFT(nil); len(got) != 0 {
+		t.Errorf("DFT(nil) len = %d", len(got))
+	}
+	FFT(nil) // must not panic
+}

@@ -1,0 +1,99 @@
+package numeric
+
+// GF2Rank computes the rank over GF(2) of a binary matrix with rows
+// represented as bit-packed uint64 words. rows[i] holds the i-th row; cols is
+// the number of valid columns (bits) per row. Rows longer than 64 bits span
+// multiple words: rows[i] has ceil(cols/64) words, laid out least-significant
+// bit = column 0.
+//
+// The NIST binary matrix rank test uses 32x32 matrices, which fit in a single
+// word per row, but the implementation is generic so the crossbar address
+// scrambler can reuse it.
+func GF2Rank(rows [][]uint64, cols int) int {
+	if len(rows) == 0 || cols == 0 {
+		return 0
+	}
+	words := (cols + 63) / 64
+	m := make([][]uint64, len(rows))
+	for i, r := range rows {
+		cp := make([]uint64, words)
+		copy(cp, r)
+		m[i] = cp
+	}
+	rank := 0
+	for col := 0; col < cols && rank < len(m); col++ {
+		w, b := col/64, uint(col%64)
+		pivot := -1
+		for r := rank; r < len(m); r++ {
+			if m[r][w]>>b&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		for r := 0; r < len(m); r++ {
+			if r != rank && m[r][w]>>b&1 == 1 {
+				for k := 0; k < words; k++ {
+					m[r][k] ^= m[rank][k]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// GF2RankBits computes the GF(2) rank of an n x n binary matrix given as a
+// flat row-major bit slice (len(bits) == n*n). It packs the rows and calls
+// GF2Rank.
+func GF2RankBits(bits []uint8, n int) int {
+	words := (n + 63) / 64
+	rows := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		row := make([]uint64, words)
+		for j := 0; j < n; j++ {
+			if bits[i*n+j] != 0 {
+				row[j/64] |= 1 << uint(j%64)
+			}
+		}
+		rows[i] = row
+	}
+	return GF2Rank(rows, n)
+}
+
+// BerlekampMassey returns the linear complexity (length of the shortest LFSR
+// generating the sequence) of the binary sequence s over GF(2). This is the
+// core of the NIST linear complexity test.
+func BerlekampMassey(s []uint8) int {
+	n := len(s)
+	b := make([]uint8, n)
+	c := make([]uint8, n)
+	t := make([]uint8, n)
+	if n == 0 {
+		return 0
+	}
+	b[0], c[0] = 1, 1
+	L, m := 0, -1
+	for i := 0; i < n; i++ {
+		d := s[i]
+		for j := 1; j <= L; j++ {
+			d ^= c[j] & s[i-j]
+		}
+		if d == 1 {
+			copy(t, c)
+			shift := i - m
+			for j := 0; j+shift < n; j++ {
+				c[j+shift] ^= b[j]
+			}
+			if 2*L <= i {
+				L = i + 1 - L
+				m = i
+				copy(b, t)
+			}
+		}
+	}
+	return L
+}

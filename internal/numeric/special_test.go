@@ -1,0 +1,138 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (tol %g)", what, got, want, tol)
+	}
+}
+
+func TestIgamcKnownValues(t *testing.T) {
+	// Q(1, x) = exp(-x) exactly.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		almost(t, Igamc(1, x), math.Exp(-x), 1e-12, "Igamc(1,x)")
+	}
+	// Q(0.5, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 4, 9} {
+		almost(t, Igamc(0.5, x), math.Erfc(math.Sqrt(x)), 1e-12, "Igamc(0.5,x)")
+	}
+	// Q(2, x) = (1+x) exp(-x).
+	for _, x := range []float64{0.1, 1, 3, 8} {
+		almost(t, Igamc(2, x), (1+x)*math.Exp(-x), 1e-12, "Igamc(2,x)")
+	}
+}
+
+func TestIgamComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := rng.Float64()*20 + 0.05
+		x := rng.Float64() * 40
+		s := Igam(a, x) + Igamc(a, x)
+		almost(t, s, 1, 1e-10, "Igam+Igamc")
+	}
+}
+
+func TestIgamMonotone(t *testing.T) {
+	// P(a, x) is nondecreasing in x for fixed a.
+	for _, a := range []float64{0.3, 1, 2.5, 7} {
+		prev := -1.0
+		for x := 0.0; x <= 30; x += 0.25 {
+			p := Igam(a, x)
+			if p < prev-1e-12 {
+				t.Fatalf("Igam(%g,%g)=%g decreased from %g", a, x, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestIgamBoundaries(t *testing.T) {
+	if got := Igam(3, 0); got != 0 {
+		t.Errorf("Igam(3,0) = %g, want 0", got)
+	}
+	if got := Igamc(3, 0); got != 1 {
+		t.Errorf("Igamc(3,0) = %g, want 1", got)
+	}
+	if got := Igamc(2, 1000); got > 1e-300 {
+		t.Errorf("Igamc(2,1000) = %g, want ~0", got)
+	}
+}
+
+func TestIgamPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Igam(0, 1) },
+		func() { Igam(1, -1) },
+		func() { Igamc(-2, 1) },
+		func() { Igamc(1, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid domain")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	almost(t, NormalCDF(0), 0.5, 1e-15, "Phi(0)")
+	almost(t, NormalCDF(1.959963984540054), 0.975, 1e-9, "Phi(1.96)")
+	almost(t, NormalCDF(-1.959963984540054), 0.025, 1e-9, "Phi(-1.96)")
+	almost(t, NormalSF(1.2)+NormalCDF(1.2), 1, 1e-14, "SF+CDF")
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// df=2: SF(x) = exp(-x/2).
+	for _, x := range []float64{0.5, 2, 5, 10} {
+		almost(t, ChiSquareSF(x, 2), math.Exp(-x/2), 1e-12, "ChiSquareSF df=2")
+	}
+	// Median of chi-square with 1 df is ~0.4549.
+	almost(t, ChiSquareSF(0.454936, 1), 0.5, 1e-4, "ChiSquareSF median df=1")
+	if got := ChiSquareSF(-1, 4); got != 1 {
+		t.Errorf("ChiSquareSF(-1,4) = %g, want 1", got)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// P[Bin(10, 0.5) >= 0] = 1, >= 11 = 0.
+	if got := BinomialTail(10, 0.5, 0); got != 1 {
+		t.Errorf("tail k=0 = %g, want 1", got)
+	}
+	if got := BinomialTail(10, 0.5, 11); got != 0 {
+		t.Errorf("tail k>n = %g, want 0", got)
+	}
+	// P[Bin(2, 0.5) >= 1] = 0.75.
+	almost(t, BinomialTail(2, 0.5, 1), 0.75, 1e-12, "Bin(2,.5)>=1")
+	// P[Bin(4, 0.25) >= 4] = 0.25^4.
+	almost(t, BinomialTail(4, 0.25, 4), math.Pow(0.25, 4), 1e-12, "Bin(4,.25)>=4")
+}
+
+func TestBinomialTailQuick(t *testing.T) {
+	// Tail must be monotone nonincreasing in k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		p := rng.Float64()*0.9 + 0.05
+		prev := 1.0
+		for k := 0; k <= n+1; k++ {
+			v := BinomialTail(n, p, k)
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package numeric
+
+// AperiodicTemplates enumerates all aperiodic binary templates of length m.
+// A template B is aperiodic if no shift of B by 1..m-1 positions matches an
+// overlap of itself, i.e. B cannot occur twice in overlapping positions.
+// These are exactly the templates used by the NIST non-overlapping template
+// matching test (148 templates for m = 9).
+func AperiodicTemplates(m int) [][]uint8 {
+	if m <= 0 {
+		return nil
+	}
+	var out [][]uint8
+	total := 1 << uint(m)
+	for v := 0; v < total; v++ {
+		t := make([]uint8, m)
+		for i := 0; i < m; i++ {
+			t[i] = uint8(v >> uint(m-1-i) & 1)
+		}
+		if isAperiodic(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isAperiodic reports whether template t has no nontrivial self-overlap: for
+// every shift d in [1, m), the prefix of length m-d differs from the suffix
+// of length m-d.
+func isAperiodic(t []uint8) bool {
+	m := len(t)
+	for d := 1; d < m; d++ {
+		match := true
+		for i := 0; i < m-d; i++ {
+			if t[i] != t[i+d] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return false
+		}
+	}
+	return true
+}

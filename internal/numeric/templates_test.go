@@ -1,0 +1,59 @@
+package numeric
+
+import "testing"
+
+func TestAperiodicTemplateCounts(t *testing.T) {
+	// Known counts of aperiodic binary templates (NIST STS): m=2 -> 2,
+	// m=3 -> 4, m=4 -> 6, m=5 -> 12, m=9 -> 148.
+	want := map[int]int{1: 2, 2: 2, 3: 4, 4: 6, 5: 12, 9: 148}
+	for m, n := range want {
+		got := AperiodicTemplates(m)
+		if len(got) != n {
+			t.Errorf("m=%d: %d templates, want %d", m, len(got), n)
+		}
+	}
+}
+
+func TestAperiodicTemplatesAreAperiodic(t *testing.T) {
+	for _, tpl := range AperiodicTemplates(6) {
+		if !isAperiodic(tpl) {
+			t.Errorf("template %v reported aperiodic but is not", tpl)
+		}
+		if len(tpl) != 6 {
+			t.Errorf("template %v wrong length", tpl)
+		}
+	}
+}
+
+func TestAperiodicRejectsPeriodic(t *testing.T) {
+	for _, tpl := range [][]uint8{
+		{1, 1},          // 11 overlaps itself at shift 1
+		{1, 0, 1},       // 101 overlaps at shift 2
+		{1, 0, 1, 0},    // 1010 at shift 2
+		{1, 1, 1, 1, 1}, // all ones
+	} {
+		if isAperiodic(tpl) {
+			t.Errorf("template %v should be periodic", tpl)
+		}
+	}
+	for _, tpl := range [][]uint8{
+		{0, 1},
+		{0, 0, 1},
+		{0, 1, 1},
+		{0, 0, 0, 1},
+	} {
+		if !isAperiodic(tpl) {
+			t.Errorf("template %v should be aperiodic", tpl)
+		}
+	}
+}
+
+func TestAperiodicTemplatesEdge(t *testing.T) {
+	if got := AperiodicTemplates(0); got != nil {
+		t.Errorf("m=0 -> %v, want nil", got)
+	}
+	one := AperiodicTemplates(1)
+	if len(one) != 2 {
+		t.Errorf("m=1 -> %d templates, want 2 (0 and 1)", len(one))
+	}
+}

@@ -1,0 +1,162 @@
+// Package nvcache explores the paper's closing future-work direction:
+// "The advent of non-volatile caches calls for faster encryption methods.
+// Thus, extending SPE to consider high speed non-volatile cache memories
+// is an interesting direction."
+//
+// The model is an SPE-protected non-volatile L2: lines rest encrypted in
+// the memristor array, and a small volatile *decrypted line buffer* (DLB)
+// holds the plaintext of recently-used lines. A hit in the DLB costs the
+// plain cache latency; a hit in the encrypted array adds the SPE decrypt
+// pulses; misses go to the next level as usual. The DLB size is the knob
+// the future-work trades: larger buffers hide the decrypt latency but
+// enlarge the volatile attack surface at power-down — exactly the
+// serial-vs-parallel tension of Section 7 transplanted into the cache.
+package nvcache
+
+import (
+	"fmt"
+
+	"snvmm/internal/mem"
+)
+
+// Config describes an SPE-protected non-volatile cache.
+type Config struct {
+	Cache mem.CacheConfig
+	// DecryptCycles is the per-line SPE decrypt latency. Cache-class
+	// crossbars are small (one line = 4 crossbars as in main memory) but
+	// must be fast; the paper's question is how far this can shrink.
+	DecryptCycles int
+	// DLBLines is the decrypted-line-buffer capacity (0 = SPE-parallel
+	// style: every array hit pays the decrypt).
+	DLBLines int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.DecryptCycles < 0 || c.DLBLines < 0 {
+		return fmt.Errorf("nvcache: negative decrypt/DLB config")
+	}
+	return nil
+}
+
+// Cache is the non-volatile SPE cache model.
+type Cache struct {
+	cfg   Config
+	inner *mem.Cache
+	dlb   map[uint64]uint64 // line address -> last-use stamp
+	stamp uint64
+
+	ArrayHits  uint64 // hits that paid the decrypt latency
+	BufferHits uint64 // hits served from the DLB
+	Misses     uint64
+}
+
+// New builds the cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := mem.NewCache(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, inner: inner, dlb: make(map[uint64]uint64)}, nil
+}
+
+// lineAddr truncates to the line.
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.Cache.LineBytes-1)
+}
+
+// touchDLB inserts a line into the decrypted buffer, evicting (i.e.
+// re-encrypting in place) the least recently used entry when full.
+func (c *Cache) touchDLB(line uint64) {
+	if c.cfg.DLBLines == 0 {
+		return
+	}
+	c.stamp++
+	c.dlb[line] = c.stamp
+	if len(c.dlb) <= c.cfg.DLBLines {
+		return
+	}
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for l, s := range c.dlb {
+		if s < oldest {
+			oldest = s
+			victim = l
+		}
+	}
+	delete(c.dlb, victim)
+}
+
+// AccessResult reports one access.
+type AccessResult struct {
+	Hit       bool
+	Latency   uint64 // cycles to data (excluding lower levels on miss)
+	Writeback bool
+	WBAddr    uint64
+}
+
+// Access performs a cache access. On an array hit of an encrypted line the
+// SPE decrypt latency is added and the line enters the DLB.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	line := c.lineAddr(addr)
+	r := c.inner.Access(addr, write)
+	out := AccessResult{Hit: r.Hit, Writeback: r.Writeback, WBAddr: r.WBAddr}
+	lat := uint64(c.cfg.Cache.LatencyCycle)
+	if r.Hit {
+		if _, plain := c.dlb[line]; plain {
+			c.BufferHits++
+			c.stamp++
+			c.dlb[line] = c.stamp
+		} else {
+			c.ArrayHits++
+			lat += uint64(c.cfg.DecryptCycles)
+			c.touchDLB(line)
+		}
+	} else {
+		c.Misses++
+		// The refill arrives plaintext from the SPECU path and is
+		// encrypted in the array; it enters the DLB (it was just used).
+		c.touchDLB(line)
+		if r.Writeback {
+			// The victim leaves as ciphertext; no extra latency on the
+			// critical path (encrypt overlaps the writeback).
+			delete(c.dlb, c.lineAddr(r.WBAddr))
+		}
+	}
+	out.Latency = lat
+	return out
+}
+
+// PlaintextLines reports how many lines are currently decrypted (the
+// power-down exposure of the cache).
+func (c *Cache) PlaintextLines() int { return len(c.dlb) }
+
+// EncryptedFraction is the fraction of resident lines held as ciphertext.
+func (c *Cache) EncryptedFraction() float64 {
+	total := c.cfg.Cache.SizeBytes / c.cfg.Cache.LineBytes
+	return 1 - float64(len(c.dlb))/float64(total)
+}
+
+// PowerDownCycles returns the cycles needed to re-encrypt the DLB at
+// power-off (decrypt and encrypt pulses cost the same).
+func (c *Cache) PowerDownCycles() uint64 {
+	n := uint64(len(c.dlb))
+	c.dlb = make(map[uint64]uint64)
+	return n * uint64(c.cfg.DecryptCycles)
+}
+
+// AvgHitLatency returns the observed mean hit latency in cycles.
+func (c *Cache) AvgHitLatency() float64 {
+	hits := c.ArrayHits + c.BufferHits
+	if hits == 0 {
+		return float64(c.cfg.Cache.LatencyCycle)
+	}
+	base := float64(c.cfg.Cache.LatencyCycle)
+	return base + float64(c.ArrayHits)*float64(c.cfg.DecryptCycles)/float64(hits)
+}

@@ -1,0 +1,160 @@
+package nvcache
+
+import (
+	"testing"
+
+	"snvmm/internal/mem"
+)
+
+func testConfig(dlb int) Config {
+	return Config{
+		Cache:         mem.CacheConfig{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 10},
+		DecryptCycles: 16,
+		DLBLines:      dlb,
+	}
+}
+
+func newCache(t *testing.T, dlb int) *Cache {
+	t.Helper()
+	c, err := New(testConfig(dlb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.DecryptCycles = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative decrypt accepted")
+	}
+	cfg = testConfig(4)
+	cfg.Cache.SizeBytes = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+}
+
+func TestArrayHitPaysDecrypt(t *testing.T) {
+	c := newCache(t, 0)     // no DLB: every hit pays
+	c.Access(0x1000, false) // miss, fill
+	r := c.Access(0x1000, false)
+	if !r.Hit {
+		t.Fatal("expected hit")
+	}
+	if r.Latency != 10+16 {
+		t.Errorf("hit latency %d, want 26", r.Latency)
+	}
+	if c.ArrayHits != 1 || c.BufferHits != 0 {
+		t.Errorf("hits %d/%d", c.ArrayHits, c.BufferHits)
+	}
+}
+
+func TestDLBHitIsFast(t *testing.T) {
+	c := newCache(t, 8)
+	c.Access(0x1000, false) // miss; line enters DLB
+	r := c.Access(0x1000, false)
+	if !r.Hit || r.Latency != 10 {
+		t.Errorf("DLB hit latency %d, want 10", r.Latency)
+	}
+	if c.BufferHits != 1 {
+		t.Errorf("buffer hits %d", c.BufferHits)
+	}
+}
+
+func TestDLBEvictionLRU(t *testing.T) {
+	c := newCache(t, 2)
+	c.Access(0x0000, false)
+	c.Access(0x1000, false)
+	c.Access(0x0000, false) // refresh line 0
+	c.Access(0x2000, false) // evicts 0x1000 from DLB
+	if c.PlaintextLines() != 2 {
+		t.Fatalf("DLB holds %d lines, want 2", c.PlaintextLines())
+	}
+	// 0x0000 stayed plaintext (check before touching anything else, since
+	// every array hit displaces an LRU buffer entry).
+	r := c.Access(0x0000, false)
+	if r.Latency != 10 {
+		t.Errorf("retained DLB line latency %d, want 10", r.Latency)
+	}
+	// 0x1000 is still cached but now encrypted: hit pays decrypt.
+	r = c.Access(0x1000, false)
+	if !r.Hit || r.Latency != 26 {
+		t.Errorf("re-encrypted hit latency %d, want 26", r.Latency)
+	}
+}
+
+func TestEncryptedFractionAndPowerDown(t *testing.T) {
+	c := newCache(t, 16)
+	for i := 0; i < 10; i++ {
+		c.Access(uint64(i)*64, false)
+	}
+	if got := c.PlaintextLines(); got != 10 {
+		t.Errorf("plaintext lines %d, want 10", got)
+	}
+	f := c.EncryptedFraction()
+	want := 1 - 10.0/1024
+	if f < want-1e-9 || f > want+1e-9 {
+		t.Errorf("encrypted fraction %g, want %g", f, want)
+	}
+	cycles := c.PowerDownCycles()
+	if cycles != 10*16 {
+		t.Errorf("power-down cycles %d, want 160", cycles)
+	}
+	if c.PlaintextLines() != 0 {
+		t.Error("DLB not cleared at power-down")
+	}
+}
+
+func TestAvgHitLatencyTradeoff(t *testing.T) {
+	// Bigger DLB -> lower average hit latency on a looping access pattern
+	// larger than the small DLB but smaller than the big one.
+	run := func(dlb int) float64 {
+		c := newCache(t, dlb)
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 32; i++ {
+				c.Access(uint64(i)*64, false)
+			}
+		}
+		return c.AvgHitLatency()
+	}
+	small := run(4)
+	big := run(64)
+	if big >= small {
+		t.Errorf("bigger DLB latency %.2f >= smaller %.2f", big, small)
+	}
+	if big != 10 {
+		t.Errorf("fully-buffered latency %.2f, want 10 (all DLB hits after warmup)", big)
+	}
+}
+
+func TestMissesCount(t *testing.T) {
+	c := newCache(t, 4)
+	c.Access(0, false)
+	c.Access(1<<20, false)
+	if c.Misses != 2 {
+		t.Errorf("misses %d", c.Misses)
+	}
+}
+
+func TestWritebackLeavesDLB(t *testing.T) {
+	// A dirty victim evicted from the cache must also leave the DLB.
+	cfg := testConfig(64)
+	cfg.Cache = mem.CacheConfig{SizeBytes: 1024, Ways: 2, LineBytes: 64, LatencyCycle: 4}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set 0 lines: 0, 512, 1024 (stride = sets*line = 8*64 = 512).
+	c.Access(0, true)
+	c.Access(512, false)
+	before := c.PlaintextLines()
+	r := c.Access(1024, false) // evicts dirty line 0
+	if !r.Writeback || r.WBAddr != 0 {
+		t.Fatalf("expected writeback of 0, got %+v", r)
+	}
+	if c.PlaintextLines() != before { // line 0 left, line at 1024 entered
+		t.Errorf("DLB size %d, want %d", c.PlaintextLines(), before)
+	}
+}

@@ -1,0 +1,177 @@
+package poe
+
+import (
+	"testing"
+
+	"snvmm/internal/xbar"
+)
+
+func TestSolve8x8PaperShape(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	res, err := Solve(Spec{Cfg: cfg, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("8x8 paper-shape placement: %d PoEs (optimal=%v)", len(res.PoEs), res.Optimal)
+	// Every cell covered at least once and at most twice.
+	for m, c := range res.Coverage {
+		if c < 1 || c > 2 {
+			t.Errorf("cell %d coverage %d outside [1,2]", m, c)
+		}
+	}
+	// The paper reports 16 PoEs for an 8x8 crossbar; with boundary
+	// clipping our optimum should land in the same neighbourhood.
+	if len(res.PoEs) < 8 || len(res.PoEs) > 20 {
+		t.Errorf("PoE count %d implausibly far from the paper's 16", len(res.PoEs))
+	}
+	// No duplicate PoEs.
+	seen := map[xbar.Cell]bool{}
+	for _, p := range res.PoEs {
+		if seen[p] {
+			t.Errorf("duplicate PoE %+v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSolve4x4(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VertReach, cfg.HorizReach = 2, 1
+	res, err := Solve(Spec{Cfg: cfg, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 2a encrypts a 4x4 crossbar with 4 PoEs.
+	t.Logf("4x4 placement: %d PoEs", len(res.PoEs))
+	for m, c := range res.Coverage {
+		if c < 1 || c > 2 {
+			t.Errorf("cell %d coverage %d", m, c)
+		}
+	}
+}
+
+func TestSolveSecuritySlack(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	base, err := Solve(Spec{Cfg: cfg, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseStats := StatsOf(cfg, cfg.PaperShape, base.PoEs)
+	// Increasing S forces more total coverage (more overlap = more
+	// security), possibly more PoEs.
+	slacked, err := Solve(Spec{Cfg: cfg, S: 40, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slackedStats := StatsOf(cfg, cfg.PaperShape, slacked.PoEs)
+	if slackedStats.TotalCover < cfg.Cells()+40 {
+		t.Errorf("S=40 total coverage %d < %d", slackedStats.TotalCover, cfg.Cells()+40)
+	}
+	if slackedStats.TotalCover < baseStats.TotalCover {
+		t.Errorf("slack did not increase coverage: %d vs %d", slackedStats.TotalCover, baseStats.TotalCover)
+	}
+}
+
+func TestSolveBadSpec(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	if _, err := Solve(Spec{Cfg: cfg, S: -1}); err == nil {
+		t.Error("expected error for negative S")
+	}
+	if _, err := Solve(Spec{Cfg: cfg, S: cfg.Cells()}); err == nil {
+		t.Error("expected error for S too large")
+	}
+	bad := cfg
+	bad.Rows = 0
+	if _, err := Solve(Spec{Cfg: bad}); err == nil {
+		t.Error("expected config validation error")
+	}
+}
+
+func TestCoverageOf(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	poes := []xbar.Cell{{Row: 4, Col: 3}}
+	cov := CoverageOf(cfg, cfg.PaperShape, poes)
+	shape := cfg.PaperShape(xbar.Cell{Row: 4, Col: 3})
+	total := 0
+	for _, c := range cov {
+		total += c
+	}
+	if total != len(shape) {
+		t.Errorf("total coverage %d != shape size %d", total, len(shape))
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	st := StatsOf(cfg, cfg.PaperShape, nil)
+	if st.Uncovered != cfg.Cells() || st.Single != 0 || st.Overlapped != 0 {
+		t.Errorf("empty placement stats wrong: %+v", st)
+	}
+	poes := []xbar.Cell{{Row: 4, Col: 3}, {Row: 4, Col: 3}} // duplicate doubles coverage
+	st = StatsOf(cfg, cfg.PaperShape, poes)
+	if st.Overlapped == 0 {
+		t.Error("duplicate PoEs should create overlapped cells")
+	}
+}
+
+func TestBestPlacementSweep(t *testing.T) {
+	// Fig. 6: as the PoE count grows from 10 to 17, single-covered cells
+	// shrink and overlapped cells grow.
+	cfg := xbar.DefaultConfig()
+	prevOverlap := -1
+	for _, k := range []int{10, 13, 16} {
+		_, st, err := BestPlacement(cfg, nil, k, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PoEs != k {
+			t.Errorf("k=%d: placement has %d PoEs", k, st.PoEs)
+		}
+		if st.Uncovered > 0 && k >= 13 {
+			t.Errorf("k=%d: %d cells uncovered", k, st.Uncovered)
+		}
+		if st.Overlapped < prevOverlap {
+			t.Errorf("k=%d: overlapped %d decreased from %d", k, st.Overlapped, prevOverlap)
+		}
+		prevOverlap = st.Overlapped
+	}
+}
+
+func TestBestPlacementBounds(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	if _, _, err := BestPlacement(cfg, nil, 0, 10); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, _, err := BestPlacement(cfg, nil, cfg.Cells()+1, 10); err == nil {
+		t.Error("expected error for k too large")
+	}
+}
+
+func TestGreedyIncumbentFeasibleWhenPossible(t *testing.T) {
+	cfg := xbar.DefaultConfig()
+	cov := covers(cfg, cfg.PaperShape)
+	coveredBy := make([][]int, cfg.Cells())
+	for i, cs := range cov {
+		for _, m := range cs {
+			coveredBy[m] = append(coveredBy[m], i)
+		}
+	}
+	x := greedyIncumbent(cfg.Cells(), cov, coveredBy, 2, 0)
+	if x == nil {
+		t.Skip("greedy stuck; acceptable, ILP still solves")
+	}
+	count := make([]int, cfg.Cells())
+	for i, v := range x {
+		if v > 0.5 {
+			for _, m := range cov[i] {
+				count[m]++
+			}
+		}
+	}
+	for m, c := range count {
+		if c < 1 || c > 2 {
+			t.Errorf("greedy coverage at %d = %d", m, c)
+		}
+	}
+}

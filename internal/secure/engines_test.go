@@ -1,0 +1,191 @@
+package secure
+
+import (
+	"testing"
+)
+
+func TestPlainIsFree(t *testing.T) {
+	e := NewPlain()
+	if d, b := e.ReadDelay(0, 0); d != 0 || b != 0 {
+		t.Error("plain read cost nonzero")
+	}
+	if e.WriteDelay(0, 0) != 0 || e.PowerDown(0) != 0 {
+		t.Error("plain engine has nonzero cost")
+	}
+	if e.EncryptedFraction() != 0 {
+		t.Error("plain engine claims encryption")
+	}
+}
+
+func TestAESAndStreamFixedLatency(t *testing.T) {
+	a := NewAES()
+	if d, _ := a.ReadDelay(0, 0); d != AESLatency || a.WriteDelay(0, 0) != AESLatency {
+		t.Error("AES latency wrong")
+	}
+	if a.EncryptedFraction() != 1 {
+		t.Error("AES fraction != 1")
+	}
+	s := NewStream()
+	if d, _ := s.ReadDelay(0, 0); d != StreamLatency {
+		t.Error("stream latency wrong")
+	}
+	if s.EncryptedFraction() != 1 {
+		t.Error("stream fraction != 1")
+	}
+}
+
+func TestINVMMHotPagesStayPlain(t *testing.T) {
+	e := NewINVMM(1000)
+	// Touch a page repeatedly: no delays after first touch.
+	if d, _ := e.ReadDelay(0, 0); d != 0 {
+		t.Errorf("first read delay %d (page starts plaintext)", d)
+	}
+	for now := uint64(1); now < 100; now++ {
+		if d, _ := e.ReadDelay(64*now%PageBytes, now); d != 0 {
+			t.Errorf("hot page read delay %d at %d", d, now)
+		}
+	}
+	if f := e.EncryptedFraction(); f != 0 {
+		t.Errorf("fraction %g with one hot page", f)
+	}
+}
+
+func TestINVMMInertPageEncrypted(t *testing.T) {
+	e := NewINVMM(1000)
+	e.ReadDelay(0, 0)            // page 0 touched at 0
+	e.ReadDelay(PageBytes*5, 10) // page 5 touched at 10
+	e.Tick(2000)                 // both inert now
+	if f := e.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after walker, want 1", f)
+	}
+	// Re-reading an encrypted page costs the AES latency and decrypts it.
+	if d, _ := e.ReadDelay(0, 3000); d != AESLatency {
+		t.Errorf("encrypted page read delay %d, want %d", d, AESLatency)
+	}
+	if f := e.EncryptedFraction(); f != 0.5 {
+		t.Errorf("fraction %g, want 0.5", f)
+	}
+}
+
+func TestINVMMWalkBudget(t *testing.T) {
+	e := NewINVMM(10)
+	for p := 0; p < 100; p++ {
+		e.ReadDelay(uint64(p)*PageBytes, 0)
+	}
+	e.WalkBudget = 8
+	e.Tick(10000)
+	enc := 0
+	for _, v := range e.encrypted {
+		if v {
+			enc++
+		}
+	}
+	if enc != 8 {
+		t.Errorf("walker encrypted %d pages, budget 8", enc)
+	}
+}
+
+func TestINVMMPowerDown(t *testing.T) {
+	e := NewINVMM(1 << 60) // never inert
+	for p := 0; p < 10; p++ {
+		e.ReadDelay(uint64(p)*PageBytes, 0)
+	}
+	cycles := e.PowerDown(0)
+	if cycles == 0 {
+		t.Error("power-down free despite plaintext pages")
+	}
+	if f := e.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after power-down", f)
+	}
+}
+
+func TestSPESerialDecryptOnce(t *testing.T) {
+	e := NewSPESerial(1 << 60)
+	if d, _ := e.ReadDelay(0, 0); d != SPEDecrypt {
+		t.Errorf("first read delay %d, want %d", d, SPEDecrypt)
+	}
+	if d, _ := e.ReadDelay(0, 10); d != 0 {
+		t.Errorf("second read delay %d, want 0 (already plaintext)", d)
+	}
+	if f := e.EncryptedFraction(); f != 0 {
+		t.Errorf("fraction %g with one plaintext block", f)
+	}
+	// Writeback re-encrypts.
+	if d := e.WriteDelay(0, 20); d != SPEEncrypt {
+		t.Errorf("write delay %d", d)
+	}
+	if f := e.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after writeback", f)
+	}
+	// Next read decrypts again.
+	if d, _ := e.ReadDelay(0, 30); d != SPEDecrypt {
+		t.Errorf("read-after-writeback delay %d", d)
+	}
+}
+
+func TestSPESerialTimer(t *testing.T) {
+	e := NewSPESerial(100)
+	e.ReadDelay(0, 0)
+	e.ReadDelay(BlockBytes, 1)
+	e.Tick(50) // too early
+	if f := e.EncryptedFraction(); f != 0 {
+		t.Errorf("fraction %g before timer", f)
+	}
+	e.Tick(500)
+	if f := e.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after timer", f)
+	}
+}
+
+func TestSPESerialPowerDown(t *testing.T) {
+	e := NewSPESerial(1 << 60)
+	for b := 0; b < 4; b++ {
+		e.ReadDelay(uint64(b)*BlockBytes, 0)
+	}
+	cycles := e.PowerDown(0)
+	if cycles != 4*CyclesPerBlockSecure {
+		t.Errorf("power-down %d cycles, want %d", cycles, 4*CyclesPerBlockSecure)
+	}
+	if f := e.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after power-down", f)
+	}
+}
+
+func TestSPEParallelAlwaysEncrypted(t *testing.T) {
+	e := NewSPEParallel()
+	if d, b := e.ReadDelay(0, 0); d != SPEDecrypt || b != SPEEncrypt {
+		t.Errorf("read delay %d/%d, want %d/%d", d, b, SPEDecrypt, SPEEncrypt)
+	}
+	if e.EncryptedFraction() != 1 {
+		t.Error("parallel fraction != 1")
+	}
+	if e.PowerDown(0) != 0 {
+		t.Error("parallel has power-down debt")
+	}
+}
+
+func TestEnginesLineup(t *testing.T) {
+	es := Engines()
+	if len(es) != 5 {
+		t.Fatalf("%d engines, want 5", len(es))
+	}
+	names := map[string]bool{}
+	for _, e := range es {
+		names[e.Name()] = true
+		if AreaOverheadMM2(e.Name()) <= 0 {
+			t.Errorf("%s missing area figure", e.Name())
+		}
+	}
+	for _, want := range []string{"AES", "i-NVMM", "SPE-serial", "SPE-parallel", "Stream"} {
+		if !names[want] {
+			t.Errorf("missing engine %s", want)
+		}
+	}
+	if AreaOverheadMM2("Plain") != 0 {
+		t.Error("plain should have zero area")
+	}
+	// Table 3: stream cipher area ~5x SPE.
+	if r := AreaOverheadMM2("Stream") / AreaOverheadMM2("SPE-serial"); r < 4 || r > 6 {
+		t.Errorf("stream/SPE area ratio %g, want ~4.75", r)
+	}
+}

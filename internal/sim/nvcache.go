@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"snvmm/internal/cpu"
+	"snvmm/internal/mem"
+	"snvmm/internal/nvcache"
+	"snvmm/internal/trace"
+)
+
+// This file integrates the future-work non-volatile SPE cache (package
+// nvcache) into the full-system model: the shared L2 becomes an SPE-
+// protected NV array with a decrypted-line buffer, and main memory runs
+// SPE-parallel as usual. RunNVCache measures the IPC cost of the NV L2's
+// decrypt pulses as a function of the buffer size.
+
+// NVCacheResult reports one future-work simulation.
+type NVCacheResult struct {
+	Workload   string
+	DLBLines   int
+	IPC        float64
+	AvgL2Hit   float64 // observed mean L2 hit latency in cycles
+	ArrayHits  uint64
+	BufferHits uint64
+	Exposure   int // plaintext lines at end of run
+}
+
+// nvMem is the cpu.MemSystem built around the NV L2.
+type nvMem struct {
+	l1i, l1d *mem.Cache
+	l2       *nvcache.Cache
+	nvmm     *mem.NVMM
+}
+
+func (m *nvMem) LoadLatency(addr, now uint64) uint64 {
+	r1 := m.l1d.Access(addr, false)
+	lat := uint64(m.l1d.Latency())
+	if r1.Hit {
+		return lat
+	}
+	if r1.Writeback {
+		m.l2.Access(r1.WBAddr, true)
+	}
+	r2 := m.l2.Access(addr, false)
+	lat += r2.Latency
+	if r2.Hit {
+		return lat
+	}
+	if r2.Writeback {
+		m.nvmm.Write(r2.WBAddr, now+lat)
+	}
+	done := m.nvmm.Read(addr, now+lat)
+	return done - now
+}
+
+func (m *nvMem) StoreAccess(addr, now uint64) uint64 {
+	r1 := m.l1d.Access(addr, true)
+	lat := uint64(m.l1d.Latency())
+	if r1.Hit {
+		return lat
+	}
+	if r1.Writeback {
+		m.l2.Access(r1.WBAddr, true)
+	}
+	r2 := m.l2.Access(addr, false)
+	lat += r2.Latency
+	if r2.Hit {
+		return lat
+	}
+	if r2.Writeback {
+		m.nvmm.Write(r2.WBAddr, now+lat)
+	}
+	done := m.nvmm.Read(addr, now+lat)
+	return done - now
+}
+
+func (m *nvMem) FetchLatency(pc, now uint64) uint64 {
+	r1 := m.l1i.Access(pc, false)
+	lat := uint64(m.l1i.Latency())
+	if r1.Hit {
+		return lat
+	}
+	r2 := m.l2.Access(pc, false)
+	lat += r2.Latency
+	if r2.Hit {
+		return lat
+	}
+	done := m.nvmm.Read(pc, now+lat)
+	return done - now
+}
+
+func (m *nvMem) Tick(now uint64) { m.nvmm.Tick(now) }
+
+// RunNVCache simulates a workload on the NV-L2 platform with the given
+// decrypted-line-buffer capacity.
+func RunNVCache(profile trace.Profile, dlbLines int, maxInsts int64, seed int64) (NVCacheResult, error) {
+	if maxInsts <= 0 {
+		maxInsts = 500_000
+	}
+	gen, err := trace.NewGenerator(profile, seed)
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	l1i, err := mem.NewCache(mem.CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 4})
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	l1d, err := mem.NewCache(mem.CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, LatencyCycle: 4})
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	l2, err := nvcache.New(nvcache.Config{
+		Cache:         mem.CacheConfig{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, LatencyCycle: 16},
+		DecryptCycles: 16,
+		DLBLines:      dlbLines,
+	})
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	nvmm, err := mem.NewNVMM(mem.DefaultNVMMConfig(), nil)
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	m := &nvMem{l1i: l1i, l1d: l1d, l2: l2, nvmm: nvmm}
+	c, err := cpu.New(cpu.DefaultConfig(), m)
+	if err != nil {
+		return NVCacheResult{}, err
+	}
+	st := c.Run(gen, maxInsts)
+	return NVCacheResult{
+		Workload:   profile.Name,
+		DLBLines:   dlbLines,
+		IPC:        st.IPC(),
+		AvgL2Hit:   l2.AvgHitLatency(),
+		ArrayHits:  l2.ArrayHits,
+		BufferHits: l2.BufferHits,
+		Exposure:   l2.PlaintextLines(),
+	}, nil
+}

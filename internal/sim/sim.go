@@ -1,0 +1,171 @@
+// Package sim ties the core model, the memory hierarchy and the encryption
+// engines into the full-system experiments of Section 7: per-workload
+// performance overhead (Fig. 7), time-averaged encrypted fraction (Fig. 8)
+// and the scheme comparison summary (Table 3).
+package sim
+
+import (
+	"fmt"
+
+	"snvmm/internal/cpu"
+	"snvmm/internal/mem"
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+)
+
+// Result summarizes one workload x scheme simulation.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	Stats          cpu.Stats
+	IPC            float64
+	L2MissRate     float64
+	MemReads       uint64
+	MemWrites      uint64
+	AvgEncrypted   float64 // time-averaged encrypted fraction
+	FinalEncrypted float64
+}
+
+// samplingEngine wraps an engine and records its encrypted fraction at
+// every background tick. The average skips the cold-start fifth of the run
+// (the paper's 500M-instruction runs measure steady state; at our scaled
+// instruction counts the warmup would otherwise dominate).
+type samplingEngine struct {
+	mem.EncryptionEngine
+	samples []float64
+}
+
+func (s *samplingEngine) Tick(now uint64) {
+	s.EncryptionEngine.Tick(now)
+	s.samples = append(s.samples, s.EncryptionEngine.EncryptedFraction())
+}
+
+func (s *samplingEngine) average() float64 {
+	if len(s.samples) == 0 {
+		return s.EncryptionEngine.EncryptedFraction()
+	}
+	tail := s.samples[len(s.samples)/5:]
+	sum := 0.0
+	for _, v := range tail {
+		sum += v
+	}
+	return sum / float64(len(tail))
+}
+
+// Run simulates one workload under one engine for maxInsts instructions.
+func Run(profile trace.Profile, engine mem.EncryptionEngine, maxInsts int64, seed int64) (Result, error) {
+	if maxInsts <= 0 {
+		maxInsts = 1_000_000
+	}
+	gen, err := trace.NewGenerator(profile, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sampler := &samplingEngine{EncryptionEngine: engine}
+	h, err := mem.DefaultHierarchy(sampler)
+	if err != nil {
+		return Result{}, err
+	}
+	hm := &hierMem{h: h}
+	coreCfg := cpu.DefaultConfig()
+	c, err := cpu.New(coreCfg, hm)
+	if err != nil {
+		return Result{}, err
+	}
+	st := c.Run(gen, maxInsts)
+	return Result{
+		Workload:       profile.Name,
+		Scheme:         engine.Name(),
+		Stats:          st,
+		IPC:            st.IPC(),
+		L2MissRate:     h.L2.MissRate(),
+		MemReads:       h.Mem.Reads,
+		MemWrites:      h.Mem.Writes,
+		AvgEncrypted:   sampler.average(),
+		FinalEncrypted: engine.EncryptedFraction(),
+	}, nil
+}
+
+// hierMem adapts mem.Hierarchy to cpu.MemSystem.
+type hierMem struct{ h *mem.Hierarchy }
+
+func (m *hierMem) LoadLatency(addr, now uint64) uint64 { return m.h.LoadLatency(addr, now) }
+func (m *hierMem) StoreAccess(addr, now uint64) uint64 { return m.h.StoreAccess(addr, now) }
+func (m *hierMem) FetchLatency(pc, now uint64) uint64  { return m.h.FetchLatency(pc, now) }
+func (m *hierMem) Tick(now uint64)                     { m.h.Mem.Tick(now) }
+
+// SchemeFactory builds a fresh engine instance per run (engines carry
+// state and must not be shared between workloads).
+type SchemeFactory struct {
+	Name string
+	New  func() mem.EncryptionEngine
+}
+
+// Schemes returns factories for the Fig. 7/8 line-up (excluding the Plain
+// baseline, which Sweep always runs).
+func Schemes() []SchemeFactory {
+	return []SchemeFactory{
+		{Name: "AES", New: func() mem.EncryptionEngine { return secure.NewAES() }},
+		{Name: "i-NVMM", New: func() mem.EncryptionEngine { return secure.NewINVMM(300_000) }},
+		{Name: "SPE-serial", New: func() mem.EncryptionEngine { return secure.NewSPESerial(10_000) }},
+		{Name: "SPE-parallel", New: func() mem.EncryptionEngine { return secure.NewSPEParallel() }},
+		{Name: "Stream", New: func() mem.EncryptionEngine { return secure.NewStream() }},
+	}
+}
+
+// Row is one workload's outcomes across schemes.
+type Row struct {
+	Workload     string
+	BaseIPC      float64
+	OverheadPct  map[string]float64 // scheme -> % slowdown vs Plain
+	EncryptedPct map[string]float64 // scheme -> time-avg % encrypted
+}
+
+// Sweep runs every workload under Plain plus all scheme factories,
+// returning one Row per workload — the raw material of Fig. 7 and Fig. 8.
+func Sweep(profiles []trace.Profile, schemes []SchemeFactory, maxInsts int64, seed int64) ([]Row, error) {
+	rows := make([]Row, 0, len(profiles))
+	for _, p := range profiles {
+		base, err := Run(p, secure.NewPlain(), maxInsts, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s/plain: %w", p.Name, err)
+		}
+		row := Row{
+			Workload:     p.Name,
+			BaseIPC:      base.IPC,
+			OverheadPct:  make(map[string]float64, len(schemes)),
+			EncryptedPct: make(map[string]float64, len(schemes)),
+		}
+		for _, s := range schemes {
+			r, err := Run(p, s.New(), maxInsts, seed)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", p.Name, s.Name, err)
+			}
+			row.OverheadPct[s.Name] = (base.IPC - r.IPC) / base.IPC * 100
+			row.EncryptedPct[s.Name] = r.AvgEncrypted * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Averages folds sweep rows into per-scheme means — the Table 3 rows.
+func Averages(rows []Row, schemes []SchemeFactory) (overhead, encrypted map[string]float64) {
+	overhead = make(map[string]float64)
+	encrypted = make(map[string]float64)
+	if len(rows) == 0 {
+		return
+	}
+	for _, row := range rows {
+		for _, s := range schemes {
+			overhead[s.Name] += row.OverheadPct[s.Name]
+			encrypted[s.Name] += row.EncryptedPct[s.Name]
+		}
+	}
+	for _, s := range schemes {
+		overhead[s.Name] /= float64(len(rows))
+		encrypted[s.Name] /= float64(len(rows))
+	}
+	return
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+)
+
+const testInsts = 300_000
+
+func TestRunPlainBaseline(t *testing.T) {
+	p, err := trace.ProfileByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(p, secure.NewPlain(), testInsts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Errorf("IPC %g implausible", r.IPC)
+	}
+	if r.Stats.Instructions != testInsts {
+		t.Errorf("instructions %d", r.Stats.Instructions)
+	}
+	if r.MemReads == 0 {
+		t.Error("no memory reads reached the NVMM")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, _ := trace.ProfileByName("gcc")
+	a, err := Run(p, secure.NewPlain(), testInsts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, secure.NewPlain(), testInsts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.MemReads != b.MemReads {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestAESSlowerThanPlain(t *testing.T) {
+	p, _ := trace.ProfileByName("mcf") // memory bound: big effect
+	plain, err := Run(p, secure.NewPlain(), testInsts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aes, err := Run(p, secure.NewAES(), testInsts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aes.IPC >= plain.IPC {
+		t.Errorf("AES IPC %g >= plain %g", aes.IPC, plain.IPC)
+	}
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	// On a memory-bound workload the overheads must order:
+	// stream < SPE-serial < SPE-parallel < AES (Fig. 7 / Table 3).
+	p, _ := trace.ProfileByName("mcf")
+	ipc := map[string]float64{}
+	for _, s := range Schemes() {
+		r, err := Run(p, s.New(), testInsts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[s.Name] = r.IPC
+	}
+	if !(ipc["Stream"] >= ipc["SPE-serial"] && ipc["SPE-serial"] >= ipc["SPE-parallel"] && ipc["SPE-parallel"] >= ipc["AES"]) {
+		t.Errorf("scheme IPC ordering violated: %+v", ipc)
+	}
+}
+
+func TestEncryptedFractions(t *testing.T) {
+	p, _ := trace.ProfileByName("sjeng")
+	for _, s := range Schemes() {
+		r, err := Run(p, s.New(), testInsts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch s.Name {
+		case "AES", "Stream", "SPE-parallel":
+			if r.AvgEncrypted < 0.999 {
+				t.Errorf("%s avg encrypted %g, want 1", s.Name, r.AvgEncrypted)
+			}
+		case "SPE-serial":
+			if r.AvgEncrypted < 0.9 {
+				t.Errorf("SPE-serial avg encrypted %g, want > 0.9", r.AvgEncrypted)
+			}
+		case "i-NVMM":
+			if r.AvgEncrypted > 0.9 {
+				t.Errorf("i-NVMM avg encrypted %g; hot pages should stay plaintext", r.AvgEncrypted)
+			}
+		}
+	}
+}
+
+func TestSweepAndAverages(t *testing.T) {
+	profiles := []trace.Profile{}
+	for _, name := range []string{"bzip2", "sjeng"} {
+		p, _ := trace.ProfileByName(name)
+		profiles = append(profiles, p)
+	}
+	schemes := Schemes()
+	rows, err := Sweep(profiles, schemes, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.BaseIPC <= 0 {
+			t.Errorf("%s base IPC %g", row.Workload, row.BaseIPC)
+		}
+		for _, s := range schemes {
+			if _, ok := row.OverheadPct[s.Name]; !ok {
+				t.Errorf("%s missing scheme %s", row.Workload, s.Name)
+			}
+		}
+		// AES must cost more than SPE-serial everywhere.
+		if row.OverheadPct["AES"] < row.OverheadPct["SPE-serial"] {
+			t.Errorf("%s: AES %.2f%% < SPE-serial %.2f%%", row.Workload,
+				row.OverheadPct["AES"], row.OverheadPct["SPE-serial"])
+		}
+	}
+	ov, enc := Averages(rows, schemes)
+	if ov["AES"] <= 0 {
+		t.Errorf("AES average overhead %g", ov["AES"])
+	}
+	if enc["SPE-parallel"] < 99.9 {
+		t.Errorf("SPE-parallel average encrypted %g", enc["SPE-parallel"])
+	}
+	// Empty input is safe.
+	ov2, enc2 := Averages(nil, schemes)
+	if len(ov2) != 0 || len(enc2) != 0 {
+		t.Error("averages of no rows should be empty")
+	}
+}
+
+func TestRunNVCacheSweep(t *testing.T) {
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBuf, err := RunNVCache(p, 0, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunNVCache(p, 16384, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noBuf.IPC <= 0 || big.IPC <= 0 {
+		t.Fatalf("IPC zero: %+v %+v", noBuf, big)
+	}
+	// A large decrypted-line buffer must not hurt and should speed things
+	// up by hiding the decrypt pulses on hits.
+	if big.IPC < noBuf.IPC {
+		t.Errorf("larger DLB IPC %.4f < no-DLB %.4f", big.IPC, noBuf.IPC)
+	}
+	if noBuf.BufferHits != 0 {
+		t.Errorf("no-DLB config recorded %d buffer hits", noBuf.BufferHits)
+	}
+	if big.AvgL2Hit > noBuf.AvgL2Hit {
+		t.Errorf("avg L2 hit %.2f with DLB > %.2f without", big.AvgL2Hit, noBuf.AvgL2Hit)
+	}
+	if noBuf.Exposure != 0 {
+		t.Errorf("no-DLB exposure %d lines", noBuf.Exposure)
+	}
+}

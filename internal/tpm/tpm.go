@@ -1,0 +1,224 @@
+// Package tpm models the Trusted Platform Module the SNVMM architecture
+// relies on (Section 4.1): at power-on the TPM authenticates the platform
+// and the NVMM and releases the SPE key to the SPECU, which keeps it only
+// in volatile storage. At power-down the volatile copy disappears, so a
+// stolen NVMM cannot be decrypted (Attack 1).
+//
+// The model implements the pieces of that protocol the reproduction needs:
+// platform configuration registers (PCR) with extend/quote semantics,
+// sealing of the SPE key against an expected PCR state, and an
+// HMAC-SHA-256 challenge-response used to authenticate the NVMM before key
+// release.
+package tpm
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NumPCRs is the number of platform configuration registers modelled.
+const NumPCRs = 8
+
+// DigestSize is the PCR digest size in bytes.
+const DigestSize = sha256.Size
+
+// ErrSealed is returned when unsealing fails because the platform state
+// does not match the sealed policy.
+var ErrSealed = errors.New("tpm: platform state does not match sealing policy")
+
+// ErrAuth is returned when NVMM authentication fails.
+var ErrAuth = errors.New("tpm: NVMM authentication failed")
+
+// TPM is a software trusted platform module.
+type TPM struct {
+	pcrs [NumPCRs][DigestSize]byte
+	// srk is the storage root key the TPM seals blobs under. In a real
+	// part this never leaves the chip.
+	srk [32]byte
+	// deviceKeys maps enrolled NVMM device identities to their shared
+	// authentication secrets.
+	deviceKeys map[string][32]byte
+}
+
+// New creates a TPM with a storage root key derived from the given
+// manufacturing seed.
+func New(seed []byte) *TPM {
+	t := &TPM{deviceKeys: make(map[string][32]byte)}
+	t.srk = sha256.Sum256(append([]byte("snvmm-srk-v1:"), seed...))
+	return t
+}
+
+// Reset clears all PCRs to zero — the power-on state.
+func (t *TPM) Reset() {
+	for i := range t.pcrs {
+		t.pcrs[i] = [DigestSize]byte{}
+	}
+}
+
+// Extend folds a measurement into PCR i: pcr = SHA256(pcr || measurement).
+func (t *TPM) Extend(i int, measurement []byte) error {
+	if i < 0 || i >= NumPCRs {
+		return fmt.Errorf("tpm: PCR %d out of range", i)
+	}
+	h := sha256.New()
+	h.Write(t.pcrs[i][:])
+	h.Write(measurement)
+	copy(t.pcrs[i][:], h.Sum(nil))
+	return nil
+}
+
+// PCR returns the current value of register i.
+func (t *TPM) PCR(i int) ([DigestSize]byte, error) {
+	if i < 0 || i >= NumPCRs {
+		return [DigestSize]byte{}, fmt.Errorf("tpm: PCR %d out of range", i)
+	}
+	return t.pcrs[i], nil
+}
+
+// compositeDigest hashes the selected PCRs into a policy digest.
+func (t *TPM) compositeDigest(pcrSel []int) ([]byte, error) {
+	h := sha256.New()
+	for _, i := range pcrSel {
+		if i < 0 || i >= NumPCRs {
+			return nil, fmt.Errorf("tpm: PCR %d out of range", i)
+		}
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		h.Write(t.pcrs[i][:])
+	}
+	return h.Sum(nil), nil
+}
+
+// SealedBlob is a secret bound to a platform state.
+type SealedBlob struct {
+	PCRSel []int
+	Policy []byte // expected composite digest
+	Mask   []byte // secret XOR pad(policy)
+	MAC    []byte // integrity tag
+}
+
+// Seal binds a secret to the *current* values of the selected PCRs. The
+// blob can be stored off-chip; only a TPM with the same SRK and matching
+// platform state can unseal it.
+func (t *TPM) Seal(secret []byte, pcrSel []int) (*SealedBlob, error) {
+	policy, err := t.compositeDigest(pcrSel)
+	if err != nil {
+		return nil, err
+	}
+	pad := t.pad(policy, len(secret))
+	mask := make([]byte, len(secret))
+	for i := range secret {
+		mask[i] = secret[i] ^ pad[i]
+	}
+	mac := hmac.New(sha256.New, t.srk[:])
+	mac.Write(policy)
+	mac.Write(mask)
+	return &SealedBlob{
+		PCRSel: append([]int(nil), pcrSel...),
+		Policy: policy,
+		Mask:   mask,
+		MAC:    mac.Sum(nil),
+	}, nil
+}
+
+// Unseal recovers the secret if the current platform state matches the
+// blob's policy.
+func (t *TPM) Unseal(b *SealedBlob) ([]byte, error) {
+	mac := hmac.New(sha256.New, t.srk[:])
+	mac.Write(b.Policy)
+	mac.Write(b.Mask)
+	if !hmac.Equal(mac.Sum(nil), b.MAC) {
+		return nil, fmt.Errorf("tpm: sealed blob integrity check failed")
+	}
+	policy, err := t.compositeDigest(b.PCRSel)
+	if err != nil {
+		return nil, err
+	}
+	if !hmac.Equal(policy, b.Policy) {
+		return nil, ErrSealed
+	}
+	pad := t.pad(policy, len(b.Mask))
+	secret := make([]byte, len(b.Mask))
+	for i := range secret {
+		secret[i] = b.Mask[i] ^ pad[i]
+	}
+	return secret, nil
+}
+
+// pad expands a policy digest into a keystream bound to the SRK.
+func (t *TPM) pad(policy []byte, n int) []byte {
+	out := make([]byte, 0, n+DigestSize)
+	var ctr uint32
+	for len(out) < n {
+		h := hmac.New(sha256.New, t.srk[:])
+		h.Write(policy)
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], ctr)
+		h.Write(c[:])
+		out = append(out, h.Sum(nil)...)
+		ctr++
+	}
+	return out[:n]
+}
+
+// EnrollDevice registers an NVMM identity and returns the shared secret the
+// device stores in its one-time-programmable fuses.
+func (t *TPM) EnrollDevice(deviceID string) [32]byte {
+	h := sha256.New()
+	h.Write(t.srk[:])
+	h.Write([]byte("device:"))
+	h.Write([]byte(deviceID))
+	var key [32]byte
+	copy(key[:], h.Sum(nil))
+	t.deviceKeys[deviceID] = key
+	return key
+}
+
+// Challenge is an authentication nonce issued by the TPM.
+type Challenge struct {
+	DeviceID string
+	Nonce    [16]byte
+}
+
+// NewChallenge creates a challenge for an enrolled device. The nonce is
+// derived deterministically from a caller-provided counter so simulations
+// are reproducible.
+func (t *TPM) NewChallenge(deviceID string, counter uint64) (*Challenge, error) {
+	if _, ok := t.deviceKeys[deviceID]; !ok {
+		return nil, fmt.Errorf("tpm: device %q not enrolled", deviceID)
+	}
+	ch := &Challenge{DeviceID: deviceID}
+	h := sha256.New()
+	h.Write([]byte(deviceID))
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], counter)
+	h.Write(c[:])
+	copy(ch.Nonce[:], h.Sum(nil))
+	return ch, nil
+}
+
+// Respond computes the device-side response to a challenge given the
+// device's fused secret (this runs inside the NVMM controller).
+func Respond(deviceKey [32]byte, ch *Challenge) []byte {
+	mac := hmac.New(sha256.New, deviceKey[:])
+	mac.Write([]byte(ch.DeviceID))
+	mac.Write(ch.Nonce[:])
+	return mac.Sum(nil)
+}
+
+// VerifyResponse checks a device response; on success the caller may
+// release the sealed SPE key to the SPECU.
+func (t *TPM) VerifyResponse(ch *Challenge, response []byte) error {
+	key, ok := t.deviceKeys[ch.DeviceID]
+	if !ok {
+		return fmt.Errorf("tpm: device %q not enrolled", ch.DeviceID)
+	}
+	if !hmac.Equal(Respond(key, ch), response) {
+		return ErrAuth
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package tpm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtendChangesPCR(t *testing.T) {
+	tp := New([]byte("seed"))
+	before, _ := tp.PCR(0)
+	if err := tp.Extend(0, []byte("bios")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tp.PCR(0)
+	if before == after {
+		t.Error("Extend did not change PCR")
+	}
+	// Extension order matters.
+	tp2 := New([]byte("seed"))
+	tp2.Extend(0, []byte("bootloader"))
+	tp2.Extend(0, []byte("bios"))
+	tp.Extend(0, []byte("bootloader"))
+	a, _ := tp.PCR(0)
+	b, _ := tp2.PCR(0)
+	if a == b {
+		t.Error("extension order should matter")
+	}
+}
+
+func TestExtendRange(t *testing.T) {
+	tp := New(nil)
+	if err := tp.Extend(-1, nil); err == nil {
+		t.Error("expected range error")
+	}
+	if err := tp.Extend(NumPCRs, nil); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := tp.PCR(99); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestSealUnsealHappyPath(t *testing.T) {
+	tp := New([]byte("mfg"))
+	tp.Extend(0, []byte("bios-v1"))
+	tp.Extend(1, []byte("os-v1"))
+	secret := []byte("the 88-bit SPE key material!!")
+	blob, err := tp.Seal(secret, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Errorf("unsealed %q, want %q", got, secret)
+	}
+}
+
+func TestUnsealFailsOnDifferentState(t *testing.T) {
+	tp := New([]byte("mfg"))
+	tp.Extend(0, []byte("bios-v1"))
+	blob, err := tp.Seal([]byte("secret"), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampered boot chain: extend again.
+	tp.Extend(0, []byte("rootkit"))
+	if _, err := tp.Unseal(blob); err != ErrSealed {
+		t.Errorf("err = %v, want ErrSealed", err)
+	}
+	// Power cycle without replaying measurements.
+	tp.Reset()
+	if _, err := tp.Unseal(blob); err != ErrSealed {
+		t.Errorf("after reset err = %v, want ErrSealed", err)
+	}
+	// Replaying the measurement restores access.
+	tp.Extend(0, []byte("bios-v1"))
+	if _, err := tp.Unseal(blob); err != nil {
+		t.Errorf("replayed state should unseal: %v", err)
+	}
+}
+
+func TestUnsealFailsOnDifferentTPM(t *testing.T) {
+	tp1 := New([]byte("a"))
+	tp2 := New([]byte("b"))
+	blob, err := tp1.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp2.Unseal(blob); err == nil {
+		t.Error("foreign TPM unsealed the blob")
+	}
+}
+
+func TestUnsealDetectsTamperedBlob(t *testing.T) {
+	tp := New([]byte("mfg"))
+	blob, err := tp.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob.Mask[0] ^= 1
+	if _, err := tp.Unseal(blob); err == nil {
+		t.Error("tampered blob unsealed")
+	}
+}
+
+func TestSealBadPCR(t *testing.T) {
+	tp := New(nil)
+	if _, err := tp.Seal([]byte("s"), []int{42}); err == nil {
+		t.Error("expected PCR range error")
+	}
+}
+
+func TestSealLongSecret(t *testing.T) {
+	tp := New([]byte("mfg"))
+	secret := bytes.Repeat([]byte{0xAB}, 100) // > one digest of pad
+	blob, err := tp.Seal(secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("long secret round trip failed")
+	}
+}
+
+func TestDeviceAuthentication(t *testing.T) {
+	tp := New([]byte("mfg"))
+	devKey := tp.EnrollDevice("nvmm-0")
+	ch, err := tp.NewChallenge("nvmm-0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := Respond(devKey, ch)
+	if err := tp.VerifyResponse(ch, resp); err != nil {
+		t.Errorf("genuine device rejected: %v", err)
+	}
+	// A counterfeit NVMM with a wrong key fails.
+	var fake [32]byte
+	fake[0] = 1
+	if err := tp.VerifyResponse(ch, Respond(fake, ch)); err != ErrAuth {
+		t.Errorf("counterfeit accepted: err = %v", err)
+	}
+}
+
+func TestChallengeUnenrolledDevice(t *testing.T) {
+	tp := New(nil)
+	if _, err := tp.NewChallenge("ghost", 0); err == nil {
+		t.Error("expected enrollment error")
+	}
+	ch := &Challenge{DeviceID: "ghost"}
+	if err := tp.VerifyResponse(ch, nil); err == nil {
+		t.Error("expected enrollment error")
+	}
+}
+
+func TestChallengeNoncesDiffer(t *testing.T) {
+	tp := New(nil)
+	tp.EnrollDevice("d")
+	c1, _ := tp.NewChallenge("d", 1)
+	c2, _ := tp.NewChallenge("d", 2)
+	if c1.Nonce == c2.Nonce {
+		t.Error("nonces repeat across counters")
+	}
+}

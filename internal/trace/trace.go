@@ -1,0 +1,242 @@
+// Package trace generates seeded synthetic instruction streams that stand
+// in for the SPEC CPU2006 workloads of the paper's evaluation (Section 7).
+// Each profile fixes an instruction mix, a data working set with a
+// hot/cold split, access stride behaviour, branch predictability, and
+// dependency density. Profiles are tuned so the properties the encryption
+// schemes are sensitive to — page reuse (i-NVMM's inert pages) and memory
+// intensity (SPE's read-path latency) — mirror the cited benchmarks:
+// bzip2-like workloads hammer a small hot set, sjeng-like workloads roam a
+// large footprint.
+package trace
+
+import (
+	"fmt"
+
+	"snvmm/internal/cpu"
+	"snvmm/internal/prng"
+)
+
+// Profile parameterizes one synthetic workload.
+type Profile struct {
+	Name string
+
+	// Instruction mix (fractions of 1; remainder is integer ALU).
+	PctLoad, PctStore, PctBranch, PctFp, PctMul float64
+
+	// Data footprint.
+	WorkingSetBytes uint64  // total data footprint
+	HotSetBytes     uint64  // the hot subset
+	HotFraction     float64 // fraction of accesses hitting the hot set
+	StrideBytes     uint64  // stride of the streaming component
+	StreamFraction  float64 // fraction of cold accesses that stream
+
+	// Control flow.
+	BranchNoise float64 // fraction of branches with random outcomes
+	LoopLength  int     // instructions per loop body (PC reuse)
+
+	// Dependencies.
+	DepDensity float64 // probability an instruction depends on a recent one
+	DepWindow  int     // dependency distance window
+}
+
+// Validate sanity-checks the profile.
+func (p Profile) Validate() error {
+	mix := p.PctLoad + p.PctStore + p.PctBranch + p.PctFp + p.PctMul
+	if mix > 1 {
+		return fmt.Errorf("trace: %s instruction mix sums to %g > 1", p.Name, mix)
+	}
+	if p.WorkingSetBytes == 0 || p.HotSetBytes == 0 || p.HotSetBytes > p.WorkingSetBytes {
+		return fmt.Errorf("trace: %s invalid working set", p.Name)
+	}
+	if p.HotFraction < 0 || p.HotFraction > 1 || p.StreamFraction < 0 || p.StreamFraction > 1 ||
+		p.BranchNoise < 0 || p.BranchNoise > 1 || p.DepDensity < 0 || p.DepDensity > 1 {
+		return fmt.Errorf("trace: %s fraction out of [0,1]", p.Name)
+	}
+	if p.LoopLength <= 0 || p.DepWindow <= 0 {
+		return fmt.Errorf("trace: %s nonpositive loop/window", p.Name)
+	}
+	return nil
+}
+
+// Generator produces the instruction stream for a profile.
+type Generator struct {
+	p      Profile
+	g      *prng.Gen
+	n      uint64
+	stream uint64 // streaming cursor
+	base   uint64 // data segment base
+}
+
+// NewGenerator builds a deterministic generator.
+func NewGenerator(p Profile, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{p: p, g: prng.NewGen(uint64(seed) ^ 0xD1CEBEEF), base: 1 << 32}, nil
+}
+
+// frac draws a uniform float in [0,1).
+func (t *Generator) frac() float64 {
+	return float64(t.g.Uint64()>>11) / float64(1<<53)
+}
+
+// dataAddr draws the next data address per the profile.
+func (t *Generator) dataAddr() uint64 {
+	if t.frac() < t.p.HotFraction {
+		return t.base + uint64(t.g.Intn(int(t.p.HotSetBytes/8)))*8
+	}
+	if t.frac() < t.p.StreamFraction {
+		t.stream += t.p.StrideBytes
+		return t.base + t.p.HotSetBytes + t.stream%(t.p.WorkingSetBytes-t.p.HotSetBytes)
+	}
+	return t.base + t.p.HotSetBytes +
+		uint64(t.g.Intn(int((t.p.WorkingSetBytes-t.p.HotSetBytes)/8)))*8
+}
+
+// Next implements cpu.TraceReader.
+func (t *Generator) Next() (cpu.Inst, bool) {
+	t.n++
+	pc := 0x400000 + t.n%uint64(t.p.LoopLength)*4
+	inst := cpu.Inst{PC: pc}
+	r := t.frac()
+	switch {
+	case r < t.p.PctLoad:
+		inst.Op = cpu.OpLoad
+		inst.Addr = t.dataAddr()
+	case r < t.p.PctLoad+t.p.PctStore:
+		inst.Op = cpu.OpStore
+		inst.Addr = t.dataAddr()
+	case r < t.p.PctLoad+t.p.PctStore+t.p.PctBranch:
+		inst.Op = cpu.OpBranch
+		if t.frac() < t.p.BranchNoise {
+			inst.Taken = t.g.Intn(2) == 1
+		} else {
+			// Loop-closing behaviour: mostly taken.
+			inst.Taken = t.n%uint64(t.p.LoopLength) != 0
+		}
+	case r < t.p.PctLoad+t.p.PctStore+t.p.PctBranch+t.p.PctFp:
+		inst.Op = cpu.OpFp
+	case r < t.p.PctLoad+t.p.PctStore+t.p.PctBranch+t.p.PctFp+t.p.PctMul:
+		inst.Op = cpu.OpMul
+	default:
+		inst.Op = cpu.OpInt
+	}
+	if t.frac() < t.p.DepDensity {
+		inst.Dep1 = 1 + t.g.Intn(t.p.DepWindow)
+		if t.frac() < t.p.DepDensity/2 {
+			inst.Dep2 = 1 + t.g.Intn(t.p.DepWindow)
+		}
+	}
+	return inst, true
+}
+
+// Profiles returns the benchmark set used for Fig. 7 / Fig. 8, in the
+// paper's presentation order.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// bzip2: compression over a small hot dictionary — intense
+			// page reuse, few distinct pages (i-NVMM's best case).
+			Name:    "bzip2",
+			PctLoad: 0.26, PctStore: 0.11, PctBranch: 0.15, PctFp: 0.0, PctMul: 0.02,
+			WorkingSetBytes: 8 << 20, HotSetBytes: 3 << 20, HotFraction: 0.93,
+			StrideBytes: 64, StreamFraction: 0.7,
+			BranchNoise: 0.2, LoopLength: 800,
+			DepDensity: 0.4, DepWindow: 10,
+		},
+		{
+			// gcc: moderate footprint, branchy pointer code.
+			Name:    "gcc",
+			PctLoad: 0.25, PctStore: 0.13, PctBranch: 0.20, PctFp: 0.0, PctMul: 0.01,
+			WorkingSetBytes: 32 << 20, HotSetBytes: 1 << 20, HotFraction: 0.96,
+			StrideBytes: 64, StreamFraction: 0.3,
+			BranchNoise: 0.30, LoopLength: 4000,
+			DepDensity: 0.4, DepWindow: 12,
+		},
+		{
+			// mcf: enormous sparse working set, pointer chasing — memory
+			// bound.
+			Name:    "mcf",
+			PctLoad: 0.35, PctStore: 0.09, PctBranch: 0.19, PctFp: 0.0, PctMul: 0.0,
+			WorkingSetBytes: 256 << 20, HotSetBytes: 1 << 20, HotFraction: 0.55,
+			StrideBytes: 4096, StreamFraction: 0.1,
+			BranchNoise: 0.35, LoopLength: 600,
+			DepDensity: 0.55, DepWindow: 5,
+		},
+		{
+			// hmmer: compute-dense inner loops over moderate data.
+			Name:    "hmmer",
+			PctLoad: 0.28, PctStore: 0.08, PctBranch: 0.08, PctFp: 0.0, PctMul: 0.04,
+			WorkingSetBytes: 16 << 20, HotSetBytes: 24 << 10, HotFraction: 0.985,
+			StrideBytes: 64, StreamFraction: 0.8,
+			BranchNoise: 0.05, LoopLength: 300,
+			DepDensity: 0.3, DepWindow: 16,
+		},
+		{
+			// sjeng: game tree search touching many pages with little
+			// reuse — i-NVMM's worst case, SPE's relative win.
+			Name:    "sjeng",
+			PctLoad: 0.22, PctStore: 0.08, PctBranch: 0.21, PctFp: 0.0, PctMul: 0.01,
+			WorkingSetBytes: 180 << 20, HotSetBytes: 4 << 20, HotFraction: 0.62,
+			StrideBytes: 8192, StreamFraction: 0.4,
+			BranchNoise: 0.40, LoopLength: 2500,
+			DepDensity: 0.45, DepWindow: 8,
+		},
+		{
+			// libquantum: pure streaming over a large array.
+			Name:    "libquantum",
+			PctLoad: 0.23, PctStore: 0.10, PctBranch: 0.14, PctFp: 0.0, PctMul: 0.02,
+			WorkingSetBytes: 64 << 20, HotSetBytes: 64 << 10, HotFraction: 0.10,
+			StrideBytes: 64, StreamFraction: 0.95,
+			BranchNoise: 0.02, LoopLength: 120,
+			DepDensity: 0.3, DepWindow: 12,
+		},
+		{
+			// h264ref: video encoder — hot reference frames, streaming
+			// macroblocks.
+			Name:    "h264ref",
+			PctLoad: 0.30, PctStore: 0.12, PctBranch: 0.10, PctFp: 0.02, PctMul: 0.05,
+			WorkingSetBytes: 48 << 20, HotSetBytes: 256 << 10, HotFraction: 0.95,
+			StrideBytes: 64, StreamFraction: 0.8,
+			BranchNoise: 0.12, LoopLength: 900,
+			DepDensity: 0.35, DepWindow: 12,
+		},
+		{
+			// omnetpp: discrete event simulation — scattered heap.
+			Name:    "omnetpp",
+			PctLoad: 0.29, PctStore: 0.15, PctBranch: 0.18, PctFp: 0.01, PctMul: 0.0,
+			WorkingSetBytes: 128 << 20, HotSetBytes: 2 << 20, HotFraction: 0.72,
+			StrideBytes: 2048, StreamFraction: 0.2,
+			BranchNoise: 0.30, LoopLength: 3000,
+			DepDensity: 0.5, DepWindow: 6,
+		},
+		{
+			// astar: path-finding over a grid — moderate reuse.
+			Name:    "astar",
+			PctLoad: 0.27, PctStore: 0.09, PctBranch: 0.17, PctFp: 0.01, PctMul: 0.0,
+			WorkingSetBytes: 64 << 20, HotSetBytes: 512 << 10, HotFraction: 0.94,
+			StrideBytes: 256, StreamFraction: 0.3,
+			BranchNoise: 0.25, LoopLength: 700,
+			DepDensity: 0.5, DepWindow: 8,
+		},
+		{
+			// milc: FP lattice QCD — streaming FP over a big lattice.
+			Name:    "milc",
+			PctLoad: 0.31, PctStore: 0.14, PctBranch: 0.05, PctFp: 0.25, PctMul: 0.02,
+			WorkingSetBytes: 96 << 20, HotSetBytes: 512 << 10, HotFraction: 0.15,
+			StrideBytes: 64, StreamFraction: 0.9,
+			BranchNoise: 0.03, LoopLength: 250,
+			DepDensity: 0.4, DepWindow: 16,
+		},
+	}
+}
+
+// ProfileByName finds a profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+}

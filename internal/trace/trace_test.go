@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"testing"
+
+	"snvmm/internal/cpu"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 10 {
+		t.Fatalf("only %d profiles", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("bzip2")
+	if err != nil || p.Name != "bzip2" {
+		t.Errorf("ProfileByName failed: %v", err)
+	}
+	if _, err := ProfileByName("doom"); err == nil {
+		t.Error("expected unknown-profile error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	p.PctLoad = 0.9
+	p.PctStore = 0.5
+	if err := p.Validate(); err == nil {
+		t.Error("mix > 1 accepted")
+	}
+	p, _ = ProfileByName("gcc")
+	p.HotSetBytes = p.WorkingSetBytes * 2
+	if err := p.Validate(); err == nil {
+		t.Error("hot > total accepted")
+	}
+	p, _ = ProfileByName("gcc")
+	p.LoopLength = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero loop accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ProfileByName("bzip2")
+	g1, err := NewGenerator(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(p, 42)
+	for i := 0; i < 10000; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a != b {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+	g3, _ := NewGenerator(p, 43)
+	diff := false
+	for i := 0; i < 1000; i++ {
+		a, _ := g1.Next()
+		b, _ := g3.Next()
+		if a != b {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestInstructionMixMatchesProfile(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g, _ := NewGenerator(p, 7)
+	const n = 200000
+	counts := map[cpu.OpType]int{}
+	for i := 0; i < n; i++ {
+		inst, ok := g.Next()
+		if !ok {
+			t.Fatal("generator ended")
+		}
+		counts[inst.Op]++
+	}
+	check := func(op cpu.OpType, want float64) {
+		got := float64(counts[op]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%v fraction %g, want ~%g", op, got, want)
+		}
+	}
+	check(cpu.OpLoad, p.PctLoad)
+	check(cpu.OpStore, p.PctStore)
+	check(cpu.OpBranch, p.PctBranch)
+}
+
+func TestAddressesWithinWorkingSet(t *testing.T) {
+	p, _ := ProfileByName("sjeng")
+	g, _ := NewGenerator(p, 3)
+	hot, cold := 0, 0
+	for i := 0; i < 100000; i++ {
+		inst, _ := g.Next()
+		if inst.Op != cpu.OpLoad && inst.Op != cpu.OpStore {
+			continue
+		}
+		off := inst.Addr - g.base
+		if off >= p.WorkingSetBytes {
+			t.Fatalf("address %#x outside working set", inst.Addr)
+		}
+		if off < p.HotSetBytes {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	frac := float64(hot) / float64(hot+cold)
+	if frac < p.HotFraction-0.1 || frac > p.HotFraction+0.1 {
+		t.Errorf("hot fraction %g, want ~%g", frac, p.HotFraction)
+	}
+}
+
+func TestFootprintDiffersBetweenProfiles(t *testing.T) {
+	// bzip2 must touch far fewer distinct pages than sjeng — the property
+	// that separates i-NVMM from SPE in Fig. 8.
+	pages := func(name string) int {
+		p, _ := ProfileByName(name)
+		g, _ := NewGenerator(p, 11)
+		seen := map[uint64]bool{}
+		for i := 0; i < 300000; i++ {
+			inst, _ := g.Next()
+			if inst.Op == cpu.OpLoad || inst.Op == cpu.OpStore {
+				seen[inst.Addr>>12] = true
+			}
+		}
+		return len(seen)
+	}
+	b, s := pages("bzip2"), pages("sjeng")
+	if b*4 > s {
+		t.Errorf("bzip2 pages %d not much smaller than sjeng %d", b, s)
+	}
+}
+
+func TestBranchPredictabilityDiffers(t *testing.T) {
+	// hmmer branches should be far more predictable than sjeng's.
+	mispredictRate := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		g, _ := NewGenerator(p, 5)
+		type fakeMem struct{ perfect }
+		c, err := cpu.New(cpu.DefaultConfig(), &perfect{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := c.Run(g, 200000)
+		return float64(st.Mispredicts) / float64(st.Branches)
+	}
+	if h, s := mispredictRate("hmmer"), mispredictRate("sjeng"); h >= s {
+		t.Errorf("hmmer mispredict %g >= sjeng %g", h, s)
+	}
+}
+
+// perfect is a fixed-latency memory for the predictability test.
+type perfect struct{}
+
+func (perfect) LoadLatency(addr, now uint64) uint64 { return 4 }
+func (perfect) StoreAccess(addr, now uint64) uint64 { return 4 }
+func (perfect) FetchLatency(pc, now uint64) uint64  { return 1 }
+func (perfect) Tick(now uint64)                     {}

@@ -1,0 +1,158 @@
+package wearlevel
+
+import (
+	"testing"
+)
+
+func newMapper(t *testing.T, n, interval int) *Mapper {
+	t.Helper()
+	m, err := New(n, interval, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, 10, 1); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := New(1, 10, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := New(64, 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestMapIsInjective(t *testing.T) {
+	m := newMapper(t, 256, 10)
+	for round := 0; round < 3; round++ {
+		seen := map[int]bool{}
+		for la := 0; la < 256; la++ {
+			pa, err := m.Map(la)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pa < 0 || pa >= m.PhysicalLines() {
+				t.Fatalf("physical %d out of range", pa)
+			}
+			if pa == m.gap {
+				t.Fatalf("logical %d mapped onto the gap", la)
+			}
+			if seen[pa] {
+				t.Fatalf("round %d: collision at physical %d", round, pa)
+			}
+			seen[pa] = true
+		}
+		// Rotate the gap a few times and re-check.
+		for i := 0; i < 100; i++ {
+			m.moveGap()
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := newMapper(t, 64, 10)
+	if _, err := m.Map(-1); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := m.Map(64); err == nil {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestGapRotation(t *testing.T) {
+	m := newMapper(t, 16, 1) // gap moves on every write
+	startGap := m.gap
+	if _, err := m.WriteNotify(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.gap == startGap {
+		t.Error("gap did not move")
+	}
+	// After n+1 moves the gap is back where it started and start advanced.
+	for i := 0; i < m.n; i++ {
+		m.moveGap()
+	}
+	if m.gap != startGap {
+		t.Errorf("gap = %d after full revolution, want %d", m.gap, startGap)
+	}
+	if m.start == 0 {
+		t.Error("start offset did not advance after a revolution")
+	}
+}
+
+func TestMappingChangesOverTime(t *testing.T) {
+	m := newMapper(t, 64, 1)
+	before, _ := m.Map(7)
+	for i := 0; i < 200; i++ {
+		if _, err := m.WriteNotify(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := m.Map(7)
+	if before == after && m.Moves == 0 {
+		t.Error("mapping static despite gap movement")
+	}
+	if m.Moves != 200 {
+		t.Errorf("moves = %d, want 200", m.Moves)
+	}
+}
+
+func TestSimulateAttackLifetimeGain(t *testing.T) {
+	const limit = 1000
+	const n = 64
+	// Baseline: no leveling dies after exactly `limit` writes.
+	base := &NoLeveling{N: n}
+	wear := uint64(0)
+	for wear < limit {
+		if _, err := base.WriteNotify(5); err != nil {
+			t.Fatal(err)
+		}
+		wear++
+	}
+	// Start-gap: the same attack is absorbed far longer.
+	m := newMapper(t, n, 10)
+	res, err := SimulateAttack(m, 5, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWrites <= limit*2 {
+		t.Errorf("start-gap lifetime %d, want >> %d", res.TotalWrites, limit)
+	}
+	t.Logf("endurance attack: baseline dies at %d writes; start-gap absorbs %d (%.1fx)",
+		limit, res.TotalWrites, res.Leveling)
+	// The paper's start-gap reaches a large fraction of the ideal n*limit.
+	if res.Leveling < float64(n)/4 {
+		t.Errorf("leveling factor %.1f too low for n=%d", res.Leveling, n)
+	}
+}
+
+func TestFeistelIsPermutation(t *testing.T) {
+	for _, n := range []int{4, 32, 128, 1024} {
+		m := newMapper(t, n, 10)
+		seen := make([]bool, n)
+		for a := 0; a < n; a++ {
+			v := m.feistel(a)
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d: feistel not a permutation at %d -> %d", n, a, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFeistelSeedSensitivity(t *testing.T) {
+	m1, _ := New(256, 10, 1)
+	m2, _ := New(256, 10, 2)
+	same := 0
+	for a := 0; a < 256; a++ {
+		if m1.feistel(a) == m2.feistel(a) {
+			same++
+		}
+	}
+	if same > 32 {
+		t.Errorf("%d/256 fixed points across seeds; randomizer too weak", same)
+	}
+}

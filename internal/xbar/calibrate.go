@@ -1,0 +1,261 @@
+package xbar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"snvmm/internal/device"
+)
+
+// Calibration holds the per-PoE data the SPECU characterizes once per
+// crossbar at manufacture: the polyomino shape, the baseline sneak voltage
+// of each shape cell at the mid state, the linearized sensitivity of that
+// voltage to the state of every cell outside the polyomino, and the band
+// edges that quantize the resulting voltage deviation into the three
+// strength classes.
+//
+// During a pulse the voltage across a polyomino cell is modelled as
+//
+//	v = base + sum_m w[m] * (x_m - 0.5)    (m ranges over complement cells)
+//
+// where x_m is the state of complement cell m. Because the complement of a
+// polyomino is untouched by its own pulse, this quantity is bit-identical
+// when the pulse is undone during decryption, which makes the quantized
+// encryption exactly invertible while remaining data- and
+// hardware-dependent (Section 6.1's avalanche experiments).
+type Calibration struct {
+	cfg Config
+
+	// Per PoE (linear cell index): lazily filled by ensure().
+	shapes   [][]Cell
+	base     [][]float64
+	sens     [][][]float64 // [poe][shapeCell][cellIdx]; zero for shape cells
+	edges    [][][2]float64
+	prepared []bool
+
+	xb *Crossbar // reference crossbar used for solves (nominal state)
+}
+
+// Calibrate builds an empty calibration bound to the crossbar's geometry and
+// fabrication variation. Per-PoE data is computed lazily on first use.
+func Calibrate(x *Crossbar) *Calibration {
+	n := x.Cfg.Cells()
+	return &Calibration{
+		cfg:      x.Cfg,
+		shapes:   make([][]Cell, n),
+		base:     make([][]float64, n),
+		sens:     make([][][]float64, n),
+		edges:    make([][][2]float64, n),
+		prepared: make([]bool, n),
+		xb:       x,
+	}
+}
+
+// sensDelta is the state perturbation used for the finite-difference
+// sensitivity extraction.
+const sensDelta = 0.25
+
+// calSamples is the number of random data samples used to place the strength
+// band edges.
+const calSamples = 512
+
+// ensure computes the calibration record for one PoE.
+func (c *Calibration) ensure(poe Cell) error {
+	pi := c.cfg.Index(poe)
+	if c.prepared[pi] {
+		return nil
+	}
+	shape, err := c.xb.Shape(poe)
+	if err != nil {
+		return err
+	}
+	if len(shape) == 0 {
+		return fmt.Errorf("xbar: PoE %+v has empty polyomino", poe)
+	}
+	inShape := make([]bool, c.cfg.Cells())
+	for _, cell := range shape {
+		inShape[c.cfg.Index(cell)] = true
+	}
+	// Baseline solve: everything at mid state. The system is factored once
+	// and each complement-cell perturbation is re-solved with a rank-1
+	// Sherman-Morrison update, which makes full-device calibration cheap
+	// enough to run per crossbar instance.
+	midR := c.xb.midR()
+	nw, cellEdge, err := c.xb.buildNetwork(poe, midR)
+	if err != nil {
+		return err
+	}
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		return err
+	}
+	dv0 := c.xb.cellDrops(fac.Base())
+	base := make([]float64, len(shape))
+	for k, cell := range shape {
+		base[k] = abs(dv0[c.cfg.Index(cell)])
+	}
+	// Finite-difference sensitivities: perturb each complement cell's
+	// state by +sensDelta and record the voltage change at each shape
+	// cell.
+	sens := make([][]float64, len(shape))
+	for k := range sens {
+		sens[k] = make([]float64, c.cfg.Cells())
+	}
+	for m := 0; m < c.cfg.Cells(); m++ {
+		if inShape[m] {
+			continue
+		}
+		pr := c.xb.params[m]
+		rPert := pr.ROn + (pr.ROff-pr.ROn)*(0.5+sensDelta)
+		sol, err := fac.SolveEdgePerturbed(cellEdge+m, rPert+c.cfg.RAccess)
+		if err != nil {
+			return err
+		}
+		dv := c.xb.cellDrops(sol)
+		for k, cell := range shape {
+			sens[k][m] = (abs(dv[c.cfg.Index(cell)]) - base[k]) / sensDelta
+		}
+	}
+	// Place band edges so the three strength classes are balanced over
+	// random data. The sampling is seeded from the crossbar seed so the
+	// calibration is a pure function of the configuration.
+	edges := make([][2]float64, len(shape))
+	rng := rand.New(rand.NewSource(c.xb.Cfg.Seed*1315423911 + int64(pi)))
+	devs := make([]float64, calSamples)
+	for k := range shape {
+		for s := 0; s < calSamples; s++ {
+			d := 0.0
+			for m := 0; m < c.cfg.Cells(); m++ {
+				if inShape[m] || sens[k][m] == 0 {
+					continue
+				}
+				lvl := rng.Intn(device.Levels)
+				d += sens[k][m] * (device.LevelCenter(lvl) - 0.5)
+			}
+			devs[s] = d
+		}
+		sort.Float64s(devs)
+		lo := devs[calSamples/3]
+		hi := devs[2*calSamples/3]
+		if hi-lo < 1e-15 { // degenerate: no data sensitivity at this cell
+			lo, hi = -1e300, 1e300
+		}
+		edges[k] = [2]float64{lo, hi}
+	}
+	c.shapes[pi] = shape
+	c.base[pi] = base
+	c.sens[pi] = sens
+	c.edges[pi] = edges
+	c.prepared[pi] = true
+	return nil
+}
+
+// Shape returns the calibrated polyomino for a PoE.
+func (c *Calibration) Shape(poe Cell) ([]Cell, error) {
+	if err := c.ensure(poe); err != nil {
+		return nil, err
+	}
+	return c.shapes[c.cfg.Index(poe)], nil
+}
+
+// deviations computes, per shape cell, the linearized sneak-voltage
+// deviation induced by the data stored outside the polyomino. The summation
+// order is fixed (ascending cell index) so the value is bit-identical
+// between the encryption of a pulse and its later inversion.
+func (c *Calibration) deviations(levels []int, poe Cell) ([]float64, error) {
+	if err := c.ensure(poe); err != nil {
+		return nil, err
+	}
+	pi := c.cfg.Index(poe)
+	shape := c.shapes[pi]
+	inShape := make([]bool, c.cfg.Cells())
+	for _, cell := range shape {
+		inShape[c.cfg.Index(cell)] = true
+	}
+	out := make([]float64, len(shape))
+	for k := range shape {
+		d := 0.0
+		w := c.sens[pi][k]
+		for m, wm := range w {
+			if wm == 0 || inShape[m] {
+				continue
+			}
+			d += wm * (device.LevelCenter(levels[m]) - 0.5)
+		}
+		out[k] = d
+	}
+	return out, nil
+}
+
+// Strengths returns the voltage class (1..3) of every shape cell for the
+// given crossbar state. The class depends only on cells outside the
+// polyomino.
+func (c *Calibration) Strengths(levels []int, poe Cell) ([]int, error) {
+	devs, err := c.deviations(levels, poe)
+	if err != nil {
+		return nil, err
+	}
+	pi := c.cfg.Index(poe)
+	out := make([]int, len(devs))
+	for k, d := range devs {
+		e := c.edges[pi][k]
+		switch {
+		case d < e[0]:
+			out[k] = 1
+		case d < e[1]:
+			out[k] = 2
+		default:
+			out[k] = 3
+		}
+	}
+	return out, nil
+}
+
+// Mixers returns, per shape cell, a 64-bit mixing word derived from the
+// exact solved voltage (baseline + data-dependent deviation) at comparator
+// resolution. The SPECU's voltage classification reads the sneak voltage
+// through a high-gain comparator bank, so the resulting level permutation
+// is an extremely sensitive — yet fully deterministic and, because it
+// depends only on complement data, exactly invertible — function of the
+// state of the cells outside the polyomino. This sensitivity is what gives
+// SPE its avalanche behaviour (Section 6.1).
+func (c *Calibration) Mixers(levels []int, poe Cell) ([]uint64, error) {
+	devs, err := c.deviations(levels, poe)
+	if err != nil {
+		return nil, err
+	}
+	pi := c.cfg.Index(poe)
+	out := make([]uint64, len(devs))
+	for k, d := range devs {
+		v := c.base[pi][k] + d
+		out[k] = splitmix64(math.Float64bits(v) ^ uint64(pi)<<32 ^ uint64(k))
+	}
+	return out, nil
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// Baseline returns the calibrated mid-state |voltage| of each shape cell —
+// used by the Fig. 4 style reporting and by tests.
+func (c *Calibration) Baseline(poe Cell) ([]float64, error) {
+	if err := c.ensure(poe); err != nil {
+		return nil, err
+	}
+	return c.base[c.cfg.Index(poe)], nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

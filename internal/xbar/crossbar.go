@@ -1,0 +1,276 @@
+package xbar
+
+import (
+	"fmt"
+
+	"snvmm/internal/circuit"
+	"snvmm/internal/device"
+)
+
+// Crossbar is one 1T1M array instance with quantized MLC state.
+type Crossbar struct {
+	Cfg    Config
+	params []device.Params // per-cell (fabrication-varied) parameters
+	levels []int           // per-cell MLC level, row-major
+	wear   []uint64        // per-cell pulse count, for endurance studies
+}
+
+// New builds a crossbar with all cells at level 0.
+func New(cfg Config) (*Crossbar, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Cells()
+	return &Crossbar{
+		Cfg:    cfg,
+		params: cfg.cellParams(),
+		levels: make([]int, n),
+		wear:   make([]uint64, n),
+	}, nil
+}
+
+// Levels returns a copy of the per-cell MLC levels.
+func (x *Crossbar) Levels() []int {
+	out := make([]int, len(x.levels))
+	copy(out, x.levels)
+	return out
+}
+
+// SetLevels overwrites the cell state. The slice length must equal Cells().
+func (x *Crossbar) SetLevels(levels []int) error {
+	if len(levels) != len(x.levels) {
+		return fmt.Errorf("xbar: SetLevels length %d != %d", len(levels), len(x.levels))
+	}
+	for i, l := range levels {
+		if l < 0 || l >= device.Levels {
+			return fmt.Errorf("xbar: level %d at cell %d out of range", l, i)
+		}
+	}
+	copy(x.levels, levels)
+	return nil
+}
+
+// Wear returns a copy of the per-cell pulse counts.
+func (x *Crossbar) Wear() []uint64 {
+	out := make([]uint64, len(x.wear))
+	copy(out, x.wear)
+	return out
+}
+
+// BlockBytes is the data capacity of one crossbar in bytes: each cell stores
+// 2 bits, row-major, least-significant pair first within a byte.
+func (x *Crossbar) BlockBytes() int { return x.Cfg.Cells() / 4 }
+
+// WriteBlock programs plaintext data into the array (the paper's write
+// phase: a normal MLC write with sneak paths suppressed). data must be
+// exactly BlockBytes long.
+func (x *Crossbar) WriteBlock(data []byte) error {
+	if len(data) != x.BlockBytes() {
+		return fmt.Errorf("xbar: WriteBlock needs %d bytes, got %d", x.BlockBytes(), len(data))
+	}
+	for i := 0; i < x.Cfg.Cells(); i++ {
+		bits := data[i/4] >> uint((i%4)*2) & 0x3
+		x.levels[i] = device.BitsLevel(bits)
+		x.wear[i]++
+	}
+	return nil
+}
+
+// ReadBlock senses the array (transistor-gated, sneak-free) and returns the
+// stored bits.
+func (x *Crossbar) ReadBlock() []byte {
+	out := make([]byte, x.BlockBytes())
+	for i := 0; i < x.Cfg.Cells(); i++ {
+		out[i/4] |= device.LevelBits(x.levels[i]) << uint((i%4)*2)
+	}
+	return out
+}
+
+// resistance returns the present resistance of cell i at the given level
+// using that cell's fabrication-varied parameters.
+func (x *Crossbar) resistance(i, level int) float64 {
+	p := x.params[i]
+	return p.ROn + (p.ROff-p.ROn)*device.LevelCenter(level)
+}
+
+// midResistance returns cell i's resistance at the mid state x = 0.5, the
+// calibration reference point.
+func (x *Crossbar) midResistance(i int) float64 {
+	p := x.params[i]
+	return p.ROn + (p.ROff-p.ROn)*0.5
+}
+
+// Node numbering for the sneak network:
+//
+//	0                      ground
+//	1 + r*Cols + j         row-line junction of row r at column j
+//	1 + R*C + c*Rows + i   column-line junction of column c at row i
+//	1 + 2*R*C + r          row terminal r
+//	1 + 2*R*C + Rows + c   column terminal c
+func (x *Crossbar) rowNode(r, j int) int { return 1 + r*x.Cfg.Cols + j }
+func (x *Crossbar) colNode(i, c int) int { return 1 + x.Cfg.Rows*x.Cfg.Cols + c*x.Cfg.Rows + i }
+func (x *Crossbar) rowTerm(r int) int    { return 1 + 2*x.Cfg.Rows*x.Cfg.Cols + r }
+func (x *Crossbar) colTerm(c int) int {
+	return 1 + 2*x.Cfg.Rows*x.Cfg.Cols + x.Cfg.Rows + c
+}
+func (x *Crossbar) totalNodes() int { return 1 + 2*x.Cfg.Rows*x.Cfg.Cols + x.Cfg.Rows + x.Cfg.Cols }
+
+// SolveVoltages computes the voltage across every cell when a pulse of
+// amplitude +VDrive/-VDrive is applied at the PoE's row/column with all
+// transistors on (sneak mode) and every other line held at ground through
+// its keeper. cellR gives the per-cell resistance to use (len Cells());
+// pass nil to use the current quantized state.
+//
+// The returned slice has one entry per cell: V(row junction) - V(column
+// junction), the drop across memristor+access device.
+func (x *Crossbar) SolveVoltages(poe Cell, cellR []float64) ([]float64, error) {
+	nw, _, err := x.buildNetwork(poe, cellR)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := nw.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return x.cellDrops(sol), nil
+}
+
+// cellDrops extracts the per-cell voltage drop from a network solution.
+func (x *Crossbar) cellDrops(sol *circuit.Solution) []float64 {
+	cfg := x.Cfg
+	out := make([]float64, cfg.Cells())
+	for r := 0; r < cfg.Rows; r++ {
+		for j := 0; j < cfg.Cols; j++ {
+			out[cfg.Index(Cell{Row: r, Col: j})] = sol.V[x.rowNode(r, j)] - sol.V[x.colNode(r, j)]
+		}
+	}
+	return out
+}
+
+// buildNetwork assembles the sneak-mode network for a pulse at the PoE. It
+// returns the network and the edge index of cell 0 (cells occupy
+// consecutive edge indices in row-major order), which the calibration uses
+// for fast single-resistor perturbation re-solves.
+func (x *Crossbar) buildNetwork(poe Cell, cellR []float64) (*circuit.Network, int, error) {
+	cfg := x.Cfg
+	if !cfg.InBounds(poe) {
+		return nil, 0, fmt.Errorf("xbar: PoE %+v out of bounds", poe)
+	}
+	if cellR == nil {
+		cellR = make([]float64, cfg.Cells())
+		for i := range cellR {
+			cellR[i] = x.resistance(i, x.levels[i])
+		}
+	} else if len(cellR) != cfg.Cells() {
+		return nil, 0, fmt.Errorf("xbar: cellR length %d != %d", len(cellR), cfg.Cells())
+	}
+	nw := circuit.NewNetwork(x.totalNodes())
+	// Wire segments. Terminals attach at column 0 (rows) and row 0
+	// (columns).
+	for r := 0; r < cfg.Rows; r++ {
+		if err := nw.AddResistor(x.rowTerm(r), x.rowNode(r, 0), nz(cfg.RWireRow)); err != nil {
+			return nil, 0, err
+		}
+		for j := 0; j+1 < cfg.Cols; j++ {
+			if err := nw.AddResistor(x.rowNode(r, j), x.rowNode(r, j+1), nz(cfg.RWireRow)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		if err := nw.AddResistor(x.colTerm(c), x.colNode(0, c), nz(cfg.RWireCol)); err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i+1 < cfg.Rows; i++ {
+			if err := nw.AddResistor(x.colNode(i, c), x.colNode(i+1, c), nz(cfg.RWireCol)); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	// Cells: memristor + access transistor in series, all on in sneak mode.
+	// Cell edges occupy consecutive indices starting at cellEdgeStart.
+	cellEdgeStart := cfg.Rows*cfg.Cols + cfg.Cols*cfg.Rows
+	for r := 0; r < cfg.Rows; r++ {
+		for j := 0; j < cfg.Cols; j++ {
+			i := cfg.Index(Cell{Row: r, Col: j})
+			if err := nw.AddResistor(x.rowNode(r, j), x.colNode(r, j), cellR[i]+cfg.RAccess); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	// Drives and keepers.
+	for r := 0; r < cfg.Rows; r++ {
+		if r == poe.Row {
+			if err := nw.FixVoltage(x.rowTerm(r), cfg.VDrive); err != nil {
+				return nil, 0, err
+			}
+		} else if err := nw.AddResistor(x.rowTerm(r), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		if c == poe.Col {
+			if err := nw.FixVoltage(x.colTerm(c), -cfg.VDrive); err != nil {
+				return nil, 0, err
+			}
+		} else if err := nw.AddResistor(x.colTerm(c), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nw, cellEdgeStart, nil
+}
+
+// nz guards against zero wire resistance (an ideal wire would merge nodes);
+// a tiny positive value keeps the network well-posed.
+func nz(r float64) float64 {
+	if r <= 0 {
+		return 1e-3
+	}
+	return r
+}
+
+// midR returns the per-cell mid-state resistance vector.
+func (x *Crossbar) midR() []float64 {
+	out := make([]float64, x.Cfg.Cells())
+	for i := range out {
+		out[i] = x.midResistance(i)
+	}
+	return out
+}
+
+// VoltageMap solves the sneak network at the nominal mid state and returns
+// |voltage| per cell — the Fig. 4 quantity.
+func (x *Crossbar) VoltageMap(poe Cell) ([]float64, error) {
+	dv, err := x.SolveVoltages(poe, x.midR())
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range dv {
+		if v < 0 {
+			dv[i] = -v
+		}
+	}
+	return dv, nil
+}
+
+// Shape returns the polyomino of a PoE under the configured rule.
+func (x *Crossbar) Shape(poe Cell) ([]Cell, error) {
+	switch x.Cfg.Shape {
+	case ShapePaper:
+		return x.Cfg.PaperShape(poe), nil
+	case ShapeVoltage:
+		dv, err := x.VoltageMap(poe)
+		if err != nil {
+			return nil, err
+		}
+		var out []Cell
+		for i, v := range dv {
+			if v >= x.params[i].VtOff {
+				out = append(out, x.Cfg.CellAt(i))
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("xbar: unknown shape rule %d", x.Cfg.Shape)
+	}
+}

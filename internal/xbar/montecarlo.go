@@ -1,0 +1,127 @@
+package xbar
+
+import (
+	"math/rand"
+)
+
+// MonteCarloResult summarizes a parametric-variation study of the polyomino
+// shape (Section 5: ±5 % wire-resistance variation does not change the
+// polyomino; macro-level parameter changes do).
+type MonteCarloResult struct {
+	Samples      int
+	ShapeChanged int     // samples whose voltage-rule polyomino differs from nominal
+	MaxVoltDelta float64 // worst per-cell |dv| deviation from nominal, volts
+}
+
+// MonteCarloShape perturbs wire resistances by a uniform factor in
+// [1-wireVar, 1+wireVar] and device resistance bounds by deviceVar, solving
+// the voltage-rule polyomino each time and comparing to the nominal shape.
+func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float64, seed int64) (MonteCarloResult, error) {
+	nomCfg := cfg
+	nomCfg.Shape = ShapeVoltage
+	nom, err := New(nomCfg)
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	nomShape, err := nom.Shape(poe)
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	nomMap, err := nom.VoltageMap(poe)
+	if err != nil {
+		return MonteCarloResult{}, err
+	}
+	nomKey := shapeKey(nomCfg, nomShape)
+
+	res := MonteCarloResult{Samples: samples}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < samples; s++ {
+		c := nomCfg
+		f := func(v float64, frac float64) float64 { return v * (1 + frac*(2*rng.Float64()-1)) }
+		c.RWireRow = f(c.RWireRow, wireVar)
+		c.RWireCol = f(c.RWireCol, wireVar)
+		if deviceVar > 0 {
+			c.Device.ROn = f(c.Device.ROn, deviceVar)
+			c.Device.ROff = f(c.Device.ROff, deviceVar)
+			if c.Device.ROff <= c.Device.ROn {
+				c.Device.ROff = c.Device.ROn * 1.5
+			}
+		}
+		xb, err := New(c)
+		if err != nil {
+			return res, err
+		}
+		shape, err := xb.Shape(poe)
+		if err != nil {
+			return res, err
+		}
+		if shapeKey(c, shape) != nomKey {
+			res.ShapeChanged++
+		}
+		m, err := xb.VoltageMap(poe)
+		if err != nil {
+			return res, err
+		}
+		for i := range m {
+			if d := abs(m[i] - nomMap[i]); d > res.MaxVoltDelta {
+				res.MaxVoltDelta = d
+			}
+		}
+	}
+	return res, nil
+}
+
+// shapeKey builds a canonical bitset string for a cell set.
+func shapeKey(cfg Config, cells []Cell) string {
+	b := make([]byte, cfg.Cells())
+	for i := range b {
+		b[i] = '0'
+	}
+	for _, c := range cells {
+		b[cfg.Index(c)] = '1'
+	}
+	return string(b)
+}
+
+// DynamicShapeStability quantifies the assumption behind calibrated
+// polyomino shapes (DESIGN.md "physics layer"): across random stored data,
+// how often does the live-state voltage-rule polyomino differ from the
+// calibrated (mid-state) one? The paper asserts stability under small
+// perturbations; this measures it for full data swings. Returns the
+// fraction of samples whose membership set changed and the mean per-cell
+// membership mismatch.
+func (x *Crossbar) DynamicShapeStability(poe Cell, samples int, seed int64) (changedFrac, cellMismatch float64, err error) {
+	calMap, err := x.VoltageMap(poe)
+	if err != nil {
+		return 0, 0, err
+	}
+	calSet := make([]bool, x.Cfg.Cells())
+	for i, v := range calMap {
+		calSet[i] = v >= x.params[i].VtOff
+	}
+	rng := rand.New(rand.NewSource(seed))
+	changed, mismatches := 0, 0
+	for s := 0; s < samples; s++ {
+		cellR := make([]float64, x.Cfg.Cells())
+		for i := range cellR {
+			cellR[i] = x.resistance(i, rng.Intn(4))
+		}
+		dv, err := x.SolveVoltages(poe, cellR)
+		if err != nil {
+			return 0, 0, err
+		}
+		diff := 0
+		for i, v := range dv {
+			member := abs(v) >= x.params[i].VtOff
+			if member != calSet[i] {
+				diff++
+			}
+		}
+		if diff > 0 {
+			changed++
+		}
+		mismatches += diff
+	}
+	return float64(changed) / float64(samples),
+		float64(mismatches) / float64(samples*x.Cfg.Cells()), nil
+}

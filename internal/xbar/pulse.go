@@ -1,0 +1,105 @@
+package xbar
+
+import (
+	"fmt"
+
+	"snvmm/internal/device"
+)
+
+// The quantized pulse layer. A pulse is identified by its class in
+// [0, device.NumPulses): classes 0..15 are +1 V pulses of increasing width,
+// classes 16..31 the -1 V counterparts. Applying class w+16 is the physical
+// inverse of class w (opposite polarity, hysteresis-calibrated width), which
+// the level permutations mirror exactly.
+
+// permutations of {0,1,2,3} in lexicographic order; perms[0] is the
+// identity. Generated once at package init.
+var perms = allPerms()
+var invPerms = invertAll(perms)
+
+func allPerms() [][4]int {
+	var out [][4]int
+	var rec func(cur []int, used [4]bool)
+	rec = func(cur []int, used [4]bool) {
+		if len(cur) == 4 {
+			var p [4]int
+			copy(p[:], cur)
+			out = append(out, p)
+			return
+		}
+		for v := 0; v < 4; v++ {
+			if !used[v] {
+				used[v] = true
+				rec(append(cur, v), used)
+				used[v] = false
+			}
+		}
+	}
+	rec(nil, [4]bool{})
+	return out
+}
+
+func invertAll(ps [][4]int) [][4]int {
+	out := make([][4]int, len(ps))
+	for i, p := range ps {
+		var inv [4]int
+		for a, b := range p {
+			inv[b] = a
+		}
+		out[i] = inv
+	}
+	return out
+}
+
+// permIndex selects the level permutation a cell undergoes for a given
+// positive pulse width class (0..15), the cell's voltage mixing word, and
+// the cell position. The mapping is a fixed hardware property — the key
+// influences it only through the pulse class and PoE sequence; the data
+// influences it through the mixer (the comparator-resolution sneak
+// voltage).
+func permIndex(width int, mixer uint64, cellIdx int) int {
+	h := mixer ^ uint64(width)*0x9E3779B97F4A7C15 ^ uint64(cellIdx)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	return int(h % uint64(len(perms)))
+}
+
+// ApplyPulse applies pulse class `class` at the PoE: every cell in the
+// calibrated polyomino maps its level through the permutation selected by
+// (width class, solved sneak voltage, position). Negative-polarity classes
+// (>= 16) apply the inverse permutation of their positive counterpart —
+// the hysteresis-matched decrypt pulse.
+func (x *Crossbar) ApplyPulse(cal *Calibration, poe Cell, class int) error {
+	if class < 0 || class >= device.NumPulses {
+		return fmt.Errorf("xbar: pulse class %d out of range", class)
+	}
+	shape, err := cal.Shape(poe)
+	if err != nil {
+		return err
+	}
+	mixers, err := cal.Mixers(x.levels, poe)
+	if err != nil {
+		return err
+	}
+	width := class % device.NumWidths
+	negative := class >= device.NumWidths
+	for k, cell := range shape {
+		i := x.Cfg.Index(cell)
+		pi := permIndex(width, mixers[k], i)
+		if negative {
+			x.levels[i] = invPerms[pi][x.levels[i]]
+		} else {
+			x.levels[i] = perms[pi][x.levels[i]]
+		}
+		x.wear[i]++
+	}
+	return nil
+}
+
+// InverseClass returns the pulse class that physically undoes `class`: the
+// opposite-polarity pulse of hysteresis-calibrated width.
+func InverseClass(class int) int {
+	if class >= device.NumWidths {
+		return class - device.NumWidths
+	}
+	return class + device.NumWidths
+}

@@ -1,0 +1,137 @@
+package snvmm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func openTestDevice(t *testing.T, opt Options) *Device {
+	t.Helper()
+	d, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceLifecycle(t *testing.T) {
+	d := openTestDevice(t, DefaultOptions())
+	if d.PoECount() != 16 {
+		t.Errorf("PoECount = %d, want 16", d.PoECount())
+	}
+	if err := d.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PowerOn(); err == nil {
+		t.Error("double power-on should fail")
+	}
+	secret := make([]byte, BlockSize)
+	copy(secret, []byte("root:$6$salted$hash"))
+	if err := d.Write(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("read-back mismatch")
+	}
+	if err := d.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	// Attack 1: the dump after power-off is ciphertext.
+	dump, err := d.Steal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(dump, secret) || bytes.Contains(dump, []byte("salted")) {
+		t.Error("plaintext leaked after power-off")
+	}
+	// Reads fail without the key.
+	if _, err := d.Read(0); err == nil {
+		t.Error("read without power should fail")
+	}
+	// Instant-on: power up restores access.
+	if err := d.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = d.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("data lost across power cycle")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	d := openTestDevice(t, DefaultOptions())
+	if err := d.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, make([]byte, 10)); err == nil {
+		t.Error("short write accepted")
+	}
+	if err := d.Write(7, make([]byte, BlockSize)); err == nil {
+		t.Error("unaligned write accepted")
+	}
+}
+
+func TestSerialModeFlush(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Mode = Serial
+	d := openTestDevice(t, opt)
+	if err := d.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(0, make([]byte, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if f := d.EncryptedFraction(); f == 1 {
+		t.Error("serial read should leave plaintext")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f := d.EncryptedFraction(); f != 1 {
+		t.Errorf("fraction %g after flush", f)
+	}
+}
+
+func TestPlacementCellsCopy(t *testing.T) {
+	d := openTestDevice(t, DefaultOptions())
+	p := d.PlacementCells()
+	if len(p) != 16 {
+		t.Fatalf("placement size %d", len(p))
+	}
+	p[0].Row = 99 // mutating the copy must not affect the device
+	if d.PlacementCells()[0].Row == 99 {
+		t.Error("PlacementCells exposes internal state")
+	}
+}
+
+func TestDistinctDevicesDistinctCiphertext(t *testing.T) {
+	mk := func(seed int64) []byte {
+		opt := DefaultOptions()
+		opt.Seed = seed
+		d := openTestDevice(t, opt)
+		if err := d.PowerOn(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(0, make([]byte, BlockSize)); err != nil {
+			t.Fatal(err)
+		}
+		dump, err := d.Steal(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dump
+	}
+	if bytes.Equal(mk(1), mk(2)) {
+		t.Error("two devices produced identical ciphertext for the same plaintext")
+	}
+}
