@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test test-race vet fuzz bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race suite: everything under the race detector. This is the gate for
+# changes to internal/core's sharded SPECU, the worker pool and the batch
+# layer (see DESIGN.md, "Concurrency model").
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over the round-trip harnesses; lengthen -fuzztime for a
+# real hunt.
+fuzz:
+	$(GO) test ./internal/core -run xxx -fuzz FuzzSPERoundTrip -fuzztime 30s
+	$(GO) test ./internal/cipher/stream -run xxx -fuzz FuzzStreamRoundTrip -fuzztime 30s
+
+# Sequential-vs-sharded SPECU throughput (EXPERIMENTS.md records results).
+bench:
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkSPECU' -benchtime 20x
+
+ci:
+	./ci.sh

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// The batched service layer: a SPECU fronting main memory must service
+// many outstanding L2 misses at once. Serve attaches a bounded worker pool
+// to the SPECU; the *Batch methods then queue independent block operations
+// behind it (one task per block, fanning each block's crossbars out as
+// subtasks), with context-based cancellation. Without Serve the batch
+// methods degrade gracefully to the sequential path, so callers need not
+// care which mode the unit is in.
+
+// WriteOp is one element of a WriteBatch: store Data (BlockSize bytes) at
+// Addr.
+type WriteOp struct {
+	Addr uint64
+	Data []byte
+}
+
+// ReadResult is one element of a ReadBatch result.
+type ReadResult struct {
+	Addr uint64
+	Data []byte
+	Err  error
+}
+
+// Serve starts the SPECU's worker pool: workers goroutines behind a
+// request queue of the given depth (<= 0 selects defaults; see NewPool).
+// Cancelling ctx shuts the pool down as if Close had been called. Serve
+// fails with ErrServing if a pool is already attached.
+func (s *SPECU) Serve(ctx context.Context, workers, depth int) error {
+	p := NewPool(workers, depth)
+	if !s.pool.CompareAndSwap(nil, p) {
+		p.Close()
+		return ErrServing
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				if s.pool.CompareAndSwap(p, nil) {
+					p.Close()
+				}
+			case <-p.quit:
+			}
+		}()
+	}
+	return nil
+}
+
+// Serving reports whether a worker pool is attached.
+func (s *SPECU) Serving() bool { return s.pool.Load() != nil }
+
+// Close detaches and drains the worker pool, if any. Synchronous
+// operations keep working after Close; batch operations fall back to the
+// sequential path.
+func (s *SPECU) Close() {
+	if p := s.pool.Swap(nil); p != nil {
+		p.Close()
+	}
+}
+
+// forEach runs op(i) for i in [0, n), through the pool when one is
+// attached and inline otherwise, and returns per-index submission errors
+// (context cancellation, pool closure; nil where op actually ran). op(i)
+// records its own outcome in a result slot it owns exclusively; the final
+// WaitGroup/loop completion publishes those writes to the caller.
+func (s *SPECU) forEach(ctx context.Context, n int, op func(i int)) []error {
+	subErrs := make([]error, n)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := s.pool.Load()
+	if p == nil {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				subErrs[i] = err
+				continue
+			}
+			op(i)
+		}
+		return subErrs
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		if err := p.Submit(ctx, func() {
+			defer wg.Done()
+			op(i)
+		}); err != nil {
+			subErrs[i] = err
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return subErrs
+}
+
+// WriteBatch stores every op's block, returning one error slot per op
+// (nil on success). Independent blocks are encrypted concurrently when the
+// SPECU is serving.
+func (s *SPECU) WriteBatch(ctx context.Context, ops []WriteOp) []error {
+	errs := make([]error, len(ops))
+	sub := s.forEach(ctx, len(ops), func(i int) {
+		errs[i] = s.Write(ops[i].Addr, ops[i].Data)
+	})
+	mergeErrs(errs, sub)
+	return errs
+}
+
+// ReadBatch reads every address, returning one ReadResult per input in
+// input order. Blocks in different shards decrypt concurrently when the
+// SPECU is serving.
+func (s *SPECU) ReadBatch(ctx context.Context, addrs []uint64) []ReadResult {
+	res := make([]ReadResult, len(addrs))
+	sub := s.forEach(ctx, len(addrs), func(i int) {
+		data, err := s.Read(addrs[i])
+		res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
+	})
+	for i, err := range sub {
+		if err != nil {
+			res[i] = ReadResult{Addr: addrs[i], Err: err}
+		}
+	}
+	return res
+}
+
+// EncryptBatch encrypts the blocks at addrs in place (the bulk form of the
+// Serial-mode background flush). A nil addrs slice selects every currently
+// plaintext block. Already-encrypted blocks are no-ops; unknown addresses
+// report ErrNoBlock.
+func (s *SPECU) EncryptBatch(ctx context.Context, addrs []uint64) []error {
+	if addrs == nil {
+		addrs = s.plaintextAddrs()
+	}
+	errs := make([]error, len(addrs))
+	sub := s.forEach(ctx, len(addrs), func(i int) {
+		errs[i] = s.cryptAt(addrs[i], false)
+	})
+	mergeErrs(errs, sub)
+	return errs
+}
+
+// DecryptBatch decrypts the blocks at addrs in place, leaving them
+// plaintext-resident — the bulk read-ahead primitive for Serial mode (a
+// burst of upcoming reads pays the pulse latency once, up front).
+func (s *SPECU) DecryptBatch(ctx context.Context, addrs []uint64) []error {
+	errs := make([]error, len(addrs))
+	sub := s.forEach(ctx, len(addrs), func(i int) {
+		errs[i] = s.cryptAt(addrs[i], true)
+	})
+	mergeErrs(errs, sub)
+	return errs
+}
+
+// mergeErrs fills nil slots of dst with the corresponding submission
+// errors (a slot's op either ran and reported, or never ran).
+func mergeErrs(dst, sub []error) {
+	for i, err := range sub {
+		if err != nil && dst[i] == nil {
+			dst[i] = err
+		}
+	}
+}
+
+// cryptAt encrypts (decrypt=false) or decrypts (decrypt=true) the resident
+// block at addr in place. Transitions that are already satisfied are
+// no-ops.
+func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	key, err := s.snapshotKey()
+	if err != nil {
+		return err
+	}
+	pool := s.pool.Load()
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.blocks[addr]
+	if !ok {
+		return fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
+	}
+	if b.Encrypted() != decrypt {
+		return nil // already in the requested state
+	}
+	return b.crypt(key, addr, decrypt, pool)
+}
+
+// plaintextAddrs snapshots the addresses of currently plaintext blocks.
+func (s *SPECU) plaintextAddrs() []uint64 {
+	var out []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for addr, b := range sh.blocks {
+			if !b.Encrypted() {
+				out = append(out, addr)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

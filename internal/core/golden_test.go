@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"snvmm/internal/device"
+	"snvmm/internal/prng"
+	"snvmm/internal/xbar"
+)
+
+// The golden vectors pin the full keyed pipeline for one fixed key: the
+// ILP's PoE placement for the default 8x8 crossbar, the key-derived
+// (PoE-order, pulse-class) schedule, and the exact ciphertext of a fixed
+// block. Any drift in the ILP tie-breaking, the PRNG, the schedule
+// derivation or the pulse semantics shows up here as a vector mismatch —
+// which would silently strand every previously written ciphertext, so a
+// change that trips this test needs a data-migration story, not just new
+// vectors.
+var (
+	goldenKey   = prng.NewKey(0x0123456789ABCDEF, 0xFEDCBA9876543210)
+	goldenTweak = uint64(0x1C0)
+
+	goldenPlacement = []xbar.Cell{
+		{Row: 0, Col: 0}, {Row: 0, Col: 2}, {Row: 0, Col: 4}, {Row: 0, Col: 6},
+		{Row: 1, Col: 2}, {Row: 1, Col: 6}, {Row: 2, Col: 0}, {Row: 2, Col: 4},
+		{Row: 5, Col: 1}, {Row: 5, Col: 5}, {Row: 6, Col: 3}, {Row: 6, Col: 7},
+		{Row: 7, Col: 1}, {Row: 7, Col: 3}, {Row: 7, Col: 5}, {Row: 7, Col: 7},
+	}
+	goldenOrder   = []int{9, 2, 5, 11, 4, 3, 10, 14, 6, 7, 1, 12, 13, 8, 15, 0}
+	goldenClasses = []int{16, 19, 15, 12, 4, 9, 31, 22, 25, 30, 6, 7, 25, 7, 0, 28}
+
+	// Ciphertext of goldenPlain (below) written to block seed 42 and
+	// encrypted with (goldenKey, goldenTweak).
+	goldenCiphertext = []byte{
+		0x0d, 0xe7, 0xf1, 0x1c, 0xe3, 0xfc, 0x36, 0x0f,
+		0x21, 0xe9, 0x34, 0xcb, 0x94, 0x7a, 0x35, 0xdf,
+		0x7f, 0x70, 0xc5, 0xec, 0x42, 0x19, 0x5e, 0x88,
+		0xc0, 0xfa, 0xd0, 0xb8, 0x1e, 0xe4, 0x5f, 0x8b,
+		0x38, 0xc1, 0x52, 0x48, 0xb8, 0x75, 0x6c, 0x8f,
+		0x6c, 0x37, 0xa3, 0xbf, 0x85, 0x25, 0xf6, 0xa5,
+		0x69, 0x73, 0xa9, 0x84, 0x5b, 0x25, 0x9a, 0x21,
+		0x91, 0xec, 0x04, 0x3b, 0x43, 0x7c, 0x8a, 0xa2,
+	}
+)
+
+func goldenPlain() []byte {
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i*37 + 11)
+	}
+	return data
+}
+
+func TestGoldenPlacement(t *testing.T) {
+	e := engineForTest(t)
+	if len(e.Placement) != len(goldenPlacement) {
+		t.Fatalf("placement has %d PoEs, golden %d", len(e.Placement), len(goldenPlacement))
+	}
+	for i, p := range e.Placement {
+		if p != goldenPlacement[i] {
+			t.Errorf("placement[%d] = %+v, golden %+v", i, p, goldenPlacement[i])
+		}
+	}
+}
+
+func TestGoldenSchedule(t *testing.T) {
+	sched := prng.DeriveSchedule(goldenKey, len(goldenPlacement), device.NumPulses)
+	if len(sched.Order) != len(goldenOrder) || len(sched.Classes) != len(goldenClasses) {
+		t.Fatalf("schedule lengths %d/%d, golden %d/%d",
+			len(sched.Order), len(sched.Classes), len(goldenOrder), len(goldenClasses))
+	}
+	for i := range goldenOrder {
+		if sched.Order[i] != goldenOrder[i] {
+			t.Errorf("order[%d] = %d, golden %d", i, sched.Order[i], goldenOrder[i])
+		}
+		if sched.Classes[i] != goldenClasses[i] {
+			t.Errorf("classes[%d] = %d, golden %d", i, sched.Classes[i], goldenClasses[i])
+		}
+	}
+}
+
+func TestGoldenCiphertext(t *testing.T) {
+	e := engineForTest(t)
+	b, err := e.NewBlock(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := goldenPlain()
+	if err := b.WritePlain(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encrypt(goldenKey, goldenTweak); err != nil {
+		t.Fatal(err)
+	}
+	if ct := b.ReadRaw(); !bytes.Equal(ct, goldenCiphertext) {
+		t.Errorf("ciphertext drifted:\n got  %x\n want %x", ct, goldenCiphertext)
+	}
+	if err := b.Decrypt(goldenKey, goldenTweak); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadPlain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Errorf("golden round trip broke:\n got  %x\n want %x", got, plain)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool: a fixed set of goroutines draining a
+// fixed-depth request queue. The SPECU uses one pool at two granularities —
+// independent blocks of a batch are queued as whole tasks, and each block's
+// crossbars are fanned out as subtasks (falling back to inline execution
+// when the queue is saturated, so nested submission can never deadlock).
+type Pool struct {
+	mu     sync.RWMutex // guards closed; held (R) across every enqueue
+	closed bool
+
+	tasks   chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts workers goroutines behind a queue of the given depth.
+// workers <= 0 selects GOMAXPROCS; depth <= 0 selects 4x workers.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 4 * workers
+	}
+	p := &Pool{
+		tasks:   make(chan func(), depth),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *Pool) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case f := <-p.tasks:
+			f()
+		case <-p.quit:
+			// Drain: every task enqueued before Close flipped closed is
+			// already in the channel (the enqueue happens under mu.RLock),
+			// so running the backlog here guarantees no submitter waits
+			// on a task that never executes.
+			for {
+				select {
+				case f := <-p.tasks:
+					f()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues f, blocking while the queue is full. It returns
+// ctx.Err() if the context is cancelled first, or ErrClosed after Close.
+// A nil error guarantees f will run exactly once.
+func (p *Pool) Submit(ctx context.Context, f func()) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.tasks <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues f only if a queue slot is immediately free. The
+// caller runs f itself on false — the fan-out fallback that keeps nested
+// submission deadlock-free.
+func (p *Pool) TrySubmit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close rejects further submissions, waits for the queue to drain and all
+// workers to exit. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.quit)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -12,7 +12,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"snvmm/internal/device"
 	"snvmm/internal/poe"
@@ -204,39 +207,90 @@ func subKey(k prng.Key, tweak uint64, idx int) prng.Key {
 // order and pulse classes are derived and the pulses applied with sneak
 // paths enabled.
 func (b *Block) Encrypt(key prng.Key, tweak uint64) error {
-	if b.encrypted {
-		return fmt.Errorf("core: block already encrypted")
-	}
-	for i, xb := range b.xbs {
-		sched := prng.DeriveSchedule(subKey(key, tweak, i), len(b.eng.Placement), device.NumPulses)
-		for step := 0; step < len(sched.Order); step++ {
-			p := b.eng.Placement[sched.Order[step]]
-			if err := xb.ApplyPulse(b.cals[i], p, sched.Classes[step]); err != nil {
-				return err
-			}
-		}
-	}
-	b.encrypted = true
-	return nil
+	return b.crypt(key, tweak, false, nil)
 }
 
 // Decrypt applies the inverse pulses in reverse order (Section 5.3). With a
 // wrong key the pulses still apply — the hardware cannot tell — but the
 // result is garbage; use ReadPlain after decrypting with the right key.
 func (b *Block) Decrypt(key prng.Key, tweak uint64) error {
-	if !b.encrypted {
-		return fmt.Errorf("core: block not encrypted")
-	}
-	for i, xb := range b.xbs {
-		sched := prng.DeriveSchedule(subKey(key, tweak, i), len(b.eng.Placement), device.NumPulses)
+	return b.crypt(key, tweak, true, nil)
+}
+
+// cryptXbar applies the keyed schedule to crossbar i: the forward pulse
+// sequence for encryption, the hysteresis-matched inverse pulses in reverse
+// order for decryption. Crossbars of a block are independent (disjoint
+// cells, disjoint calibrations), which is what lets a pool fan them out.
+func (b *Block) cryptXbar(i int, key prng.Key, tweak uint64, decrypt bool) error {
+	sched := prng.DeriveSchedule(subKey(key, tweak, i), len(b.eng.Placement), device.NumPulses)
+	xb := b.xbs[i]
+	if decrypt {
 		for step := len(sched.Order) - 1; step >= 0; step-- {
 			p := b.eng.Placement[sched.Order[step]]
 			if err := xb.ApplyPulse(b.cals[i], p, xbar.InverseClass(sched.Classes[step])); err != nil {
 				return err
 			}
 		}
+		return nil
 	}
-	b.encrypted = false
+	for step := 0; step < len(sched.Order); step++ {
+		p := b.eng.Placement[sched.Order[step]]
+		if err := xb.ApplyPulse(b.cals[i], p, sched.Classes[step]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crypt drives all crossbars of the block through cryptXbar. With a pool it
+// fans the crossbars out to workers (Section 6.2.1: the four 8x8 crossbars
+// of a 64-byte block pulse in parallel in hardware); subtasks that find the
+// queue saturated run inline, so nested submission cannot deadlock. The
+// caller must hold the block's shard lock when the block is shared.
+func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool) error {
+	if decrypt && !b.encrypted {
+		return fmt.Errorf("core: block not encrypted")
+	}
+	if !decrypt && b.encrypted {
+		return fmt.Errorf("core: block already encrypted")
+	}
+	if pool == nil || len(b.xbs) < 2 {
+		for i := range b.xbs {
+			if err := b.cryptXbar(i, key, tweak, decrypt); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Claim-based fan-out: subtasks are offered to the pool, then the
+		// submitter claims and runs whatever no worker has started. Every
+		// subtask is therefore claimed by a goroutine that is actively
+		// running it before wg.Wait begins, so a pool saturated with
+		// block-level tasks can never deadlock on its own subtasks.
+		n := len(b.xbs)
+		errs := make([]error, n)
+		claimed := make([]atomic.Bool, n)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		run := func(i int) {
+			if !claimed[i].CompareAndSwap(false, true) {
+				return
+			}
+			errs[i] = b.cryptXbar(i, key, tweak, decrypt)
+			wg.Done()
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			pool.TrySubmit(func() { run(i) })
+		}
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return err
+		}
+	}
+	b.encrypted = !decrypt
 	return nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"snvmm/internal/prng"
@@ -10,19 +11,29 @@ import (
 )
 
 // testEngine builds the default engine once; the ILP placement is the
-// expensive part and is safe to share across tests.
-var testEngine *Engine
+// expensive part and is safe to share across tests (engines are immutable,
+// and the sync.Once keeps the lazy build race-clean under t.Parallel and
+// the fuzz workers).
+var (
+	testEngine     *Engine
+	testEngineErr  error
+	testEngineOnce sync.Once
+)
+
+func sharedEngine() (*Engine, error) {
+	testEngineOnce.Do(func() {
+		testEngine, testEngineErr = NewEngine(DefaultParams())
+	})
+	return testEngine, testEngineErr
+}
 
 func engineForTest(t *testing.T) *Engine {
 	t.Helper()
-	if testEngine == nil {
-		e, err := NewEngine(DefaultParams())
-		if err != nil {
-			t.Fatal(err)
-		}
-		testEngine = e
+	e, err := sharedEngine()
+	if err != nil {
+		t.Fatal(err)
 	}
-	return testEngine
+	return e
 }
 
 func TestNewEngineDefaultPlacement(t *testing.T) {

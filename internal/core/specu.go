@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"snvmm/internal/prng"
 )
@@ -26,46 +28,106 @@ func (m Mode) String() string {
 	return "SPE-parallel"
 }
 
+// NumShards is the number of independently locked partitions of the block
+// map. Accesses to blocks in different shards proceed concurrently; a
+// power of two so the shard index is a mask of the mixed address hash.
+const NumShards = 32
+
+// shard is one partition of the block map: its own lock, its own blocks.
+// The lock is held exclusively for the whole pulse sequence of any
+// operation that mutates a resident block, which serializes same-block
+// accesses while leaving other shards free — the paper's banked NVMM
+// picture, with one SPE pipeline per bank group.
+type shard struct {
+	mu     sync.RWMutex
+	blocks map[uint64]*Block
+}
+
 // SPECU is the Sneak Path Encryption Control Unit: it sits between the L2
 // cache and the NVMM, holds the key in volatile storage while powered, and
-// drives block encryption/decryption.
+// drives block encryption/decryption. All methods are safe for concurrent
+// use; see Serve for the batched, worker-pool-driven fast path.
 type SPECU struct {
-	eng    *Engine
-	mode   Mode
+	eng  *Engine
+	mode Mode
+
+	// keyMu orders every data operation against the key lifecycle: ops
+	// hold it shared for their whole duration, PowerOn/PowerOff hold it
+	// exclusively. PowerOff therefore acts as a barrier — in-flight
+	// operations complete under the old key before the flush begins, and
+	// operations arriving after it fail with ErrNoKey.
+	keyMu  sync.RWMutex
 	key    prng.Key
 	hasKey bool
-	blocks map[uint64]*Block
+
+	shards [NumShards]shard
+
+	// pool, when non-nil, parallelizes batch operations and fans each
+	// block's crossbars out to workers.
+	pool atomic.Pointer[Pool]
 }
 
 // NewSPECU creates a control unit for a device built from the engine's
 // crossbar design.
 func NewSPECU(eng *Engine, mode Mode) *SPECU {
-	return &SPECU{eng: eng, mode: mode, blocks: make(map[uint64]*Block)}
+	s := &SPECU{eng: eng, mode: mode}
+	for i := range s.shards {
+		s.shards[i].blocks = make(map[uint64]*Block)
+	}
+	return s
 }
 
 // Engine exposes the underlying SPE engine.
 func (s *SPECU) Engine() *Engine { return s.eng }
 
+// Mode reports the configured SPE variant.
+func (s *SPECU) Mode() Mode { return s.mode }
+
+// shardOf maps a block address to its shard. The multiplicative hash
+// spreads block-aligned (low-bits-zero) addresses across all shards.
+func (s *SPECU) shardOf(addr uint64) *shard {
+	h := addr * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return &s.shards[h&(NumShards-1)]
+}
+
 // PowerOn installs the key released by the TPM into the SPECU's volatile
-// key register.
-func (s *SPECU) PowerOn(key prng.Key) {
+// key register. Re-installing the same key is a no-op; installing a
+// different key over a live one fails with ErrKeyLoaded (it would strand
+// every resident ciphertext block).
+func (s *SPECU) PowerOn(key prng.Key) error {
+	s.keyMu.Lock()
+	defer s.keyMu.Unlock()
+	if s.hasKey {
+		if s.key == key {
+			return nil
+		}
+		return ErrKeyLoaded
+	}
 	s.key = key
 	s.hasKey = true
+	return nil
 }
 
 // PowerOff drops the volatile key. Blocks that are still plaintext at this
 // moment (Serial mode) are encrypted first — the paper's power-down flush —
 // and the caller can model the cold-boot window with PlaintextBlocks before
-// calling this.
+// calling this. Concurrent data operations either complete before the
+// flush (their shard work is done under the old key) or fail with ErrNoKey
+// after it. Calling PowerOff while already off succeeds only if no
+// plaintext remains; otherwise it reports ErrNoKey instead of silently
+// leaving plaintext in the NVMM.
 func (s *SPECU) PowerOff() error {
-	if s.hasKey {
-		for addr, b := range s.blocks {
-			if !b.Encrypted() {
-				if err := b.Encrypt(s.key, addr); err != nil {
-					return err
-				}
-			}
+	s.keyMu.Lock()
+	defer s.keyMu.Unlock()
+	if !s.hasKey {
+		if n := s.plaintextCount(); n > 0 {
+			return fmt.Errorf("core: %d plaintext blocks resident at power-off: %w", n, ErrNoKey)
 		}
+		return nil
+	}
+	if err := s.encryptAll(s.key); err != nil {
+		return err
 	}
 	s.key = prng.Key{}
 	s.hasKey = false
@@ -73,56 +135,84 @@ func (s *SPECU) PowerOff() error {
 }
 
 // HasKey reports whether the volatile key register is loaded.
-func (s *SPECU) HasKey() bool { return s.hasKey }
+func (s *SPECU) HasKey() bool {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return s.hasKey
+}
 
-// block fetches or fabricates the block at addr.
-func (s *SPECU) block(addr uint64) (*Block, error) {
-	if b, ok := s.blocks[addr]; ok {
+// snapshotKey returns the live key or ErrNoKey. Callers must hold keyMu
+// shared for the duration of the operation that uses the key.
+func (s *SPECU) snapshotKey() (prng.Key, error) {
+	if !s.hasKey {
+		return prng.Key{}, ErrNoKey
+	}
+	return s.key, nil
+}
+
+// blockLocked fetches or fabricates the block at addr. The shard lock must
+// be held exclusively.
+func (s *SPECU) blockLocked(sh *shard, addr uint64) (*Block, error) {
+	if b, ok := sh.blocks[addr]; ok {
 		return b, nil
 	}
 	b, err := s.eng.NewBlock(int64(addr))
 	if err != nil {
 		return nil, err
 	}
-	s.blocks[addr] = b
+	sh.blocks[addr] = b
 	return b, nil
 }
 
 // Write stores a 64-byte cache block at addr: write phase then encryption
 // phase (Section 4.1).
 func (s *SPECU) Write(addr uint64, data []byte) error {
-	if !s.hasKey {
-		return fmt.Errorf("core: SPECU has no key (powered down?)")
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	key, err := s.snapshotKey()
+	if err != nil {
+		return err
 	}
-	b, err := s.block(addr)
+	pool := s.pool.Load()
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, err := s.blockLocked(sh, addr)
 	if err != nil {
 		return err
 	}
 	if b.Encrypted() {
 		// Overwrite: the stale ciphertext is simply reprogrammed.
-		if err := b.Decrypt(s.key, addr); err != nil {
+		if err := b.crypt(key, addr, true, pool); err != nil {
 			return err
 		}
 	}
 	if err := b.WritePlain(data); err != nil {
 		return err
 	}
-	return b.Encrypt(s.key, addr)
+	return b.crypt(key, addr, false, pool)
 }
 
 // Read returns the plaintext of the block at addr. In Parallel mode the
 // block is re-encrypted immediately; in Serial mode it stays decrypted
 // until written back or EncryptPending is called.
 func (s *SPECU) Read(addr uint64) ([]byte, error) {
-	if !s.hasKey {
-		return nil, fmt.Errorf("core: SPECU has no key (powered down?)")
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	key, err := s.snapshotKey()
+	if err != nil {
+		return nil, err
 	}
-	b, ok := s.blocks[addr]
+	pool := s.pool.Load()
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("core: no block at %#x", addr)
+		return nil, fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
 	}
 	if b.Encrypted() {
-		if err := b.Decrypt(s.key, addr); err != nil {
+		if err := b.crypt(key, addr, true, pool); err != nil {
 			return nil, err
 		}
 	}
@@ -131,57 +221,108 @@ func (s *SPECU) Read(addr uint64) ([]byte, error) {
 		return nil, err
 	}
 	if s.mode == Parallel {
-		if err := b.Encrypt(s.key, addr); err != nil {
+		if err := b.crypt(key, addr, false, pool); err != nil {
 			return nil, err
 		}
 	}
 	return data, nil
 }
 
-// EncryptPending encrypts every currently-plaintext block (the Serial-mode
-// background timer, and the first step of power-down).
-func (s *SPECU) EncryptPending() error {
-	if !s.hasKey {
-		return fmt.Errorf("core: SPECU has no key")
-	}
-	for addr, b := range s.blocks {
-		if !b.Encrypted() {
-			if err := b.Encrypt(s.key, addr); err != nil {
-				return err
+// encryptAll encrypts every currently-plaintext block. keyMu must be held
+// (shared or exclusive) by the caller.
+func (s *SPECU) encryptAll(key prng.Key) error {
+	pool := s.pool.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for addr, b := range sh.blocks {
+			if !b.Encrypted() {
+				if err := b.crypt(key, addr, false, pool); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// PlaintextBlocks counts blocks currently stored unencrypted.
-func (s *SPECU) PlaintextBlocks() int {
+// EncryptPending encrypts every currently-plaintext block (the Serial-mode
+// background timer, and the first step of power-down).
+func (s *SPECU) EncryptPending() error {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	key, err := s.snapshotKey()
+	if err != nil {
+		return err
+	}
+	return s.encryptAll(key)
+}
+
+// plaintextCount counts plaintext blocks; callers must hold keyMu to keep
+// the count stable against concurrent encrypt/decrypt.
+func (s *SPECU) plaintextCount() int {
 	n := 0
-	for _, b := range s.blocks {
-		if !b.Encrypted() {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, b := range sh.blocks {
+			if !b.Encrypted() {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// PlaintextBlocks counts blocks currently stored unencrypted.
+func (s *SPECU) PlaintextBlocks() int {
+	return s.plaintextCount()
+}
+
 // Blocks returns the number of allocated blocks.
-func (s *SPECU) Blocks() int { return len(s.blocks) }
+func (s *SPECU) Blocks() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.blocks)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
 // EncryptedFraction is the fraction of allocated blocks holding ciphertext.
 func (s *SPECU) EncryptedFraction() float64 {
-	if len(s.blocks) == 0 {
+	total, plain := 0, 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.blocks)
+		for _, b := range sh.blocks {
+			if !b.Encrypted() {
+				plain++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if total == 0 {
 		return 1
 	}
-	return 1 - float64(s.PlaintextBlocks())/float64(len(s.blocks))
+	return 1 - float64(plain)/float64(total)
 }
 
 // Steal returns the raw stored bits at addr without any key — the attacker
 // operation of Attack 1. It fails only if the address was never written.
 func (s *SPECU) Steal(addr uint64) ([]byte, error) {
-	b, ok := s.blocks[addr]
+	sh := s.shardOf(addr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	b, ok := sh.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("core: no block at %#x", addr)
+		return nil, fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
 	}
 	return b.ReadRaw(), nil
 }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"snvmm/internal/prng"
+)
+
+// benchSPECU builds a SPECU pre-populated with blocks spread across the
+// shards, ready for read benchmarking.
+func benchSPECU(b *testing.B, numBlocks int) (*SPECU, []uint64) {
+	b.Helper()
+	eng, err := sharedEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSPECU(eng, Parallel)
+	if err := s.PowerOn(prng.NewKey(0xBE, 0xAC)); err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]uint64, numBlocks)
+	ops := make([]WriteOp, numBlocks)
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := range addrs {
+		addrs[i] = uint64(i) * BlockSize
+		ops[i] = WriteOp{Addr: addrs[i], Data: data}
+	}
+	for _, err := range s.WriteBatch(context.Background(), ops) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, addrs
+}
+
+// BenchmarkSPECUSequentialRead is the pre-tentpole baseline: one goroutine,
+// no pool, blocks decrypted and re-encrypted one crossbar at a time.
+func BenchmarkSPECUSequentialRead(b *testing.B) {
+	s, addrs := benchSPECU(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(addrs[i%len(addrs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkSPECUShardedRead drives the same read mix through the served
+// pipeline at 1, 4 and 8 workers: independent blocks run on different
+// shards concurrently and each block's four crossbars fan out as subtasks.
+// On a multi-core host the >= 4-worker variants beat the sequential
+// baseline; on GOMAXPROCS=1 they bound the pipeline's scheduling overhead
+// instead (see EXPERIMENTS.md for recorded numbers).
+func BenchmarkSPECUShardedRead(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			s, addrs := benchSPECU(b, 64)
+			if err := s.Serve(context.Background(), workers, 2*len(addrs)); err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := len(addrs)
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				for _, r := range s.ReadBatch(context.Background(), addrs[:n]) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				done += n
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}
+
+// BenchmarkSPECUShardedWrite mirrors the read benchmark for the write path
+// (write phase + encryption phase per block).
+func BenchmarkSPECUShardedWrite(b *testing.B) {
+	for _, workers := range []int{0, 4} { // 0 = no pool (sequential)
+		name := "sequential"
+		if workers > 0 {
+			name = benchName(workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			s, addrs := benchSPECU(b, 64)
+			if workers > 0 {
+				if err := s.Serve(context.Background(), workers, 2*len(addrs)); err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+			}
+			data := make([]byte, BlockSize)
+			ops := make([]WriteOp, len(addrs))
+			for i := range ops {
+				ops[i] = WriteOp{Addr: addrs[i], Data: data}
+			}
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				n := len(ops)
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				for _, err := range s.WriteBatch(context.Background(), ops[:n]) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				done += n
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}

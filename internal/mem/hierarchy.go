@@ -48,16 +48,30 @@ func DefaultNVMMConfig() NVMMConfig {
 	}
 }
 
+// AccessSink observes the NVMM's block access stream (the timing model
+// carries addresses, not data). A functional shadow (internal/sim) uses it
+// to drive a real sharded SPECU with the simulated miss stream, so the
+// cycle-level experiments double as end-to-end crypto verification.
+type AccessSink interface {
+	OnRead(addr, now uint64)
+	OnWrite(addr, now uint64)
+}
+
 // NVMM is the banked main-memory timing model with an encryption engine at
 // its interface.
 type NVMM struct {
 	cfg      NVMMConfig
 	engine   EncryptionEngine
+	sink     AccessSink
 	bankBusy []uint64 // cycle until which each bank is busy
 	openRow  []uint64
 
 	Reads, Writes, RowHits uint64
 }
+
+// SetSink installs an access-stream observer (nil detaches). The sink is
+// called synchronously from Read/Write, after timing is accounted.
+func (m *NVMM) SetSink(s AccessSink) { m.sink = s }
 
 // NewNVMM builds the memory model. engine may be nil (plaintext NVMM).
 func NewNVMM(cfg NVMMConfig, engine EncryptionEngine) (*NVMM, error) {
@@ -108,6 +122,9 @@ func (m *NVMM) Read(addr uint64, now uint64) uint64 {
 	}
 	done := start + lat
 	m.bankBusy[b] = done + busy
+	if m.sink != nil {
+		m.sink.OnRead(addr, now)
+	}
 	return done
 }
 
@@ -130,6 +147,9 @@ func (m *NVMM) Write(addr uint64, now uint64) {
 		lat += m.engine.WriteDelay(addr, start)
 	}
 	m.bankBusy[b] = start + lat
+	if m.sink != nil {
+		m.sink.OnWrite(addr, now)
+	}
 }
 
 // Tick forwards background time to the engine.

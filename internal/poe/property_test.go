@@ -1,0 +1,105 @@
+package poe
+
+import (
+	"math/rand"
+	"testing"
+
+	"snvmm/internal/xbar"
+)
+
+// TestSolveCoverageProperty is the property behind Table 1, checked across
+// randomized geometries instead of only the paper's 8x8: for every
+// geometry the ILP accepts, the returned covering set must (a) cover every
+// cell at least once and at most MaxCover times, (b) reach the total
+// coverage floor M*N + S, (c) place every PoE in bounds with no
+// duplicates, and (d) agree with an independent recount of the coverage
+// vector. Infeasible geometries (reach too small for the overlap cap, S
+// too greedy) are allowed to error — but the sweep must produce a healthy
+// number of solved instances or the property has silently stopped biting.
+func TestSolveCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140601)) // DAC'14
+	const instances = 12
+	solved := 0
+	for i := 0; i < instances; i++ {
+		cfg := xbar.DefaultConfig()
+		cfg.Rows = 2 + rng.Intn(5) // 2..6
+		cfg.Cols = 2 + rng.Intn(5)
+		cfg.VertReach = 1 + rng.Intn(3) // 1..3
+		cfg.HorizReach = rng.Intn(2)    // 0..1
+		n := cfg.Cells()
+		// S up to half the cell count keeps a good fraction feasible under
+		// the default MaxCover=2 (total coverage can reach at most 2*M*N).
+		spec := Spec{Cfg: cfg, S: rng.Intn(n/2 + 1), MaxNodes: 20000}
+		res, err := Solve(spec)
+		if err != nil {
+			t.Logf("instance %d (%dx%d reach %d/%d S=%d): infeasible/limit: %v",
+				i, cfg.Rows, cfg.Cols, cfg.VertReach, cfg.HorizReach, spec.S, err)
+			continue
+		}
+		solved++
+
+		seen := map[xbar.Cell]bool{}
+		for _, p := range res.PoEs {
+			if !cfg.InBounds(p) {
+				t.Errorf("instance %d: PoE %+v out of %dx%d bounds", i, p, cfg.Rows, cfg.Cols)
+			}
+			if seen[p] {
+				t.Errorf("instance %d: duplicate PoE %+v", i, p)
+			}
+			seen[p] = true
+		}
+
+		recount := CoverageOf(cfg, cfg.PaperShape, res.PoEs)
+		if len(res.Coverage) != n || len(recount) != n {
+			t.Fatalf("instance %d: coverage length %d/%d, want %d", i, len(res.Coverage), len(recount), n)
+		}
+		total := 0
+		for m := 0; m < n; m++ {
+			if res.Coverage[m] != recount[m] {
+				t.Errorf("instance %d: reported coverage[%d]=%d, recount %d", i, m, res.Coverage[m], recount[m])
+			}
+			if recount[m] < 1 || recount[m] > 2 {
+				t.Errorf("instance %d (%dx%d reach %d/%d S=%d): cell %d covered %d times, want [1,2]",
+					i, cfg.Rows, cfg.Cols, cfg.VertReach, cfg.HorizReach, spec.S, m, recount[m])
+			}
+			total += recount[m]
+		}
+		if total < n+spec.S {
+			t.Errorf("instance %d: total coverage %d below floor %d (S=%d)", i, total, n+spec.S, spec.S)
+		}
+	}
+	if solved < instances/2 {
+		t.Fatalf("only %d/%d random geometries solved; generator ranges no longer exercise the property", solved, instances)
+	}
+}
+
+// TestSolveCoveragePropertyWideCap re-runs the property at MaxCover=3 on a
+// few geometries, so the cap in the per-cell upper bound is exercised as a
+// parameter rather than a constant.
+func TestSolveCoveragePropertyWideCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		cfg := xbar.DefaultConfig()
+		cfg.Rows = 3 + rng.Intn(3)
+		cfg.Cols = 3 + rng.Intn(3)
+		cfg.VertReach = 1 + rng.Intn(2)
+		cfg.HorizReach = 1
+		n := cfg.Cells()
+		spec := Spec{Cfg: cfg, S: n, MaxCover: 3, MaxNodes: 20000}
+		res, err := Solve(spec)
+		if err != nil {
+			t.Logf("instance %d: %v", i, err)
+			continue
+		}
+		total := 0
+		for m, c := range res.Coverage {
+			if c < 1 || c > 3 {
+				t.Errorf("instance %d: cell %d covered %d times, want [1,3]", i, m, c)
+			}
+			total += c
+		}
+		if total < n+spec.S {
+			t.Errorf("instance %d: total coverage %d below floor %d", i, total, n+spec.S)
+		}
+	}
+}

@@ -90,6 +90,16 @@ type INVMM struct {
 
 	lastAccess map[uint64]uint64 // page -> last access cycle
 	encrypted  map[uint64]bool   // page -> ciphertext?
+	// queue orders candidate pages by the access that scheduled them, so
+	// the walker visits inert pages oldest-first and the simulation is
+	// deterministic (a budgeted range over a map picks random victims).
+	// Entries go stale when the page is touched again; Tick skips those.
+	queue []walkEntry
+}
+
+type walkEntry struct {
+	key  uint64 // page or block
+	when uint64 // the access cycle this entry snapshots
 }
 
 // NewINVMM builds the engine with the given inertness threshold (cycles).
@@ -111,6 +121,7 @@ func (e *INVMM) touch(addr, now uint64) (wasEncrypted bool) {
 	wasEncrypted = e.encrypted[p]
 	e.encrypted[p] = false
 	e.lastAccess[p] = now
+	e.queue = append(e.queue, walkEntry{key: p, when: now})
 	return wasEncrypted
 }
 
@@ -131,18 +142,25 @@ func (e *INVMM) WriteDelay(addr, now uint64) uint64 {
 	return 0
 }
 
-// Tick runs the inert-page walker.
+// Tick runs the inert-page walker: entries expire oldest-first (the queue
+// is appended in access order, so `when` is nondecreasing), and a stale
+// entry — the page was touched again after it was queued — is dropped
+// without charging the budget.
 func (e *INVMM) Tick(now uint64) {
 	budget := e.WalkBudget
-	for p, last := range e.lastAccess {
-		if budget == 0 {
-			break
+	i := 0
+	for ; i < len(e.queue) && budget > 0; i++ {
+		ent := e.queue[i]
+		if now <= ent.when || now-ent.when <= e.InertThreshold {
+			break // everything behind is younger still
 		}
-		if !e.encrypted[p] && now > last && now-last > e.InertThreshold {
-			e.encrypted[p] = true
-			budget--
+		if e.lastAccess[ent.key] != ent.when || e.encrypted[ent.key] {
+			continue // stale: re-touched or already encrypted
 		}
+		e.encrypted[ent.key] = true
+		budget--
 	}
+	e.queue = e.queue[i:]
 }
 
 // EncryptedFraction is the fraction of touched pages held in ciphertext.
@@ -180,6 +198,9 @@ type SPESerial struct {
 
 	plaintextAt map[uint64]uint64 // block -> cycle it became plaintext
 	touched     map[uint64]bool
+	// queue holds plaintext blocks in the order they were decrypted, so
+	// the re-encryption timer fires oldest-first and deterministically.
+	queue []walkEntry
 }
 
 // NewSPESerial builds the serial-mode engine.
@@ -204,6 +225,7 @@ func (e *SPESerial) ReadDelay(addr, now uint64) (uint64, uint64) {
 		return 0, 0
 	}
 	e.plaintextAt[b] = now
+	e.queue = append(e.queue, walkEntry{key: b, when: now})
 	return SPEDecrypt, 0
 }
 
@@ -216,18 +238,25 @@ func (e *SPESerial) WriteDelay(addr, now uint64) uint64 {
 	return SPEEncrypt
 }
 
-// Tick re-encrypts blocks whose plaintext dwell exceeded the timer.
+// Tick re-encrypts blocks whose plaintext dwell exceeded the timer,
+// oldest-first. A queue entry is stale if the block was written back
+// (deleted) or re-decrypted later; staleness shows as a plaintextAt
+// mismatch and costs no budget.
 func (e *SPESerial) Tick(now uint64) {
 	budget := e.WalkBudget
-	for b, since := range e.plaintextAt {
-		if budget == 0 {
+	i := 0
+	for ; i < len(e.queue) && budget > 0; i++ {
+		ent := e.queue[i]
+		if now <= ent.when || now-ent.when <= e.ReencryptAfter {
 			break
 		}
-		if now > since && now-since > e.ReencryptAfter {
-			delete(e.plaintextAt, b)
-			budget--
+		if since, plain := e.plaintextAt[ent.key]; !plain || since != ent.when {
+			continue
 		}
+		delete(e.plaintextAt, ent.key)
+		budget--
 	}
+	e.queue = e.queue[i:]
 }
 
 // EncryptedFraction is the fraction of touched blocks in ciphertext.

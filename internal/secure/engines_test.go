@@ -189,3 +189,45 @@ func TestEnginesLineup(t *testing.T) {
 		t.Errorf("stream/SPE area ratio %g, want ~4.75", r)
 	}
 }
+
+// TestWalkerDeterminism replays an identical access stream twice through
+// the budgeted walkers and requires identical encrypted-fraction
+// trajectories. The walkers used to pick victims by ranging over a map,
+// which made every simulation run differ; the FIFO queues pin the order.
+func TestWalkerDeterminism(t *testing.T) {
+	type walker interface {
+		ReadDelay(addr, now uint64) (uint64, uint64)
+		WriteDelay(addr, now uint64) uint64
+		Tick(now uint64)
+		EncryptedFraction() float64
+	}
+	trajectory := func(e walker) []float64 {
+		var out []float64
+		addr := uint64(1)
+		for now := uint64(0); now < 2_000_000; now += 1000 {
+			addr = addr*6364136223846793005 + 1442695040888963407
+			if addr%3 == 0 {
+				e.WriteDelay(addr%(64<<20), now)
+			} else {
+				e.ReadDelay(addr%(64<<20), now)
+			}
+			e.Tick(now)
+			out = append(out, e.EncryptedFraction())
+		}
+		return out
+	}
+	builders := map[string]func() walker{
+		"i-NVMM":     func() walker { return NewINVMM(300_000) },
+		"SPE-serial": func() walker { return NewSPESerial(10_000) },
+	}
+	for name, build := range builders {
+		a := trajectory(build())
+		b := trajectory(build())
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: trajectories diverge at step %d: %g vs %g", name, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snvmm/internal/mem"
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+)
+
+// SweepParallel produces exactly Sweep's rows but fans the independent
+// (workload x scheme) simulations — including each workload's Plain
+// baseline — across at most `workers` goroutines. Each simulation owns a
+// fresh hierarchy and engine, so the runs share nothing; results are
+// assembled in deterministic profile/scheme order regardless of completion
+// order. Cancelling ctx abandons simulations not yet started.
+func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []SchemeFactory, maxInsts int64, seed int64, workers int) ([]Row, error) {
+	if workers <= 1 {
+		return Sweep(profiles, schemes, maxInsts, seed)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	type job struct {
+		prof   trace.Profile
+		scheme string // "" means the Plain baseline
+		newEng SchemeFactory
+	}
+	type outcome struct {
+		res Result
+		err error
+	}
+	jobs := make([]job, 0, len(profiles)*(len(schemes)+1))
+	for _, p := range profiles {
+		jobs = append(jobs, job{prof: p})
+		for _, s := range schemes {
+			jobs = append(jobs, job{prof: p, scheme: s.Name, newEng: s})
+		}
+	}
+
+	outcomes := make([]outcome, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			outcomes[i].err = err
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var eng mem.EncryptionEngine = secure.NewPlain()
+			if j.scheme != "" {
+				eng = j.newEng.New()
+			}
+			r, err := Run(j.prof, eng, maxInsts, seed)
+			outcomes[i] = outcome{res: r, err: err}
+		}(i, j)
+	}
+	wg.Wait()
+
+	rows := make([]Row, 0, len(profiles))
+	k := 0
+	for _, p := range profiles {
+		base := outcomes[k]
+		k++
+		if base.err != nil {
+			return nil, fmt.Errorf("sim: %s/plain: %w", p.Name, base.err)
+		}
+		row := Row{
+			Workload:     p.Name,
+			BaseIPC:      base.res.IPC,
+			OverheadPct:  make(map[string]float64, len(schemes)),
+			EncryptedPct: make(map[string]float64, len(schemes)),
+		}
+		for _, s := range schemes {
+			o := outcomes[k]
+			k++
+			if o.err != nil {
+				return nil, fmt.Errorf("sim: %s/%s: %w", p.Name, s.Name, o.err)
+			}
+			row.OverheadPct[s.Name] = (base.res.IPC - o.res.IPC) / base.res.IPC * 100
+			row.EncryptedPct[s.Name] = o.res.AvgEncrypted * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

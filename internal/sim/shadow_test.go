@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+)
+
+// TestRunShadowed runs a small timing simulation with the functional
+// shadow attached: the timing result must match a plain Run bit-for-bit
+// (the sink must not perturb the model), and every shadowed read must
+// verify against the write model.
+func TestRunShadowed(t *testing.T) {
+	const insts, seed = 60_000, 3
+	prof := trace.Profiles()[0]
+	base, err := Run(prof, secure.NewPlain(), insts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShadow(context.Background(), ShadowConfig{
+		Workers: 2, MaxBlocks: 64, MaxOps: 512, FlushEvery: 16,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	res, err := RunShadowed(prof, secure.NewPlain(), insts, seed, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Drain()
+
+	if res.Stats != base.Stats || res.IPC != base.IPC {
+		t.Errorf("shadow perturbed the timing model: %+v vs %+v", res.Stats, base.Stats)
+	}
+	ops, verified, _ := sh.Stats()
+	if ops == 0 {
+		t.Fatal("shadow saw no operations")
+	}
+	if verified == 0 {
+		t.Fatal("shadow verified no reads")
+	}
+	if err := sh.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sh.SPECU().PlaintextBlocks() != 0 {
+		t.Error("shadow SPECU (parallel mode) left plaintext resident")
+	}
+}
+
+// TestSweepParallelMatchesSweep checks that fanning the sweep out over
+// goroutines changes nothing about the results: each (workload, scheme)
+// simulation is deterministic given (profile, insts, seed), so the rows
+// must be identical to the sequential sweep's.
+func TestSweepParallelMatchesSweep(t *testing.T) {
+	const insts, seed = 30_000, 1
+	profiles := trace.Profiles()[:2]
+	schemes := Schemes()[:2]
+	want, err := Sweep(profiles, schemes, insts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SweepParallel(context.Background(), profiles, schemes, insts, seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Workload != want[i].Workload || got[i].BaseIPC != want[i].BaseIPC {
+			t.Errorf("row %d: %+v vs %+v", i, got[i], want[i])
+		}
+		for k, v := range want[i].OverheadPct {
+			if got[i].OverheadPct[k] != v {
+				t.Errorf("row %d overhead[%s]: %g vs %g", i, k, got[i].OverheadPct[k], v)
+			}
+		}
+		for k, v := range want[i].EncryptedPct {
+			if got[i].EncryptedPct[k] != v {
+				t.Errorf("row %d encrypted[%s]: %g vs %g", i, k, got[i].EncryptedPct[k], v)
+			}
+		}
+	}
+}
+
+// TestSweepParallelCancelled verifies a pre-cancelled context fails fast.
+func TestSweepParallelCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepParallel(ctx, trace.Profiles()[:1], nil, 10_000, 1, 2); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}

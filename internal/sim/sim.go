@@ -55,6 +55,12 @@ func (s *samplingEngine) average() float64 {
 
 // Run simulates one workload under one engine for maxInsts instructions.
 func Run(profile trace.Profile, engine mem.EncryptionEngine, maxInsts int64, seed int64) (Result, error) {
+	return run(profile, engine, maxInsts, seed, nil)
+}
+
+// run is Run with an optional access sink attached to the NVMM (the
+// functional shadow rides the timing simulation through it).
+func run(profile trace.Profile, engine mem.EncryptionEngine, maxInsts int64, seed int64, sink mem.AccessSink) (Result, error) {
 	if maxInsts <= 0 {
 		maxInsts = 1_000_000
 	}
@@ -66,6 +72,9 @@ func Run(profile trace.Profile, engine mem.EncryptionEngine, maxInsts int64, see
 	h, err := mem.DefaultHierarchy(sampler)
 	if err != nil {
 		return Result{}, err
+	}
+	if sink != nil {
+		h.Mem.SetSink(sink)
 	}
 	hm := &hierMem{h: h}
 	coreCfg := cpu.DefaultConfig()

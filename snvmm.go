@@ -15,6 +15,7 @@
 package snvmm
 
 import (
+	"context"
 	"fmt"
 
 	"snvmm/internal/core"
@@ -128,7 +129,9 @@ func (d *Device) PowerOn() error {
 	if err != nil {
 		return err
 	}
-	d.specu.PowerOn(key)
+	if err := d.specu.PowerOn(key); err != nil {
+		return err
+	}
 	d.on = true
 	return nil
 }
@@ -175,4 +178,51 @@ func (d *Device) Flush() error { return d.specu.EncryptPending() }
 // PlacementCells returns a copy of the ILP-chosen PoE placement.
 func (d *Device) PlacementCells() []xbar.Cell {
 	return append([]xbar.Cell(nil), d.specu.Engine().Placement...)
+}
+
+// WriteOp is one element of a batched write (see WriteBatch).
+type WriteOp = core.WriteOp
+
+// ReadResult is one element of a batched read result (see ReadBatch).
+type ReadResult = core.ReadResult
+
+// Serve starts the device's SPECU worker pool: block operations submitted
+// through WriteBatch/ReadBatch are spread across `workers` goroutines
+// behind a bounded queue of the given depth (<= 0 selects defaults), and
+// each block's crossbars pulse in parallel. Cancelling ctx stops the pool.
+// The synchronous Read/Write API keeps working and shares the pool.
+func (d *Device) Serve(ctx context.Context, workers, depth int) error {
+	return d.specu.Serve(ctx, workers, depth)
+}
+
+// StopServing drains and detaches the worker pool; batched operations fall
+// back to the sequential path.
+func (d *Device) StopServing() { d.specu.Close() }
+
+// WriteBatch stores many blocks at once, returning one error slot per op.
+// Addresses must be block aligned and payloads BlockSize bytes.
+func (d *Device) WriteBatch(ctx context.Context, ops []WriteOp) []error {
+	for _, op := range ops {
+		if len(op.Data) != BlockSize {
+			errs := make([]error, len(ops))
+			for i := range errs {
+				errs[i] = fmt.Errorf("snvmm: WriteBatch needs %d-byte payloads, got %d at %#x", BlockSize, len(op.Data), op.Addr)
+			}
+			return errs
+		}
+		if op.Addr%BlockSize != 0 {
+			errs := make([]error, len(ops))
+			for i := range errs {
+				errs[i] = fmt.Errorf("snvmm: address %#x not block aligned", op.Addr)
+			}
+			return errs
+		}
+	}
+	return d.specu.WriteBatch(ctx, ops)
+}
+
+// ReadBatch fetches many blocks at once, one ReadResult per address in
+// input order.
+func (d *Device) ReadBatch(ctx context.Context, addrs []uint64) []ReadResult {
+	return d.specu.ReadBatch(ctx, addrs)
 }
