@@ -23,9 +23,13 @@ fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzSPERoundTrip -fuzztime 30s
 	$(GO) test ./internal/cipher/stream -run xxx -fuzz FuzzStreamRoundTrip -fuzztime 30s
 
-# Sequential-vs-sharded SPECU throughput (EXPERIMENTS.md records results).
+# SPECU hot-path benchmarks (block crypt + sharded pipeline), archived as
+# JSON so runs can be diffed across commits (EXPERIMENTS.md records the
+# headline numbers).
 bench:
-	$(GO) test ./internal/core -run xxx -bench 'BenchmarkSPECU' -benchtime 20x
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkBlock|BenchmarkNewBlock|BenchmarkSPECU' -benchtime 20x -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_specu.json
+	@cat BENCH_specu.json
 
 ci:
 	./ci.sh

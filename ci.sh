@@ -8,3 +8,9 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Bench smoke: one iteration through the block-crypt benchmarks and the JSON
+# emitter, so a bench or tooling regression fails CI without costing real
+# benchmark time.
+go test ./internal/core -run xxx -bench 'BenchmarkBlock' -benchtime 1x -benchmem \
+	| go run ./cmd/benchjson -o /dev/null

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +41,8 @@ var (
 	bitsFlag   = flag.Int("bits", 20000, "bits per sequence for table2")
 	seedFlag   = flag.Int64("seed", 1, "master seed")
 	workerFlag = flag.Int("workers", 1, "goroutines for the fig7/fig8/table3 sweep (>1 fans workload x scheme runs out in parallel)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 )
 
 type experiment struct {
@@ -50,6 +53,33 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 	exps := []experiment{
 		{"fig2", "4x4 crossbar encrypt/decrypt walk-through, wrong-order failure", fig2},
 		{"fig4", "polyomino voltage map for a 1 V pulse on the 8x8 crossbar", fig4},

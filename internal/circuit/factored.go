@@ -11,14 +11,25 @@ import (
 // crossbar calibration sweeps one cell resistance at a time across the whole
 // array; refactoring the full conductance matrix for each sweep point would
 // cost O(n^3) per point, while the rank-1 update costs O(n^2).
+//
+// The reduced system is SPD, so the base factorization is Cholesky (with a
+// pivoted-LU fallback for non-SPD inputs). Perturbation solves reuse
+// internal scratch buffers: the Solution returned by SolveEdgePerturbed
+// aliases them and is valid only until the next SolveEdgePerturbed call.
+// A Factored value is not safe for concurrent use.
 type Factored struct {
 	nw      *Network
-	lu      *linalg.LU
-	idx     []int     // node -> unknown index or -1
-	fixed   []float64 // node -> fixed voltage (valid where idx < 0)
-	b       []float64 // base right-hand side
-	baseX   []float64 // base unknown solution
+	chol    *linalg.Cholesky
+	lu      *linalg.LU // non-SPD fallback; nil when chol is in use
+	idx     []int      // node -> unknown index or -1
+	fixed   []float64  // node -> fixed voltage (valid where idx < 0)
+	b       []float64  // base right-hand side
+	baseX   []float64  // base unknown solution
 	unknown int
+
+	// Scratch for SolveEdgePerturbed.
+	u, z, x []float64
+	sol     Solution
 }
 
 // FactorSystem assembles and factors the reduced conductance system once.
@@ -51,20 +62,40 @@ func (nw *Network) FactorSystem() (*Factored, error) {
 	for _, r := range nw.edges {
 		stampDense(g, b, idx, fixed, r)
 	}
-	lu, err := linalg.Factor(g)
-	if err != nil {
-		return nil, fmt.Errorf("circuit: factoring system: %w", err)
+	f := &Factored{
+		nw: nw, idx: idx, fixed: fixed, b: b, unknown: unknown,
+		u: make([]float64, unknown),
+		z: make([]float64, unknown),
+		x: make([]float64, unknown),
 	}
-	baseX, err := lu.Solve(b)
-	if err != nil {
+	f.chol = linalg.NewCholesky(unknown)
+	if err := f.chol.Factor(g); err != nil {
+		f.chol = nil
+		lu, luErr := linalg.Factor(g)
+		if luErr != nil {
+			return nil, fmt.Errorf("circuit: factoring system: %w", luErr)
+		}
+		f.lu = lu
+	}
+	baseX := make([]float64, unknown)
+	if err := f.solveInto(baseX, b); err != nil {
 		return nil, err
 	}
-	return &Factored{nw: nw, lu: lu, idx: idx, fixed: fixed, b: b, baseX: baseX, unknown: unknown}, nil
+	f.baseX = baseX
+	return f, nil
 }
 
-// expand maps an unknown-space solution to full node voltages.
-func (f *Factored) expand(x []float64) []float64 {
-	v := make([]float64, f.nw.nodes)
+// solveInto solves the base system into dst with whichever factorization is
+// live.
+func (f *Factored) solveInto(dst, b []float64) error {
+	if f.chol != nil {
+		return f.chol.SolveInto(dst, b)
+	}
+	return f.lu.SolveInto(dst, b)
+}
+
+// expandInto maps an unknown-space solution to full node voltages.
+func (f *Factored) expandInto(v, x []float64) {
 	for i := 0; i < f.nw.nodes; i++ {
 		if f.idx[i] >= 0 {
 			v[i] = x[f.idx[i]]
@@ -72,22 +103,31 @@ func (f *Factored) expand(x []float64) []float64 {
 			v[i] = f.fixed[i]
 		}
 	}
-	return v
 }
 
-// Base returns the unperturbed solution.
-func (f *Factored) Base() *Solution { return &Solution{V: f.expand(f.baseX)} }
+// Base returns the unperturbed solution. The returned Solution is freshly
+// allocated and safe to retain.
+func (f *Factored) Base() *Solution {
+	v := make([]float64, f.nw.nodes)
+	f.expandInto(v, f.baseX)
+	return &Solution{V: v}
+}
 
 // SolveEdgePerturbed returns the node voltages when the resistance of the
 // i-th added resistor is changed to newOhms, computed with a Sherman–
 // Morrison rank-1 update against the base factorization. Both endpoints of
-// the perturbed edge must be unknown (not voltage-fixed) nodes.
+// the perturbed edge must be unknown (not voltage-fixed) nodes. The
+// returned Solution aliases the receiver's scratch buffers and is valid
+// only until the next SolveEdgePerturbed call.
 func (f *Factored) SolveEdgePerturbed(edge int, newOhms float64) (*Solution, error) {
 	if edge < 0 || edge >= len(f.nw.edges) {
 		return nil, fmt.Errorf("circuit: edge %d out of range", edge)
 	}
 	if !(newOhms > 0) {
 		return nil, fmt.Errorf("circuit: perturbed resistance must be positive, got %g", newOhms)
+	}
+	if f.sol.V == nil {
+		f.sol.V = make([]float64, f.nw.nodes)
 	}
 	r := f.nw.edges[edge]
 	ia, ib := f.idx[r.a], f.idx[r.b]
@@ -96,24 +136,26 @@ func (f *Factored) SolveEdgePerturbed(edge int, newOhms float64) (*Solution, err
 	}
 	dg := 1/newOhms - r.g
 	if dg == 0 {
-		return &Solution{V: f.expand(f.baseX)}, nil
+		f.expandInto(f.sol.V, f.baseX)
+		return &f.sol, nil
 	}
 	// G' = G + dg * u u^T with u = e_ia - e_ib.
-	u := make([]float64, f.unknown)
-	u[ia] = 1
-	u[ib] = -1
-	z, err := f.lu.Solve(u)
-	if err != nil {
+	for i := range f.u {
+		f.u[i] = 0
+	}
+	f.u[ia] = 1
+	f.u[ib] = -1
+	if err := f.solveInto(f.z, f.u); err != nil {
 		return nil, err
 	}
-	denom := 1 + dg*(z[ia]-z[ib])
+	denom := 1 + dg*(f.z[ia]-f.z[ib])
 	if denom == 0 {
 		return nil, fmt.Errorf("circuit: singular rank-1 update on edge %d", edge)
 	}
 	scale := dg * (f.baseX[ia] - f.baseX[ib]) / denom
-	x := make([]float64, f.unknown)
-	for i := range x {
-		x[i] = f.baseX[i] - scale*z[i]
+	for i := range f.x {
+		f.x[i] = f.baseX[i] - scale*f.z[i]
 	}
-	return &Solution{V: f.expand(x)}, nil
+	f.expandInto(f.sol.V, f.x)
+	return &f.sol, nil
 }

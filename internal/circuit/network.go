@@ -37,10 +37,9 @@ type resistor struct {
 
 // Network is a resistive network under construction. Node 0 is ground.
 type Network struct {
-	nodes    int
-	edges    []resistor
-	fixed    map[int]float64
-	fixOrder []int // insertion order, for deterministic assembly
+	nodes int
+	edges []resistor
+	fixed map[int]float64
 }
 
 // NewNetwork creates a network with the given number of nodes (including
@@ -84,7 +83,22 @@ func (nw *Network) FixVoltage(node int, v float64) error {
 		return fmt.Errorf("circuit: node %d already fixed", node)
 	}
 	nw.fixed[node] = v
-	nw.fixOrder = append(nw.fixOrder, node)
+	return nil
+}
+
+// SetResistance changes the resistance of the i-th added resistor in place.
+// Together with a Workspace this lets a solver loop (transient
+// co-simulation, Monte-Carlo sweeps) update device values without
+// rebuilding the network; the topology — and therefore the assembled
+// sparsity pattern — is unchanged.
+func (nw *Network) SetResistance(i int, ohms float64) error {
+	if i < 0 || i >= len(nw.edges) {
+		return fmt.Errorf("circuit: resistor %d out of range [0,%d)", i, len(nw.edges))
+	}
+	if !(ohms > 0) {
+		return fmt.Errorf("circuit: resistance must be positive, got %g", ohms)
+	}
+	nw.edges[i].g = 1 / ohms
 	return nil
 }
 
@@ -126,7 +140,7 @@ func (nw *Network) Solve() (*Solution, error) {
 		for _, r := range nw.edges {
 			stampDense(g, b, idx, v, r)
 		}
-		x, err := linalg.SolveDense(g, b)
+		x, err := solveDenseSPD(g, b)
 		if err != nil {
 			return nil, fmt.Errorf("circuit: dense solve: %w", err)
 		}
@@ -160,6 +174,18 @@ func (nw *Network) Solve() (*Solution, error) {
 		}
 	}
 	return &Solution{V: v}, nil
+}
+
+// solveDenseSPD solves the reduced conductance system with Cholesky — the
+// matrix is SPD by construction (conductance Laplacian plus the Gmin
+// diagonal) and Cholesky halves the factorization flops of pivoted LU.
+// Pivoted LU remains as a fallback so a pathological (e.g. externally
+// assembled, barely non-SPD) system still solves.
+func solveDenseSPD(g *linalg.Dense, b []float64) ([]float64, error) {
+	if chol, err := linalg.FactorCholesky(g); err == nil {
+		return chol.Solve(b)
+	}
+	return linalg.SolveDense(g, b)
 }
 
 // stampDense applies the conductance stamp of resistor r to the reduced

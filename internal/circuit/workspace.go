@@ -1,0 +1,212 @@
+package circuit
+
+import (
+	"fmt"
+
+	"snvmm/internal/linalg"
+)
+
+// Workspace is a reusable solve context bound to one Network. A plain
+// Network.Solve rebuilds the unknown-node index map, reallocates the
+// reduced system and (on the sparse path) re-sorts the CSR coordinates on
+// every call, even though all of those depend only on the topology and the
+// fixed-node set. A Workspace computes the symbolic structure once; each
+// Solve then refills values in place — the right shape for loops that
+// re-solve the same geometry with updated resistances (transient
+// co-simulation via Network.SetResistance, calibration and Monte-Carlo
+// sweeps).
+//
+// The sparse path additionally warm-starts the conjugate-gradient solve
+// from the previous solution, which collapses the iteration count when
+// consecutive solves are physically close (small per-step drift).
+//
+// A Workspace is not safe for concurrent use, and the Solution it returns
+// aliases internal buffers: it is valid only until the next Solve call.
+// The bound network's topology (node count, resistor count, fixed set)
+// must not change after the workspace is created; resistor values may
+// change freely.
+type Workspace struct {
+	nw      *Network
+	nedges  int
+	nfixed  int
+	idx     []int     // node -> unknown index or -1
+	unknown int
+	v       []float64 // full node voltages (solution buffer)
+	b       []float64
+	x       []float64
+	sol     Solution
+
+	// Dense path.
+	g    *linalg.Dense
+	chol *linalg.Cholesky
+
+	// Sparse path: the coordinate pattern in stamp order, refilled values,
+	// and the previous solution for CG warm starting.
+	tmpl    *linalg.CSRTemplate
+	vals    []float64
+	prevX   []float64
+	hasPrev bool
+}
+
+// NewWorkspace builds the symbolic solve structure for the network's
+// current topology and fixed-node set.
+func (nw *Network) NewWorkspace() (*Workspace, error) {
+	n := nw.nodes
+	ws := &Workspace{
+		nw:     nw,
+		nedges: len(nw.edges),
+		nfixed: len(nw.fixed),
+		idx:    make([]int, n),
+		v:      make([]float64, n),
+	}
+	unknown := 0
+	for i := 0; i < n; i++ {
+		if _, ok := nw.fixed[i]; ok {
+			ws.idx[i] = -1
+		} else {
+			ws.idx[i] = unknown
+			unknown++
+		}
+	}
+	ws.unknown = unknown
+	ws.b = make([]float64, unknown)
+	ws.x = make([]float64, unknown)
+	if unknown == 0 {
+		return ws, nil
+	}
+	if unknown <= denseLimit {
+		ws.g = linalg.NewDense(unknown, unknown)
+		ws.chol = linalg.NewCholesky(unknown)
+		return ws, nil
+	}
+	// Sparse: record the coordinate pattern once, in stamp order — Gmin
+	// diagonal first, then per-edge stamps. Refills must walk the edges in
+	// exactly this order.
+	rows := make([]int, 0, unknown+4*len(nw.edges))
+	cols := make([]int, 0, unknown+4*len(nw.edges))
+	for i := 0; i < n; i++ {
+		if ws.idx[i] >= 0 {
+			rows = append(rows, ws.idx[i])
+			cols = append(cols, ws.idx[i])
+		}
+	}
+	for _, r := range nw.edges {
+		ia, ib := ws.idx[r.a], ws.idx[r.b]
+		switch {
+		case ia >= 0 && ib >= 0:
+			rows = append(rows, ia, ib, ia, ib)
+			cols = append(cols, ia, ib, ib, ia)
+		case ia >= 0:
+			rows = append(rows, ia)
+			cols = append(cols, ia)
+		case ib >= 0:
+			rows = append(rows, ib)
+			cols = append(cols, ib)
+		}
+	}
+	ws.tmpl = linalg.NewCSRTemplate(unknown, rows, cols)
+	ws.vals = make([]float64, len(rows))
+	ws.prevX = make([]float64, unknown)
+	return ws, nil
+}
+
+// Solve computes the DC operating point with the network's current
+// resistor values, reusing every buffer. The returned Solution aliases the
+// workspace and is valid until the next Solve.
+func (ws *Workspace) Solve() (*Solution, error) {
+	nw := ws.nw
+	if len(nw.edges) != ws.nedges || len(nw.fixed) != ws.nfixed {
+		return nil, fmt.Errorf("circuit: network topology changed under workspace (%d/%d edges, %d/%d fixed)",
+			len(nw.edges), ws.nedges, len(nw.fixed), ws.nfixed)
+	}
+	for i := range ws.v {
+		ws.v[i] = 0
+	}
+	for node, volt := range nw.fixed {
+		ws.v[node] = volt
+	}
+	if ws.unknown == 0 {
+		ws.sol.V = ws.v
+		return &ws.sol, nil
+	}
+	for i := range ws.b {
+		ws.b[i] = 0
+	}
+	if ws.g != nil {
+		if err := ws.solveDense(); err != nil {
+			return nil, err
+		}
+	} else if err := ws.solveSparse(); err != nil {
+		return nil, err
+	}
+	for i, ui := range ws.idx {
+		if ui >= 0 {
+			ws.v[i] = ws.x[ui]
+		}
+	}
+	ws.sol.V = ws.v
+	return &ws.sol, nil
+}
+
+func (ws *Workspace) solveDense() error {
+	g := ws.g
+	for i := range g.Data {
+		g.Data[i] = 0
+	}
+	for i := 0; i < ws.nw.nodes; i++ {
+		if ws.idx[i] >= 0 {
+			g.Add(ws.idx[i], ws.idx[i], Gmin)
+		}
+	}
+	for _, r := range ws.nw.edges {
+		stampDense(g, ws.b, ws.idx, ws.v, r)
+	}
+	if err := ws.chol.Factor(g); err == nil {
+		return ws.chol.SolveInto(ws.x, ws.b)
+	}
+	// Non-SPD fallback (should not happen for resistive MNA systems).
+	lu, err := linalg.Factor(g)
+	if err != nil {
+		return fmt.Errorf("circuit: dense solve: %w", err)
+	}
+	return lu.SolveInto(ws.x, ws.b)
+}
+
+func (ws *Workspace) solveSparse() error {
+	// Refill values in the exact pattern order recorded by NewWorkspace.
+	vals := ws.vals[:0]
+	for i := 0; i < ws.nw.nodes; i++ {
+		if ws.idx[i] >= 0 {
+			vals = append(vals, Gmin)
+		}
+	}
+	for _, r := range ws.nw.edges {
+		ia, ib := ws.idx[r.a], ws.idx[r.b]
+		switch {
+		case ia >= 0 && ib >= 0:
+			vals = append(vals, r.g, r.g, -r.g, -r.g)
+		case ia >= 0:
+			vals = append(vals, r.g)
+			ws.b[ia] += r.g * ws.v[r.b]
+		case ib >= 0:
+			vals = append(vals, r.g)
+			ws.b[ib] += r.g * ws.v[r.a]
+		}
+	}
+	m := ws.tmpl.Refill(vals)
+	opt := linalg.CGOptions{MaxIter: 50 * ws.unknown, Tol: 1e-12}
+	if ws.hasPrev {
+		opt.X0 = ws.prevX
+	}
+	x, res, err := linalg.SolveCG(m, ws.b, opt)
+	if err != nil {
+		return fmt.Errorf("circuit: CG solve: %w", err)
+	}
+	if !res.Converged {
+		return fmt.Errorf("circuit: CG did not converge (residual %g after %d iters)", res.Residual, res.Iterations)
+	}
+	copy(ws.x, x)
+	copy(ws.prevX, x)
+	ws.hasPrev = true
+	return nil
+}

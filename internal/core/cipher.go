@@ -20,7 +20,8 @@ type Cipher struct {
 }
 
 // NewCipher fabricates a crossbar (with the engine's parametric variation
-// and the given fabrication seed) and calibrates it.
+// and the given fabrication seed) and calibrates it through the process-wide
+// calibration cache.
 func NewCipher(eng *Engine, seed int64) (*Cipher, error) {
 	cfg := eng.P.Xbar
 	cfg.Seed = seed
@@ -28,7 +29,11 @@ func NewCipher(eng *Engine, seed int64) (*Cipher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cipher{eng: eng, xb: xb, cal: xbar.Calibrate(xb)}, nil
+	cal, err := xbar.CalibrationFor(xb)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{eng: eng, xb: xb, cal: cal}, nil
 }
 
 // BlockBytes is the cipher's block size in bytes (16 for 8x8 MLC-2).

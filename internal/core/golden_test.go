@@ -32,15 +32,27 @@ var (
 
 	// Ciphertext of goldenPlain (below) written to block seed 42 and
 	// encrypted with (goldenKey, goldenTweak).
+	//
+	// Vector history: regenerated once when the calibration moved to
+	// fixed-point (2^-40) quantized sensitivity weights and the solver to
+	// Cholesky — both perturb the modelled sneak voltages below physical
+	// significance but through the comparator-sensitive mixer, so the
+	// ciphertext changed format-wide. Migration story for that change: the
+	// simulator persists no ciphertext, and a real deployment would decrypt
+	// under the pre-quantization model, upgrade the SPECU, and re-encrypt
+	// on the scrub sweep (the paper's §5 re-encryption path); the
+	// placement, schedule and key format are untouched, which
+	// TestGoldenPlacement/TestGoldenSchedule still pin to the original
+	// vectors.
 	goldenCiphertext = []byte{
-		0x0d, 0xe7, 0xf1, 0x1c, 0xe3, 0xfc, 0x36, 0x0f,
-		0x21, 0xe9, 0x34, 0xcb, 0x94, 0x7a, 0x35, 0xdf,
-		0x7f, 0x70, 0xc5, 0xec, 0x42, 0x19, 0x5e, 0x88,
-		0xc0, 0xfa, 0xd0, 0xb8, 0x1e, 0xe4, 0x5f, 0x8b,
-		0x38, 0xc1, 0x52, 0x48, 0xb8, 0x75, 0x6c, 0x8f,
-		0x6c, 0x37, 0xa3, 0xbf, 0x85, 0x25, 0xf6, 0xa5,
-		0x69, 0x73, 0xa9, 0x84, 0x5b, 0x25, 0x9a, 0x21,
-		0x91, 0xec, 0x04, 0x3b, 0x43, 0x7c, 0x8a, 0xa2,
+		0x6d, 0x44, 0x32, 0x37, 0xcf, 0x00, 0xce, 0x8f,
+		0x94, 0x19, 0x46, 0x4c, 0xab, 0xc8, 0x36, 0x9d,
+		0xc4, 0xbb, 0x7c, 0x7f, 0xaf, 0x3b, 0x5d, 0xa2,
+		0x09, 0x45, 0xc5, 0x97, 0x0c, 0xaa, 0xf9, 0x73,
+		0x54, 0xc8, 0x90, 0xfc, 0x91, 0x4f, 0x45, 0xa4,
+		0x34, 0x47, 0x68, 0x95, 0x7c, 0x10, 0x05, 0xa5,
+		0xaf, 0x3b, 0x30, 0x0c, 0x5f, 0xd2, 0x5b, 0x0f,
+		0x99, 0x03, 0x37, 0xd7, 0x3d, 0xea, 0xc3, 0xa1,
 	}
 )
 

@@ -126,7 +126,9 @@ type Block struct {
 
 // NewBlock fabricates the crossbars of one block. seed individualizes the
 // per-cell parametric variation of this block's crossbars (only meaningful
-// when the config's VarFrac > 0).
+// when the config's VarFrac > 0). Calibrations come from the process-wide
+// cache, so an unvaried memory fabricates blocks without re-characterizing
+// the same device identity per block.
 func (e *Engine) NewBlock(seed int64) (*Block, error) {
 	n := e.CrossbarsPerBlock()
 	b := &Block{eng: e, xbs: make([]*xbar.Crossbar, n), cals: make([]*xbar.Calibration, n)}
@@ -138,7 +140,9 @@ func (e *Engine) NewBlock(seed int64) (*Block, error) {
 			return nil, err
 		}
 		b.xbs[i] = xb
-		b.cals[i] = xbar.Calibrate(xb)
+		if b.cals[i], err = xbar.CalibrationFor(xb); err != nil {
+			return nil, err
+		}
 	}
 	return b, nil
 }

@@ -1,0 +1,123 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a matrix
+// that is not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the factorization A = L*L^T of a symmetric positive-
+// definite matrix, with the lower triangle L packed row-major into a full
+// n x n buffer. The reduced conductance systems produced by nodal analysis
+// are SPD by construction, and Cholesky factors them in half the flops of
+// pivoted LU with no pivot bookkeeping — it is the dense fast path of the
+// circuit solver.
+//
+// A Cholesky value is reusable: Factor overwrites the previous
+// factorization in place, so a solver loop (transient co-simulation,
+// calibration sweeps) pays the buffer allocation once.
+type Cholesky struct {
+	n int
+	l []float64
+}
+
+// NewCholesky allocates a factorization workspace for n x n systems.
+func NewCholesky(n int) *Cholesky {
+	if n < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Cholesky{n: n, l: make([]float64, n*n)}
+}
+
+// Factor computes the Cholesky factorization of the square SPD matrix a,
+// reusing the receiver's buffers. Only the lower triangle of a is read, so
+// a symmetric stamp-assembled matrix need not be exactly symmetric in its
+// strict upper part. Returns ErrNotSPD if a pivot is not positive.
+func (c *Cholesky) Factor(a *Dense) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("linalg: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if c.n != n {
+		c.n = n
+		c.l = make([]float64, n*n)
+	}
+	l := c.l
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.Data[i*a.Cols+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return ErrNotSPD
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+		// Zero the strict upper part so stale entries from a previous,
+		// larger factorization never leak into debugging dumps.
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return nil
+}
+
+// FactorCholesky is the allocating convenience wrapper around Factor.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	c := NewCholesky(a.Rows)
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Solve returns x with A*x = b using the precomputed factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A*x = b into x (len n) without allocating. x and b may
+// alias.
+func (c *Cholesky) SolveInto(x, b []float64) error {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: Cholesky SolveInto lengths %d/%d != %d", len(x), len(b), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	l := c.l
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	// Forward substitution: L*y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	// Back substitution: L^T*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return nil
+}

@@ -151,6 +151,47 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return x, nil
 }
 
+// SolveInto is Solve writing the result into x (len n), avoiding the
+// per-solve allocation. x and b may alias.
+func (f *LU) SolveInto(x, b []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: SolveInto lengths %d/%d != %d", len(x), len(b), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	tmp := x
+	if &x[0] == &b[0] {
+		tmp = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * tmp[j]
+		}
+		d := f.lu[i*n+i]
+		if d == 0 {
+			return ErrSingular
+		}
+		tmp[i] = s / d
+	}
+	if &tmp[0] != &x[0] {
+		copy(x, tmp)
+	}
+	return nil
+}
+
 // Det returns the determinant of the factored matrix.
 func (f *LU) Det() float64 {
 	d := float64(f.sign)

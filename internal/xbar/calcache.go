@@ -1,0 +1,46 @@
+package xbar
+
+import "sync"
+
+// The process-wide calibration cache. The SPECU calibrates per fabrication
+// identity, not per block: with no fabrication variation (VarFrac == 0) every
+// crossbar built from the same geometry/device configuration has identical
+// cell parameters regardless of its RNG seed, so its baseline voltages and
+// sensitivity kernels — the inputs to the pulse path — are identical too.
+// Before this cache, every NewBlock re-ran the full per-PoE characterization
+// (a factor-and-sweep over the whole array), which dominated block setup.
+var calCache = struct {
+	mu sync.Mutex
+	m  map[Config]*Calibration
+}{m: make(map[Config]*Calibration)}
+
+// CalibrationFor returns a calibration for the crossbar, shared process-wide
+// across all crossbars with the same fabrication identity. The identity is
+// the Config with the RNG seed folded out, which is sound only when
+// VarFrac == 0 (the seed then influences nothing the pulse path reads);
+// varied configurations get a private per-crossbar calibration, as before.
+//
+// The returned Calibration is safe for concurrent use: its per-PoE records
+// are built exactly once under a per-PoE singleflight, so a fleet of workers
+// first-touching the same PoE pays for one characterization total.
+func CalibrationFor(x *Crossbar) (*Calibration, error) {
+	if x.Cfg.VarFrac != 0 {
+		return Calibrate(x), nil
+	}
+	key := x.Cfg
+	key.Seed = 0
+	calCache.mu.Lock()
+	defer calCache.mu.Unlock()
+	if c, ok := calCache.m[key]; ok {
+		return c, nil
+	}
+	// The cache owns a pristine reference crossbar (never pulsed) so the
+	// calibration does not pin caller state alive or observe its mutations.
+	ref, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	c := Calibrate(ref)
+	calCache.m[key] = c
+	return c, nil
+}

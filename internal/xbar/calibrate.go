@@ -5,13 +5,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"snvmm/internal/device"
 )
 
 // Calibration holds the per-PoE data the SPECU characterizes once per
-// crossbar at manufacture: the polyomino shape, the baseline sneak voltage
-// of each shape cell at the mid state, the linearized sensitivity of that
+// fabrication identity: the polyomino shape, the baseline sneak voltage of
+// each shape cell at the mid state, the linearized sensitivity of that
 // voltage to the state of every cell outside the polyomino, and the band
 // edges that quantize the resulting voltage deviation into the three
 // strength classes.
@@ -25,31 +26,69 @@ import (
 // when the pulse is undone during decryption, which makes the quantized
 // encryption exactly invertible while remaining data- and
 // hardware-dependent (Section 6.1's avalanche experiments).
+//
+// The sensitivities are quantized at calibration time to the fixed-point
+// grid 2^-devWeightBits (the comparator bank that reads them out has finite
+// resolution anyway). With (x_m - 0.5) = (2*level - 3)/8, every deviation
+// is then an exact int64 sum of weight*(2*level-3) terms — an
+// order-independent quantity that an incremental accumulator can maintain
+// under single-cell updates with bit-for-bit agreement against a
+// from-scratch recompute. Invertibility depends on that exactness; see
+// TestIncrementalDeviationsMatchScratch.
+//
+// A Calibration is safe for concurrent readers: per-PoE records are built
+// lazily under a per-PoE sync.Once, so concurrent pipeline workers
+// first-touching the same PoE calibrate it exactly once and everyone else
+// blocks until the record is ready.
 type Calibration struct {
 	cfg Config
+	xb  *Crossbar // reference crossbar used for solves (nominal state)
 
-	// Per PoE (linear cell index): lazily filled by ensure().
-	shapes   [][]Cell
-	base     [][]float64
-	sens     [][][]float64 // [poe][shapeCell][cellIdx]; zero for shape cells
-	edges    [][][2]float64
-	prepared []bool
-
-	xb *Crossbar // reference crossbar used for solves (nominal state)
+	poes []poeCal // per PoE (linear cell index)
 }
 
-// Calibrate builds an empty calibration bound to the crossbar's geometry and
-// fabrication variation. Per-PoE data is computed lazily on first use.
+// poeCal is the lazily built calibration record of one PoE.
+type poeCal struct {
+	once sync.Once
+	err  error
+
+	shape   []Cell
+	inShape []bool
+	base    []float64
+
+	// Quantized sensitivity kernel: compIdx lists the complement cells
+	// (ascending) that any shape cell is sensitive to; compPos inverts it
+	// (cell index -> position in compIdx, or -1); wflat[k] is the flat
+	// int64 weight row of shape cell k, aligned with compIdx.
+	compIdx []int32
+	compPos []int32
+	wflat   [][]int64
+
+	edges [][2]float64
+}
+
+// devWeightBits is the fixed-point precision of the quantized sensitivity
+// weights: weights are integer multiples of 2^-devWeightBits.
+const devWeightBits = 40
+
+// devInvScale converts an int64 deviation accumulator to volts: the weight
+// grid contributes 2^-devWeightBits and the level term (2l-3)/8 another
+// 2^-3.
+const devInvScale = 0x1p-43
+
+// levelQ returns the integer level coordinate q = 2l-3, the exact numerator
+// of LevelCenter(l) - 0.5 = (2l-3)/8 for MLC-2.
+func levelQ(l int) int64 { return int64(2*l - 3) }
+
+// Calibrate builds an empty calibration bound to the crossbar's geometry
+// and fabrication variation. Per-PoE data is computed lazily on first use.
+// For unvaried (VarFrac == 0) configurations, prefer CalibrationFor, which
+// shares one calibration per fabrication identity across the process.
 func Calibrate(x *Crossbar) *Calibration {
-	n := x.Cfg.Cells()
 	return &Calibration{
-		cfg:      x.Cfg,
-		shapes:   make([][]Cell, n),
-		base:     make([][]float64, n),
-		sens:     make([][][]float64, n),
-		edges:    make([][][2]float64, n),
-		prepared: make([]bool, n),
-		xb:       x,
+		cfg:  x.Cfg,
+		xb:   x,
+		poes: make([]poeCal, x.Cfg.Cells()),
 	}
 }
 
@@ -61,12 +100,21 @@ const sensDelta = 0.25
 // band edges.
 const calSamples = 512
 
-// ensure computes the calibration record for one PoE.
+// ensure computes the calibration record for one PoE, exactly once even
+// under concurrent first touch.
 func (c *Calibration) ensure(poe Cell) error {
-	pi := c.cfg.Index(poe)
-	if c.prepared[pi] {
-		return nil
+	if !c.cfg.InBounds(poe) {
+		return fmt.Errorf("xbar: PoE %+v out of bounds", poe)
 	}
+	pc := &c.poes[c.cfg.Index(poe)]
+	pc.once.Do(func() { pc.err = c.build(poe, pc) })
+	return pc.err
+}
+
+// build does the actual per-PoE characterization work.
+func (c *Calibration) build(poe Cell, pc *poeCal) error {
+	pi := c.cfg.Index(poe)
+	cells := c.cfg.Cells()
 	shape, err := c.xb.Shape(poe)
 	if err != nil {
 		return err
@@ -74,16 +122,16 @@ func (c *Calibration) ensure(poe Cell) error {
 	if len(shape) == 0 {
 		return fmt.Errorf("xbar: PoE %+v has empty polyomino", poe)
 	}
-	inShape := make([]bool, c.cfg.Cells())
+	inShape := make([]bool, cells)
 	for _, cell := range shape {
 		inShape[c.cfg.Index(cell)] = true
 	}
 	// Baseline solve: everything at mid state. The system is factored once
 	// and each complement-cell perturbation is re-solved with a rank-1
 	// Sherman-Morrison update, which makes full-device calibration cheap
-	// enough to run per crossbar instance.
+	// enough to run per fabrication identity.
 	midR := c.xb.midR()
-	nw, cellEdge, err := c.xb.buildNetwork(poe, midR)
+	nw, cellEdge, err := c.xb.buildNetwork(poe, midR, c.cfg.VDrive)
 	if err != nil {
 		return err
 	}
@@ -91,19 +139,23 @@ func (c *Calibration) ensure(poe Cell) error {
 	if err != nil {
 		return err
 	}
-	dv0 := c.xb.cellDrops(fac.Base())
+	dv := make([]float64, cells)
+	c.xb.cellDropsInto(dv, fac.Base())
 	base := make([]float64, len(shape))
 	for k, cell := range shape {
-		base[k] = abs(dv0[c.cfg.Index(cell)])
+		base[k] = abs(dv[c.cfg.Index(cell)])
 	}
 	// Finite-difference sensitivities: perturb each complement cell's
-	// state by +sensDelta and record the voltage change at each shape
-	// cell.
-	sens := make([][]float64, len(shape))
-	for k := range sens {
-		sens[k] = make([]float64, c.cfg.Cells())
+	// state by +sensDelta, record the voltage change at each shape cell,
+	// and quantize to the fixed-point weight grid. maxW keeps every
+	// full-array deviation sum below 2^53, so int64 accumulation is exact
+	// and float64 conversion lossless.
+	maxW := int64((uint64(1)<<53 - 1) / uint64(3*cells))
+	wdense := make([][]int64, len(shape))
+	for k := range wdense {
+		wdense[k] = make([]int64, cells)
 	}
-	for m := 0; m < c.cfg.Cells(); m++ {
+	for m := 0; m < cells; m++ {
 		if inShape[m] {
 			continue
 		}
@@ -113,28 +165,60 @@ func (c *Calibration) ensure(poe Cell) error {
 		if err != nil {
 			return err
 		}
-		dv := c.xb.cellDrops(sol)
+		c.xb.cellDropsInto(dv, sol)
 		for k, cell := range shape {
-			sens[k][m] = (abs(dv[c.cfg.Index(cell)]) - base[k]) / sensDelta
+			w := (abs(dv[c.cfg.Index(cell)]) - base[k]) / sensDelta
+			wq := int64(math.Round(w * (1 << devWeightBits)))
+			if wq > maxW || wq < -maxW {
+				return fmt.Errorf("xbar: PoE %+v sensitivity %g overflows the fixed-point weight grid", poe, w)
+			}
+			wdense[k][m] = wq
 		}
 	}
+	// Flatten: complement cells that at least one shape cell is sensitive
+	// to, in ascending order, plus per-shape-cell weight rows aligned with
+	// that list.
+	compPos := make([]int32, cells)
+	for i := range compPos {
+		compPos[i] = -1
+	}
+	var compIdx []int32
+	for m := 0; m < cells; m++ {
+		if inShape[m] {
+			continue
+		}
+		for k := range wdense {
+			if wdense[k][m] != 0 {
+				compPos[m] = int32(len(compIdx))
+				compIdx = append(compIdx, int32(m))
+				break
+			}
+		}
+	}
+	wflat := make([][]int64, len(shape))
+	for k := range wflat {
+		row := make([]int64, len(compIdx))
+		for j, m := range compIdx {
+			row[j] = wdense[k][m]
+		}
+		wflat[k] = row
+	}
 	// Place band edges so the three strength classes are balanced over
-	// random data. The sampling is seeded from the crossbar seed so the
-	// calibration is a pure function of the configuration.
+	// random data. The sampling is seeded from the reference crossbar's
+	// seed so the calibration is a pure function of the fabrication
+	// identity.
 	edges := make([][2]float64, len(shape))
 	rng := rand.New(rand.NewSource(c.xb.Cfg.Seed*1315423911 + int64(pi)))
 	devs := make([]float64, calSamples)
 	for k := range shape {
+		row := wflat[k]
 		for s := 0; s < calSamples; s++ {
-			d := 0.0
-			for m := 0; m < c.cfg.Cells(); m++ {
-				if inShape[m] || sens[k][m] == 0 {
-					continue
-				}
+			var d int64
+			for j := range row {
 				lvl := rng.Intn(device.Levels)
-				d += sens[k][m] * (device.LevelCenter(lvl) - 0.5)
+				d += row[j] * levelQ(lvl)
 			}
-			devs[s] = d
+			devs[s] = float64(d) * devInvScale
 		}
 		sort.Float64s(devs)
 		lo := devs[calSamples/3]
@@ -144,11 +228,13 @@ func (c *Calibration) ensure(poe Cell) error {
 		}
 		edges[k] = [2]float64{lo, hi}
 	}
-	c.shapes[pi] = shape
-	c.base[pi] = base
-	c.sens[pi] = sens
-	c.edges[pi] = edges
-	c.prepared[pi] = true
+	pc.shape = shape
+	pc.inShape = inShape
+	pc.base = base
+	pc.compIdx = compIdx
+	pc.compPos = compPos
+	pc.wflat = wflat
+	pc.edges = edges
 	return nil
 }
 
@@ -157,34 +243,37 @@ func (c *Calibration) Shape(poe Cell) ([]Cell, error) {
 	if err := c.ensure(poe); err != nil {
 		return nil, err
 	}
-	return c.shapes[c.cfg.Index(poe)], nil
+	return c.poes[c.cfg.Index(poe)].shape, nil
 }
 
-// deviations computes, per shape cell, the linearized sneak-voltage
-// deviation induced by the data stored outside the polyomino. The summation
-// order is fixed (ascending cell index) so the value is bit-identical
-// between the encryption of a pulse and its later inversion.
+// deviationsInto computes, per shape cell, the exact integer deviation
+// accumulator sum_j wflat[k][j] * (2*level-3) from scratch. Integer
+// addition is associative, so this agrees bit-for-bit with any incremental
+// maintenance of the same quantity — the property decryption relies on.
+func (pc *poeCal) deviationsInto(dst []int64, levels []int) {
+	for k, row := range pc.wflat {
+		var d int64
+		for j, m := range pc.compIdx {
+			d += row[j] * levelQ(levels[m])
+		}
+		dst[k] = d
+	}
+}
+
+// deviations returns the per-shape-cell sneak-voltage deviations in volts.
 func (c *Calibration) deviations(levels []int, poe Cell) ([]float64, error) {
 	if err := c.ensure(poe); err != nil {
 		return nil, err
 	}
-	pi := c.cfg.Index(poe)
-	shape := c.shapes[pi]
-	inShape := make([]bool, c.cfg.Cells())
-	for _, cell := range shape {
-		inShape[c.cfg.Index(cell)] = true
+	pc := &c.poes[c.cfg.Index(poe)]
+	if len(levels) != c.cfg.Cells() {
+		return nil, fmt.Errorf("xbar: deviations needs %d levels, got %d", c.cfg.Cells(), len(levels))
 	}
-	out := make([]float64, len(shape))
-	for k := range shape {
-		d := 0.0
-		w := c.sens[pi][k]
-		for m, wm := range w {
-			if wm == 0 || inShape[m] {
-				continue
-			}
-			d += wm * (device.LevelCenter(levels[m]) - 0.5)
-		}
-		out[k] = d
+	acc := make([]int64, len(pc.shape))
+	pc.deviationsInto(acc, levels)
+	out := make([]float64, len(acc))
+	for k, d := range acc {
+		out[k] = float64(d) * devInvScale
 	}
 	return out, nil
 }
@@ -197,10 +286,10 @@ func (c *Calibration) Strengths(levels []int, poe Cell) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	pi := c.cfg.Index(poe)
+	pc := &c.poes[c.cfg.Index(poe)]
 	out := make([]int, len(devs))
 	for k, d := range devs {
-		e := c.edges[pi][k]
+		e := pc.edges[k]
 		switch {
 		case d < e[0]:
 			out[k] = 1
@@ -213,6 +302,16 @@ func (c *Calibration) Strengths(levels []int, poe Cell) ([]int, error) {
 	return out, nil
 }
 
+// mixersInto derives the per-shape-cell mixing words from an already
+// computed deviation accumulator (scratch or incremental — they are
+// bit-identical).
+func (c *Calibration) mixersInto(dst []uint64, pi int, pc *poeCal, acc []int64) {
+	for k, d := range acc {
+		v := pc.base[k] + float64(d)*devInvScale
+		dst[k] = splitmix64(math.Float64bits(v) ^ uint64(pi)<<32 ^ uint64(k))
+	}
+}
+
 // Mixers returns, per shape cell, a 64-bit mixing word derived from the
 // exact solved voltage (baseline + data-dependent deviation) at comparator
 // resolution. The SPECU's voltage classification reads the sneak voltage
@@ -222,16 +321,18 @@ func (c *Calibration) Strengths(levels []int, poe Cell) ([]int, error) {
 // state of the cells outside the polyomino. This sensitivity is what gives
 // SPE its avalanche behaviour (Section 6.1).
 func (c *Calibration) Mixers(levels []int, poe Cell) ([]uint64, error) {
-	devs, err := c.deviations(levels, poe)
-	if err != nil {
+	if err := c.ensure(poe); err != nil {
 		return nil, err
 	}
 	pi := c.cfg.Index(poe)
-	out := make([]uint64, len(devs))
-	for k, d := range devs {
-		v := c.base[pi][k] + d
-		out[k] = splitmix64(math.Float64bits(v) ^ uint64(pi)<<32 ^ uint64(k))
+	pc := &c.poes[pi]
+	if len(levels) != c.cfg.Cells() {
+		return nil, fmt.Errorf("xbar: Mixers needs %d levels, got %d", c.cfg.Cells(), len(levels))
 	}
+	acc := make([]int64, len(pc.shape))
+	pc.deviationsInto(acc, levels)
+	out := make([]uint64, len(acc))
+	c.mixersInto(out, pi, pc, acc)
 	return out, nil
 }
 
@@ -250,7 +351,7 @@ func (c *Calibration) Baseline(poe Cell) ([]float64, error) {
 	if err := c.ensure(poe); err != nil {
 		return nil, err
 	}
-	return c.base[c.cfg.Index(poe)], nil
+	return c.poes[c.cfg.Index(poe)].base, nil
 }
 
 func abs(v float64) float64 {

@@ -13,6 +13,7 @@ type Crossbar struct {
 	params []device.Params // per-cell (fabrication-varied) parameters
 	levels []int           // per-cell MLC level, row-major
 	wear   []uint64        // per-cell pulse count, for endurance studies
+	trk    *devTracker     // incremental deviation state for the pulse path
 }
 
 // New builds a crossbar with all cells at level 0.
@@ -47,6 +48,7 @@ func (x *Crossbar) SetLevels(levels []int) error {
 		}
 	}
 	copy(x.levels, levels)
+	x.invalidateTracker()
 	return nil
 }
 
@@ -73,6 +75,7 @@ func (x *Crossbar) WriteBlock(data []byte) error {
 		x.levels[i] = device.BitsLevel(bits)
 		x.wear[i]++
 	}
+	x.invalidateTracker()
 	return nil
 }
 
@@ -124,7 +127,7 @@ func (x *Crossbar) totalNodes() int { return 1 + 2*x.Cfg.Rows*x.Cfg.Cols + x.Cfg
 // The returned slice has one entry per cell: V(row junction) - V(column
 // junction), the drop across memristor+access device.
 func (x *Crossbar) SolveVoltages(poe Cell, cellR []float64) ([]float64, error) {
-	nw, _, err := x.buildNetwork(poe, cellR)
+	nw, _, err := x.buildNetwork(poe, cellR, x.Cfg.VDrive)
 	if err != nil {
 		return nil, err
 	}
@@ -132,26 +135,31 @@ func (x *Crossbar) SolveVoltages(poe Cell, cellR []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return x.cellDrops(sol), nil
+	out := make([]float64, x.Cfg.Cells())
+	x.cellDropsInto(out, sol)
+	return out, nil
 }
 
-// cellDrops extracts the per-cell voltage drop from a network solution.
-func (x *Crossbar) cellDrops(sol *circuit.Solution) []float64 {
+// cellDropsInto extracts the per-cell voltage drop from a network solution
+// into dst (len Cells()).
+func (x *Crossbar) cellDropsInto(dst []float64, sol *circuit.Solution) {
 	cfg := x.Cfg
-	out := make([]float64, cfg.Cells())
 	for r := 0; r < cfg.Rows; r++ {
 		for j := 0; j < cfg.Cols; j++ {
-			out[cfg.Index(Cell{Row: r, Col: j})] = sol.V[x.rowNode(r, j)] - sol.V[x.colNode(r, j)]
+			dst[cfg.Index(Cell{Row: r, Col: j})] = sol.V[x.rowNode(r, j)] - sol.V[x.colNode(r, j)]
 		}
 	}
-	return out
 }
 
-// buildNetwork assembles the sneak-mode network for a pulse at the PoE. It
+// buildNetwork assembles the sneak-mode network for a pulse at the PoE with
+// the given drive amplitude (row at +vDrive, column at -vDrive). The drive
+// is an explicit parameter — not read from Cfg — so transient sweeps can
+// explore other operating points without mutating shared configuration. It
 // returns the network and the edge index of cell 0 (cells occupy
 // consecutive edge indices in row-major order), which the calibration uses
-// for fast single-resistor perturbation re-solves.
-func (x *Crossbar) buildNetwork(poe Cell, cellR []float64) (*circuit.Network, int, error) {
+// for fast single-resistor perturbation re-solves and the transient engine
+// for in-place per-step resistance updates.
+func (x *Crossbar) buildNetwork(poe Cell, cellR []float64, vDrive float64) (*circuit.Network, int, error) {
 	cfg := x.Cfg
 	if !cfg.InBounds(poe) {
 		return nil, 0, fmt.Errorf("xbar: PoE %+v out of bounds", poe)
@@ -201,7 +209,7 @@ func (x *Crossbar) buildNetwork(poe Cell, cellR []float64) (*circuit.Network, in
 	// Drives and keepers.
 	for r := 0; r < cfg.Rows; r++ {
 		if r == poe.Row {
-			if err := nw.FixVoltage(x.rowTerm(r), cfg.VDrive); err != nil {
+			if err := nw.FixVoltage(x.rowTerm(r), vDrive); err != nil {
 				return nil, 0, err
 			}
 		} else if err := nw.AddResistor(x.rowTerm(r), circuit.Ground, cfg.RKeeper); err != nil {
@@ -210,7 +218,7 @@ func (x *Crossbar) buildNetwork(poe Cell, cellR []float64) (*circuit.Network, in
 	}
 	for c := 0; c < cfg.Cols; c++ {
 		if c == poe.Col {
-			if err := nw.FixVoltage(x.colTerm(c), -cfg.VDrive); err != nil {
+			if err := nw.FixVoltage(x.colTerm(c), -vDrive); err != nil {
 				return nil, 0, err
 			}
 		} else if err := nw.AddResistor(x.colTerm(c), circuit.Ground, cfg.RKeeper); err != nil {

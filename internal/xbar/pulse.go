@@ -68,29 +68,50 @@ func permIndex(width int, mixer uint64, cellIdx int) int {
 // (width class, solved sneak voltage, position). Negative-polarity classes
 // (>= 16) apply the inverse permutation of their positive counterpart —
 // the hysteresis-matched decrypt pulse.
+//
+// The calibration may be shared across crossbars and goroutines; the
+// crossbar itself (levels, wear, tracker) must be externally serialized, as
+// before. The sneak-voltage deviations feeding the permutation choice are
+// maintained incrementally from the cells changed by earlier pulses when
+// that is cheaper than recomputing — bit-identical either way.
 func (x *Crossbar) ApplyPulse(cal *Calibration, poe Cell, class int) error {
 	if class < 0 || class >= device.NumPulses {
 		return fmt.Errorf("xbar: pulse class %d out of range", class)
 	}
-	shape, err := cal.Shape(poe)
-	if err != nil {
+	if cal.cfg.Rows != x.Cfg.Rows || cal.cfg.Cols != x.Cfg.Cols {
+		return fmt.Errorf("xbar: calibration geometry %dx%d does not match crossbar %dx%d",
+			cal.cfg.Rows, cal.cfg.Cols, x.Cfg.Rows, x.Cfg.Cols)
+	}
+	if err := cal.ensure(poe); err != nil {
 		return err
 	}
-	mixers, err := cal.Mixers(x.levels, poe)
-	if err != nil {
-		return err
+	pidx := cal.cfg.Index(poe)
+	pc := &cal.poes[pidx]
+	t := x.tracker(cal)
+	acc := t.sync(pidx, pc, x.levels)
+	if cap(t.mixbuf) < len(pc.shape) {
+		t.mixbuf = make([]uint64, len(pc.shape))
 	}
+	mixers := t.mixbuf[:len(pc.shape)]
+	cal.mixersInto(mixers, pidx, pc, acc)
 	width := class % device.NumWidths
 	negative := class >= device.NumWidths
-	for k, cell := range shape {
+	for k, cell := range pc.shape {
 		i := x.Cfg.Index(cell)
 		pi := permIndex(width, mixers[k], i)
+		old := x.levels[i]
+		nl := perms[pi][old]
 		if negative {
-			x.levels[i] = invPerms[pi][x.levels[i]]
-		} else {
-			x.levels[i] = perms[pi][x.levels[i]]
+			nl = invPerms[pi][old]
 		}
+		x.levels[i] = nl
 		x.wear[i]++
+		if nl != old {
+			t.journal = append(t.journal, levelDelta{cell: int32(i), dq: int32(2 * (nl - old))})
+		}
+	}
+	if len(t.journal) >= maxJournal {
+		t.compact()
 	}
 	return nil
 }

@@ -53,24 +53,42 @@ func (x *Crossbar) TransientPulse(poe Cell, v float64, width float64, steps int)
 	start := make([]float64, n)
 	copy(start, states)
 
-	// Temporarily override the drive amplitude so callers can explore
-	// other operating points without rebuilding the crossbar.
-	cfg := x.Cfg
-	savedV := cfg.VDrive
-	x.Cfg.VDrive = v / 2
-	defer func() { x.Cfg.VDrive = savedV }()
-
-	dt := width / float64(steps)
+	// Build the sneak network once with the requested drive amplitude (an
+	// explicit parameter, so concurrent pulses on shared-config crossbars
+	// never race on Cfg). Each step only changes cell resistances, so the
+	// loop updates them in place and re-solves through a Workspace, which
+	// keeps the assembled structure and warm-starts from the previous
+	// operating point.
 	cellR := make([]float64, n)
+	for i := range cellR {
+		p := x.params[i]
+		cellR[i] = p.ROn + (p.ROff-p.ROn)*states[i]
+	}
+	nw, cellEdge, err := x.buildNetwork(poe, cellR, v/2)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := nw.NewWorkspace()
+	if err != nil {
+		return nil, err
+	}
+	dv := make([]float64, n)
+	dt := width / float64(steps)
 	for s := 0; s < steps; s++ {
-		for i := range cellR {
-			p := x.params[i]
-			cellR[i] = p.ROn + (p.ROff-p.ROn)*states[i]
+		if s > 0 {
+			for i := range cellR {
+				p := x.params[i]
+				cellR[i] = p.ROn + (p.ROff-p.ROn)*states[i]
+				if err := nw.SetResistance(cellEdge+i, cellR[i]+x.Cfg.RAccess); err != nil {
+					return nil, err
+				}
+			}
 		}
-		dv, err := x.SolveVoltages(poe, cellR)
+		sol, err := ws.Solve()
 		if err != nil {
 			return nil, err
 		}
+		x.cellDropsInto(dv, sol)
 		for i := range states {
 			av := dv[i]
 			if av < 0 {
