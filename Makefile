@@ -30,6 +30,9 @@ bench:
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkBlock|BenchmarkNewBlock|BenchmarkSPECU' -benchtime 20x -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_specu.json
 	@cat BENCH_specu.json
+	$(GO) test ./internal/poe -run xxx -bench 'BenchmarkPlacement' -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -o BENCH_ilp.json
+	@cat BENCH_ilp.json
 
 ci:
 	./ci.sh

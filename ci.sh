@@ -14,3 +14,5 @@ go test -race ./...
 # benchmark time.
 go test ./internal/core -run xxx -bench 'BenchmarkBlock' -benchtime 1x -benchmem \
 	| go run ./cmd/benchjson -o /dev/null
+go test ./internal/poe -run xxx -bench 'BenchmarkPlacement8x8' -benchtime 1x -benchmem \
+	| go run ./cmd/benchjson -o /dev/null

@@ -21,11 +21,15 @@ var (
 	goldenKey   = prng.NewKey(0x0123456789ABCDEF, 0xFEDCBA9876543210)
 	goldenTweak = uint64(0x1C0)
 
+	// The placement is the canonical (lexicographically smallest by
+	// row-major cell index, preferring NOT selecting earlier cells)
+	// optimal solution — the solver guarantees this vector for any worker
+	// count and any search order, which is what lets it be pinned at all.
 	goldenPlacement = []xbar.Cell{
-		{Row: 0, Col: 0}, {Row: 0, Col: 2}, {Row: 0, Col: 4}, {Row: 0, Col: 6},
-		{Row: 1, Col: 2}, {Row: 1, Col: 6}, {Row: 2, Col: 0}, {Row: 2, Col: 4},
-		{Row: 5, Col: 1}, {Row: 5, Col: 5}, {Row: 6, Col: 3}, {Row: 6, Col: 7},
-		{Row: 7, Col: 1}, {Row: 7, Col: 3}, {Row: 7, Col: 5}, {Row: 7, Col: 7},
+		{Row: 0, Col: 3}, {Row: 0, Col: 4}, {Row: 1, Col: 1}, {Row: 1, Col: 2},
+		{Row: 1, Col: 5}, {Row: 1, Col: 6}, {Row: 2, Col: 0}, {Row: 2, Col: 7},
+		{Row: 6, Col: 0}, {Row: 6, Col: 3}, {Row: 6, Col: 4}, {Row: 6, Col: 7},
+		{Row: 7, Col: 1}, {Row: 7, Col: 2}, {Row: 7, Col: 5}, {Row: 7, Col: 6},
 	}
 	goldenOrder   = []int{9, 2, 5, 11, 4, 3, 10, 14, 6, 7, 1, 12, 13, 8, 15, 0}
 	goldenClasses = []int{16, 19, 15, 12, 4, 9, 31, 22, 25, 30, 6, 7, 25, 7, 0, 28}
@@ -41,18 +45,25 @@ var (
 	// simulator persists no ciphertext, and a real deployment would decrypt
 	// under the pre-quantization model, upgrade the SPECU, and re-encrypt
 	// on the scrub sweep (the paper's §5 re-encryption path); the
-	// placement, schedule and key format are untouched, which
-	// TestGoldenPlacement/TestGoldenSchedule still pin to the original
-	// vectors.
+	// placement, schedule and key format are untouched.
+	//
+	// Regenerated a second time when the placement solver gained canonical
+	// (lex-min) solution selection: the previous placement was whichever
+	// optimum the sequential search happened to visit first, the new one is
+	// the unique canonical optimum (same size, 16 PoEs), so the placement —
+	// and through it the per-cell PoE geometry the mixer sees — moved.
+	// Schedule order/classes depend only on the key and the PoE count and
+	// are unchanged; migration for deployments is the same decrypt-under-
+	// old-placement, re-encrypt-on-scrub path as above.
 	goldenCiphertext = []byte{
-		0x6d, 0x44, 0x32, 0x37, 0xcf, 0x00, 0xce, 0x8f,
-		0x94, 0x19, 0x46, 0x4c, 0xab, 0xc8, 0x36, 0x9d,
-		0xc4, 0xbb, 0x7c, 0x7f, 0xaf, 0x3b, 0x5d, 0xa2,
-		0x09, 0x45, 0xc5, 0x97, 0x0c, 0xaa, 0xf9, 0x73,
-		0x54, 0xc8, 0x90, 0xfc, 0x91, 0x4f, 0x45, 0xa4,
-		0x34, 0x47, 0x68, 0x95, 0x7c, 0x10, 0x05, 0xa5,
-		0xaf, 0x3b, 0x30, 0x0c, 0x5f, 0xd2, 0x5b, 0x0f,
-		0x99, 0x03, 0x37, 0xd7, 0x3d, 0xea, 0xc3, 0xa1,
+		0xb1, 0x9b, 0x3f, 0x3c, 0x85, 0x45, 0x6d, 0xac,
+		0xa4, 0xa0, 0x87, 0x7c, 0x67, 0x8d, 0x2d, 0x63,
+		0x79, 0x5f, 0xfa, 0x58, 0x70, 0x2b, 0x3f, 0x79,
+		0x4a, 0x5e, 0xa8, 0x26, 0x6e, 0xe6, 0x08, 0x18,
+		0x34, 0xc1, 0x9b, 0x47, 0xda, 0x97, 0xd1, 0xe9,
+		0x4b, 0xbe, 0xea, 0xe3, 0x90, 0x64, 0x81, 0x76,
+		0x59, 0x0e, 0xdc, 0x02, 0x88, 0xd5, 0xb7, 0x96,
+		0x73, 0x45, 0x4e, 0x94, 0xef, 0xdd, 0x24, 0x7a,
 	}
 )
 

@@ -1,8 +1,13 @@
 package ilp
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ILPOptions configures the branch-and-bound search.
@@ -16,177 +21,642 @@ type ILPOptions struct {
 	// Incumbent, if non-nil, is a known-feasible 0/1 assignment used as
 	// the initial upper bound (e.g. from a greedy heuristic).
 	Incumbent []float64
+	// Workers is the parallel search width; <= 0 means GOMAXPROCS.
+	Workers int
+	// Canonicalize runs a lexicographic-minimization pass after an optimal
+	// solve: the returned X is the unique optimal assignment that prefers
+	// x_j = 0 at every index in increasing order. This makes the solution
+	// vector reproducible run-to-run and across worker counts, at the cost
+	// of one bounded probe solve per support variable. Only meaningful with
+	// Gap == 0 (with a nonzero gap the accepted objective itself can vary).
+	Canonicalize bool
 }
 
-// SolveILP solves the problem with all variables restricted to {0, 1} by
-// depth-first branch and bound over LP relaxations, branching on the most
-// fractional variable. Fixed variables are substituted out of the
-// relaxation rather than carried as constraints.
-func SolveILP(p *Problem, opt ILPOptions) (Solution, error) {
-	if err := p.validate(); err != nil {
-		return Solution{}, err
+// fixStep records one branching decision: variable Var fixed to Val.
+type fixStep struct {
+	Var int
+	Val float64
+}
+
+// bbNode is one open node of the search frontier: the fix path from the
+// root and the LP bound of its parent (its own bound until solved).
+type bbNode struct {
+	fixes []fixStep
+	bound float64
+	seq   int64
+}
+
+// nodeHeap is a min-heap over (bound, seq): best-first by LP bound, with
+// insertion order as a deterministic tie-break.
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
 	}
+	return h[i].seq < h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	nd := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return nd
+}
+
+// searcher is the shared state of one parallel branch-and-bound run.
+type searcher struct {
+	p        *Problem
+	ctx      context.Context
+	maxNodes int64
+	gap      float64
+	integral bool
+	preFixes []fixStep // fixes applied at the root (canonicalization probes)
+	// target/stopAt implement bounded feasibility probes: nodes whose bound
+	// exceeds target are pruned, and the search closes as soon as an
+	// incumbent at or below stopAt is found. Both are +Inf/-Inf disabled in
+	// ordinary solves.
+	target float64
+	stopAt float64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	frontier   nodeHeap
+	active     int
+	closed     bool
+	limit      bool
+	minDropped float64 // min bound among nodes abandoned on limit/cancel
+	seq        int64
+
+	stop  atomic.Bool
+	nodes atomic.Int64
+
+	incMu   sync.Mutex
+	incBits atomic.Uint64 // Float64bits of the incumbent objective; +Inf none
+	incX    []float64
+
+	varCons [][]int32 // var -> indices of constraints containing it
+}
+
+func (s *searcher) bestObj() float64 {
+	return math.Float64frombits(s.incBits.Load())
+}
+
+// cutoff is the pruning threshold: nodes whose bound is at or above it
+// cannot improve on the incumbent (within Gap), and nodes above target are
+// useless to a feasibility probe.
+func (s *searcher) cutoff() float64 {
+	c := s.bestObj() - 1e-7 - s.gap
+	if t := s.target + 1e-7; t < c {
+		c = t
+	}
+	return c
+}
+
+func (s *searcher) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.stop.Store(true)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// tryIncumbent records x (already integral and feasible) if it beats the
+// current incumbent. Ties keep the first winner; Canonicalize restores
+// determinism of the final vector.
+func (s *searcher) tryIncumbent(x []float64, obj float64) {
+	s.incMu.Lock()
+	if obj < s.bestObj() {
+		s.incX = append(s.incX[:0], x...)
+		s.incBits.Store(math.Float64bits(obj))
+	}
+	s.incMu.Unlock()
+	if obj <= s.stopAt+1e-7 {
+		s.close()
+	}
+}
+
+// dropNode records the bound of a node abandoned unexplored, so the final
+// best-bound/gap report stays sound.
+func (s *searcher) dropNode(bound float64) {
+	s.mu.Lock()
+	if bound < s.minDropped {
+		s.minDropped = bound
+	}
+	s.mu.Unlock()
+}
+
+// take pops the best frontier node, blocking until one is available or the
+// search ends. It returns nil when the search is over.
+func (s *searcher) take() *bbNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if len(s.frontier) > 0 {
+			nd := heap.Pop(&s.frontier).(*bbNode)
+			if nd.bound >= s.cutoff() {
+				continue // pruned: the incumbent already covers it
+			}
+			if s.limit || s.nodes.Load() >= s.maxNodes {
+				s.limit = true
+				if nd.bound < s.minDropped {
+					s.minDropped = nd.bound
+				}
+				continue // drain, recording bounds
+			}
+			s.active++
+			return nd
+		}
+		if s.active == 0 {
+			s.closed = true
+			s.stop.Store(true)
+			s.cond.Broadcast()
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *searcher) release() {
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// offload pushes a node onto the shared frontier where an idle worker can
+// steal it.
+func (s *searcher) offload(nd *bbNode) {
+	s.mu.Lock()
+	s.seq++
+	nd.seq = s.seq
+	heap.Push(&s.frontier, nd)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// worker runs the steal-and-dive loop: take the globally best open node,
+// then dive depth-first from it, offloading the sibling of every branch so
+// other workers can steal breadth while this one chases an incumbent.
+func (s *searcher) worker(ws *Workspace) {
+	local := make([]*bbNode, 0, 64)
+	for {
+		nd := s.take()
+		if nd == nil {
+			return
+		}
+		local = append(local[:0], nd)
+		for len(local) > 0 {
+			n := local[len(local)-1]
+			local = local[:len(local)-1]
+			if s.stop.Load() || s.ctx.Err() != nil {
+				s.dropNode(n.bound)
+				for _, r := range local {
+					s.dropNode(r.bound)
+				}
+				local = local[:0]
+				break
+			}
+			if s.nodes.Add(1) > s.maxNodes {
+				s.mu.Lock()
+				s.limit = true
+				s.mu.Unlock()
+				s.dropNode(n.bound)
+				for _, r := range local {
+					s.dropNode(r.bound)
+				}
+				local = local[:0]
+				break
+			}
+			s.expand(n, ws, &local)
+		}
+		s.release()
+	}
+}
+
+// expand solves one node's relaxation and either prunes, records an
+// incumbent, or branches: the preferred child continues the dive on the
+// local stack, the sibling goes to the shared frontier.
+func (s *searcher) expand(n *bbNode, ws *Workspace, local *[]*bbNode) {
+	ws.Reset()
+	for _, f := range s.preFixes {
+		ws.Fix(f.Var, f.Val)
+	}
+	for _, f := range n.fixes {
+		ws.Fix(f.Var, f.Val)
+	}
+	rel := ws.SolveRelax()
+	switch rel.Status {
+	case Infeasible, Unbounded:
+		return
+	case LimitReached:
+		// The LP iteration cap hit: no bound is available, but skipping the
+		// node would make the search inexact. Branch blindly on the lowest
+		// free variable, keeping the parent bound.
+		for j := 0; j < s.p.NumVars; j++ {
+			if !ws.fixedMask[j] {
+				s.branch(n, j, 1, 0, n.bound, local)
+				return
+			}
+		}
+		return
+	}
+	bound := rel.Objective
+	if s.integral {
+		bound = math.Ceil(bound - 1e-7)
+	}
+	if bound >= s.cutoff() {
+		return
+	}
+	x := rel.X // aliases ws buffer; consumed before the next solve
+	branchVar, bestFrac := -1, -1.0
+	for j, v := range x {
+		if f := math.Abs(v - math.Round(v)); f > 1e-6 {
+			// Prefer the variable closest to 0.5.
+			if score := 0.5 - math.Abs(f-0.5); score > bestFrac {
+				bestFrac = score
+				branchVar = j
+			}
+		}
+	}
+	if branchVar < 0 {
+		cand := make([]float64, len(x))
+		for j, v := range x {
+			cand[j] = math.Round(v)
+		}
+		if feasible(s.p, cand) {
+			s.tryIncumbent(cand, objValue(s.p, cand))
+		}
+		return
+	}
+	// Rounding heuristic: a repaired rounding of the fractional optimum often
+	// lands near the LP bound, and a tight incumbent is what lets the search
+	// close the bound plateau instead of enumerating it. Never changes the
+	// final objective or the canonical vector — only how fast they're proven.
+	// Throttled per worker: diving re-solves move x little, so consecutive
+	// nodes round to near-identical candidates.
+	if ws.heurTick++; ws.heurTick%8 == 1 {
+		if cand := s.roundRepair(ws, x); cand != nil {
+			s.tryIncumbent(cand, objValue(s.p, cand))
+		}
+	}
+	// Dive toward x=1 first (progress toward coverage) unless the
+	// relaxation leans strongly to 0 — same rule as the sequential seed.
+	first, second := 1.0, 0.0
+	if x[branchVar] < 0.3 {
+		first, second = 0.0, 1.0
+	}
+	s.branch(n, branchVar, first, second, bound, local)
+}
+
+// conViolation measures how far activity a is outside constraint c.
+func conViolation(c *Constraint, a float64) float64 {
+	v := 0.0
+	switch c.Sense {
+	case LE:
+		if a > c.RHS {
+			v = a - c.RHS
+		}
+	case GE:
+		if a < c.RHS {
+			v = c.RHS - a
+		}
+	case EQ:
+		v = math.Abs(a - c.RHS)
+	case RNG:
+		if a > c.RHS {
+			v = a - c.RHS
+		} else if a < c.LB {
+			v = c.LB - a
+		}
+	}
+	return v
+}
+
+// roundRepair rounds a fractional LP solution to 0/1 and greedily repairs
+// feasibility by single-variable flips, each chosen to maximally reduce the
+// total constraint violation (ties: least objective damage, then lowest
+// index). Variables fixed in the workspace — branching decisions and
+// canonicalization pre-fixes — are never flipped, so the candidate stays
+// consistent with any probe in flight. Once feasible, redundant positives
+// are trimmed in one pass. Returns nil when repair stalls.
+func (s *searcher) roundRepair(ws *Workspace, x []float64) []float64 {
+	p := s.p
+	cand := make([]float64, len(x))
+	for j, v := range x {
+		cand[j] = math.Round(v)
+	}
+	act := make([]float64, len(p.Cons))
+	total := 0.0
+	for ci := range p.Cons {
+		c := &p.Cons[ci]
+		for _, t := range c.Terms {
+			act[ci] += t.Coef * cand[t.Var]
+		}
+		total += conViolation(c, act[ci])
+	}
+	// flipDelta is the change in total violation from flipping variable j.
+	flipDelta := func(j int, to float64) float64 {
+		d := 0.0
+		for _, ci := range s.varCons[j] {
+			c := &p.Cons[ci]
+			coef := 0.0
+			for _, t := range c.Terms {
+				if t.Var == j {
+					coef = t.Coef
+					break
+				}
+			}
+			d += conViolation(c, act[ci]+coef*(to-cand[j])) - conViolation(c, act[ci])
+		}
+		return d
+	}
+	apply := func(j int, to float64) {
+		for _, ci := range s.varCons[j] {
+			c := &p.Cons[ci]
+			for _, t := range c.Terms {
+				if t.Var == j {
+					total -= conViolation(c, act[ci])
+					act[ci] += t.Coef * (to - cand[j])
+					total += conViolation(c, act[ci])
+					break
+				}
+			}
+		}
+		cand[j] = to
+	}
+	seen := make(map[int]bool)
+	for steps := 0; total > 1e-9; steps++ {
+		if steps > 2*p.NumVars {
+			return nil
+		}
+		// Only variables touching a violated constraint can reduce the
+		// violation, which keeps each step near-linear in the violation size
+		// rather than in the problem size.
+		bestJ, bestTo := -1, 0.0
+		bestD, bestCost := 0.0, math.Inf(1)
+		clear(seen)
+		for ci := range p.Cons {
+			c := &p.Cons[ci]
+			if conViolation(c, act[ci]) <= 1e-9 {
+				continue
+			}
+			for _, t := range c.Terms {
+				j := t.Var
+				if seen[j] || ws.fixedMask[j] {
+					continue
+				}
+				seen[j] = true
+				to := 1 - cand[j]
+				if to > p.ub(j)+1e-9 {
+					continue
+				}
+				d := flipDelta(j, to)
+				if -d <= 1e-9 { // only strict violation decreases make progress
+					continue
+				}
+				cost := p.Objective[j] * (to - cand[j])
+				if -d > bestD+1e-12 || (-d > bestD-1e-12 && cost < bestCost-1e-12) {
+					bestJ, bestTo, bestD, bestCost = j, to, -d, cost
+				}
+			}
+		}
+		if bestJ < 0 {
+			return nil
+		}
+		apply(bestJ, bestTo)
+	}
+	// Trim: drop any positive-cost variable whose removal keeps feasibility.
+	for j := range cand {
+		if cand[j] == 1 && !ws.fixedMask[j] && p.Objective[j] > 0 {
+			if flipDelta(j, 0) < 1e-9 {
+				apply(j, 0)
+			}
+		}
+	}
+	if !feasible(p, cand) {
+		return nil
+	}
+	return cand
+}
+
+// branch creates the two children of n fixing branchVar; the first child
+// continues this worker's dive, the second is offered to the frontier.
+func (s *searcher) branch(n *bbNode, branchVar int, first, second, bound float64, local *[]*bbNode) {
+	mk := func(v float64) *bbNode {
+		fixes := make([]fixStep, len(n.fixes), len(n.fixes)+1)
+		copy(fixes, n.fixes)
+		return &bbNode{fixes: append(fixes, fixStep{branchVar, v}), bound: bound}
+	}
+	s.offload(mk(second))
+	*local = append(*local, mk(first))
+}
+
+// solveBB runs the parallel search to completion and assembles the result.
+func solveBB(ctx context.Context, p *Problem, opt ILPOptions, pre []fixStep, target, stopAt float64, pool []*Workspace) (Solution, error) {
 	maxNodes := opt.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = 200000
 	}
-	best := Solution{Status: Infeasible, Objective: math.Inf(1)}
+	s := &searcher{
+		p:          p,
+		ctx:        ctx,
+		maxNodes:   int64(maxNodes),
+		gap:        opt.Gap,
+		integral:   opt.IntegralObjective,
+		preFixes:   pre,
+		target:     target,
+		stopAt:     stopAt,
+		minDropped: math.Inf(1),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.incBits.Store(math.Float64bits(math.Inf(1)))
+	s.varCons = make([][]int32, p.NumVars)
+	for ci := range p.Cons {
+		for _, t := range p.Cons[ci].Terms {
+			s.varCons[t.Var] = append(s.varCons[t.Var], int32(ci))
+		}
+	}
 	if opt.Incumbent != nil {
 		if len(opt.Incumbent) != p.NumVars {
 			return Solution{}, fmt.Errorf("%w: incumbent length", ErrBadProblem)
 		}
-		if feasible(p, opt.Incumbent) {
-			best = Solution{Status: Optimal, X: append([]float64(nil), opt.Incumbent...), Objective: objValue(p, opt.Incumbent)}
+		if feasible(p, opt.Incumbent) && consistent(opt.Incumbent, pre) {
+			s.tryIncumbent(opt.Incumbent, objValue(p, opt.Incumbent))
 		}
+	}
+	s.frontier = nodeHeap{{bound: math.Inf(-1)}}
+
+	// Wake blocked workers if the context dies mid-search.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.close()
+			case <-watchDone:
+			}
+		}()
 	}
 
-	type node struct {
-		fixVar []int // parallel slices: fixed variable indices and values
-		fixVal []float64
+	var wg sync.WaitGroup
+	for _, ws := range pool {
+		ws.Stop = &s.stop // lets ctx expiry interrupt an LP mid-solve
+		wg.Add(1)
+		go func(ws *Workspace) {
+			defer wg.Done()
+			s.worker(ws)
+		}(ws)
 	}
-	stack := []node{{}}
-	nodes := 0
-	for len(stack) > 0 && nodes < maxNodes {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		nodes++
-		sub, offset := substitute(p, nd.fixVar, nd.fixVal)
-		if sub == nil { // fixing already violates a constraint
-			continue
+	wg.Wait()
+
+	s.mu.Lock()
+	openBound := s.minDropped
+	for _, nd := range s.frontier {
+		if nd.bound < openBound {
+			openBound = nd.bound
 		}
-		rel, err := SolveLP(sub)
+	}
+	hitLimit := s.limit || ctx.Err() != nil
+	nodes := s.nodes.Load()
+	if nodes > s.maxNodes {
+		nodes = s.maxNodes
+	}
+	s.mu.Unlock()
+
+	obj := s.bestObj()
+	sol := Solution{Nodes: nodes}
+	if s.incX != nil {
+		sol.X = s.incX
+		sol.Objective = obj
+		if hitLimit {
+			sol.Status = LimitReached
+			sol.BestBound = math.Min(openBound, obj)
+		} else {
+			sol.Status = Optimal
+			sol.BestBound = obj - opt.Gap
+		}
+		sol.RelGap = (sol.Objective - sol.BestBound) / math.Max(1, math.Abs(sol.Objective))
+		return sol, nil
+	}
+	if hitLimit {
+		sol.Status = LimitReached
+		sol.BestBound = openBound
+		sol.RelGap = math.Inf(1)
+		return sol, nil
+	}
+	sol.Status = Infeasible
+	return sol, nil
+}
+
+// consistent reports whether x agrees with every fix in pre.
+func consistent(x []float64, pre []fixStep) bool {
+	for _, f := range pre {
+		if math.Abs(x[f.Var]-f.Val) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveILP solves the problem with all variables restricted to {0, 1} by
+// parallel branch and bound over LP relaxations: a worker pool shares a
+// best-first frontier (ordered by LP bound), each worker dives depth-first
+// from the node it steals, and a shared incumbent prunes across workers.
+// The returned objective is deterministic; the solution vector is too when
+// ILPOptions.Canonicalize is set.
+func SolveILP(p *Problem, opt ILPOptions) (Solution, error) {
+	return SolveILPContext(context.Background(), p, opt)
+}
+
+// SolveILPContext is SolveILP with cancellation and deadline support: when
+// ctx is cancelled or expires the search stops early and the best-known
+// solution so far is returned with Status LimitReached (optimality
+// unproven), exactly as if the node budget had run out.
+func SolveILPContext(ctx context.Context, p *Problem, opt ILPOptions) (Solution, error) {
+	if err := p.validate(); err != nil {
+		return Solution{}, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := make([]*Workspace, workers)
+	for i := range pool {
+		ws, err := NewWorkspace(p)
 		if err != nil {
 			return Solution{}, err
 		}
-		if rel.Status == Infeasible {
-			continue
-		}
-		if rel.Status != Optimal {
-			continue
-		}
-		bound := rel.Objective + offset
-		if opt.IntegralObjective {
-			bound = math.Ceil(bound - 1e-7)
-		}
-		if bound >= best.Objective-1e-7-opt.Gap {
-			continue
-		}
-		// Reconstruct full X and find most fractional free variable.
-		x := make([]float64, p.NumVars)
-		copy(x, rel.X)
-		for k, j := range nd.fixVar {
-			x[j] = nd.fixVal[k]
-		}
-		branch := -1
-		bestFrac := -1.0
-		for j, v := range x {
-			f := math.Abs(v - math.Round(v))
-			if f > 1e-6 {
-				// Prefer the variable closest to 0.5.
-				score := 0.5 - math.Abs(f-0.5)
-				if score > bestFrac {
-					bestFrac = score
-					branch = j
-				}
-			}
-		}
-		if branch < 0 {
-			for j := range x {
-				x[j] = math.Round(x[j])
-			}
-			if feasible(p, x) {
-				obj := objValue(p, x)
-				if obj < best.Objective {
-					best = Solution{Status: Optimal, X: x, Objective: obj}
-				}
-			}
-			continue
-		}
-		// Depth-first; explore x=1 first (progress toward coverage) unless
-		// the relaxation leans strongly to 0.
-		first, second := 1.0, 0.0
-		if x[branch] < 0.3 {
-			first, second = 0.0, 1.0
-		}
-		mk := func(v float64) node {
-			return node{
-				fixVar: append(append([]int(nil), nd.fixVar...), branch),
-				fixVal: append(append([]float64(nil), nd.fixVal...), v),
-			}
-		}
-		stack = append(stack, mk(second), mk(first))
+		pool[i] = ws
 	}
-	if best.Status != Optimal {
-		if nodes >= maxNodes {
-			return Solution{Status: LimitReached}, nil
-		}
-		return Solution{Status: Infeasible}, nil
+	sol, err := solveBB(ctx, p, opt, nil, math.Inf(1), math.Inf(-1), pool)
+	if err != nil || sol.Status != Optimal || !opt.Canonicalize {
+		return sol, err
 	}
-	if nodes >= maxNodes {
-		best.Status = LimitReached // best known, optimality unproven
+	x, err := canonicalize(ctx, p, opt, sol.Objective, sol.X, pool)
+	if err != nil {
+		return sol, err
 	}
-	return best, nil
+	sol.X = x
+	return sol, nil
 }
 
-// substitute builds the reduced problem with the fixed variables eliminated:
-// their contribution moves into constraint RHS values and the returned
-// objective offset. Variables keep their indices; fixed ones get UB 0 and
-// zero objective/constraint coefficients. Returns nil if a constraint is
-// already unsatisfiable with every free variable at its most favourable
-// bound (quick infeasibility check is left to the LP; nil only for empty
-// rows that fail).
-func substitute(p *Problem, fixVar []int, fixVal []float64) (*Problem, float64) {
-	isFixed := make(map[int]float64, len(fixVar))
-	for k, j := range fixVar {
-		isFixed[j] = fixVal[k]
+// canonicalize computes the lexicographically smallest optimal assignment
+// (0 preferred at each index, scanning in increasing order) for a proven
+// optimal objective z. It walks the variables once; indices where the
+// current witness is already 0 are fixed for free, and each support index
+// is resolved with one bounded feasibility probe ("is there an optimal
+// completion with this variable at 0?"). The result is unique for a given
+// (problem, z), independent of which optimum the search happened to find
+// and of the worker count. A probe that runs out of nodes falls back to
+// the witness value, keeping the result optimal (if no longer guaranteed
+// canonical); with the target-objective pruning this is not observed in
+// practice.
+func canonicalize(ctx context.Context, p *Problem, opt ILPOptions, z float64, witness []float64, pool []*Workspace) ([]float64, error) {
+	w := append([]float64(nil), witness...)
+	for j := range w {
+		w[j] = math.Round(w[j])
 	}
-	q := &Problem{NumVars: p.NumVars, Objective: make([]float64, p.NumVars)}
-	offset := 0.0
-	for j, c := range p.Objective {
-		if v, ok := isFixed[j]; ok {
-			offset += c * v
-		} else {
-			q.Objective[j] = c
-		}
+	fixes := make([]fixStep, 0, p.NumVars)
+	probeOpt := ILPOptions{
+		MaxNodes:          opt.MaxNodes,
+		IntegralObjective: opt.IntegralObjective,
 	}
-	q.UB = make([]float64, p.NumVars)
 	for j := 0; j < p.NumVars; j++ {
-		if _, ok := isFixed[j]; ok {
-			q.UB[j] = 0
-		} else {
-			q.UB[j] = p.ub(j)
-		}
-	}
-	for _, c := range p.Cons {
-		rhs := c.RHS
-		terms := make([]Term, 0, len(c.Terms))
-		for _, t := range c.Terms {
-			if v, ok := isFixed[t.Var]; ok {
-				rhs -= t.Coef * v
-			} else {
-				terms = append(terms, t)
-			}
-		}
-		if len(terms) == 0 {
-			switch c.Sense {
-			case LE:
-				if rhs < -1e-9 {
-					return nil, 0
-				}
-			case GE:
-				if rhs > 1e-9 {
-					return nil, 0
-				}
-			case EQ:
-				if math.Abs(rhs) > 1e-9 {
-					return nil, 0
-				}
-			}
+		if w[j] == 0 {
+			// The witness is an optimal completion with x_j = 0, so the
+			// lex-smallest choice is already proven; no probe needed.
+			fixes = append(fixes, fixStep{j, 0})
 			continue
 		}
-		q.Cons = append(q.Cons, Constraint{Terms: terms, Sense: c.Sense, RHS: rhs})
+		if ctx.Err() != nil {
+			return w, nil // best effort: optimal but possibly non-canonical
+		}
+		probe := append(append(make([]fixStep, 0, len(fixes)+1), fixes...), fixStep{j, 0})
+		sol, err := solveBB(ctx, p, probeOpt, probe, z, z, pool)
+		if err != nil {
+			return nil, err
+		}
+		if sol.X != nil && sol.Objective <= z+1e-7 {
+			for k, v := range sol.X {
+				w[k] = math.Round(v)
+			}
+			fixes = probe
+		} else {
+			fixes = append(fixes, fixStep{j, 1})
+		}
 	}
-	return q, offset
+	return w, nil
 }
 
 // feasible checks a 0/1 assignment against all constraints.
@@ -207,6 +677,10 @@ func feasible(p *Problem, x []float64) bool {
 			}
 		case EQ:
 			if math.Abs(s-c.RHS) > 1e-6 {
+				return false
+			}
+		case RNG:
+			if s > c.RHS+1e-6 || s < c.LB-1e-6 {
 				return false
 			}
 		}

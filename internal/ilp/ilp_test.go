@@ -279,33 +279,47 @@ func TestFeasibleChecker(t *testing.T) {
 }
 
 func TestSolveILPNodeLimit(t *testing.T) {
-	// A tight node limit with no incumbent must report LimitReached.
+	// A tight node limit with no incumbent must report LimitReached. The
+	// odd cycle's LP relaxation is fractional at every optimal vertex
+	// (x = 0.5 everywhere), so one node can never prove optimality.
 	p := &Problem{
-		NumVars:   6,
-		Objective: []float64{-1, -1, -1, -1, -1, -1},
+		NumVars:   5,
+		Objective: []float64{-1, -1, -1, -1, -1},
 		Cons: []Constraint{
 			{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 1},
 			{Terms: []Term{{1, 1}, {2, 1}}, Sense: LE, RHS: 1},
 			{Terms: []Term{{2, 1}, {3, 1}}, Sense: LE, RHS: 1},
 			{Terms: []Term{{3, 1}, {4, 1}}, Sense: LE, RHS: 1},
-			{Terms: []Term{{4, 1}, {5, 1}}, Sense: LE, RHS: 1},
-			{Terms: []Term{{5, 1}, {0, 1}}, Sense: LE, RHS: 1},
+			{Terms: []Term{{4, 1}, {0, 1}}, Sense: LE, RHS: 1},
 		},
 	}
-	sol, err := SolveILP(p, ILPOptions{MaxNodes: 1})
+	sol, err := SolveILP(p, ILPOptions{MaxNodes: 1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.Status != LimitReached {
 		t.Errorf("status %v, want limit-reached", sol.Status)
 	}
-	// With a feasible incumbent the limit returns the incumbent instead.
-	sol, err = SolveILP(p, ILPOptions{MaxNodes: 1, Incumbent: []float64{1, 0, 1, 0, 1, 0}})
+	if sol.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", sol.Nodes)
+	}
+	// With a feasible incumbent the limit returns the incumbent instead,
+	// along with a sound bound and gap.
+	sol, err = SolveILP(p, ILPOptions{MaxNodes: 1, Workers: 1, Incumbent: []float64{1, 0, 1, 0, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.X == nil {
 		t.Error("expected incumbent solution under node limit")
+	}
+	if sol.Status != LimitReached {
+		t.Errorf("status %v, want limit-reached", sol.Status)
+	}
+	if sol.BestBound > sol.Objective {
+		t.Errorf("best bound %g above incumbent %g", sol.BestBound, sol.Objective)
+	}
+	if sol.RelGap <= 0 {
+		t.Errorf("gap %g, want positive while unproven", sol.RelGap)
 	}
 }
 

@@ -1,23 +1,26 @@
 // Package ilp is a small exact solver for the 0/1 integer linear programs
 // the PoE-placement formulation of Table 1 produces — the reproduction's
 // substitute for the FICO Xpress solver the paper used. It contains a dense
-// two-phase primal simplex for the LP relaxations and a depth-first
-// branch-and-bound driver with most-fractional branching.
+// two-phase primal simplex with implicit variable upper bounds for the LP
+// relaxations (see Workspace) and a parallel branch-and-bound driver: a
+// work-stealing pool of solver workers over a shared best-first frontier,
+// DFS dives for early incumbents, and a shared atomically-pruned incumbent
+// (see SolveILP / SolveILPContext).
 package ilp
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Sense is the direction of a linear constraint.
 type Sense int
 
 const (
-	LE Sense = iota // sum <= rhs
-	GE              // sum >= rhs
-	EQ              // sum == rhs
+	LE  Sense = iota // sum <= rhs
+	GE               // sum >= rhs
+	EQ               // sum == rhs
+	RNG              // lb <= sum <= rhs (two-sided row, one slack)
 )
 
 func (s Sense) String() string {
@@ -28,6 +31,8 @@ func (s Sense) String() string {
 		return ">="
 	case EQ:
 		return "=="
+	case RNG:
+		return "in"
 	}
 	return "?"
 }
@@ -38,11 +43,16 @@ type Term struct {
 	Coef float64
 }
 
-// Constraint is sum(Coef_j * x_j) Sense RHS.
+// Constraint is sum(Coef_j * x_j) Sense RHS. A RNG row additionally bounds
+// the sum from below by LB (LB is ignored for the other senses): it costs
+// one tableau row with a bounded slack, half of what the equivalent GE+LE
+// pair does — the covering formulation's per-cell 1 <= cover <= MaxCover
+// windows are the intended use.
 type Constraint struct {
 	Terms []Term
 	Sense Sense
 	RHS   float64
+	LB    float64
 }
 
 // Problem is a linear program over variables x_0..x_{n-1} with bounds
@@ -80,11 +90,20 @@ func (s Status) String() string {
 	return "?"
 }
 
-// Solution holds a solve result.
+// Solution holds a solve result. For ILP solves the search statistics are
+// always populated, and X carries the best-known incumbent whenever one
+// exists — including on LimitReached, where Objective is the incumbent's
+// value, BestBound the best proven lower bound over the unexplored
+// frontier, and RelGap their relative distance.
 type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
+
+	// Search statistics (branch and bound only; zero for plain LP solves).
+	Nodes     int64   // branch-and-bound nodes explored
+	BestBound float64 // best proven lower bound on the optimum
+	RelGap    float64 // (Objective-BestBound)/max(1,|Objective|); 0 when proven
 }
 
 const eps = 1e-9
@@ -108,6 +127,9 @@ func (p *Problem) validate() error {
 				return fmt.Errorf("%w: constraint %d references var %d", ErrBadProblem, i, t.Var)
 			}
 		}
+		if c.Sense == RNG && !(c.LB <= c.RHS) {
+			return fmt.Errorf("%w: constraint %d range [%v, %v]", ErrBadProblem, i, c.LB, c.RHS)
+		}
 	}
 	return nil
 }
@@ -120,236 +142,17 @@ func (p *Problem) ub(j int) float64 {
 }
 
 // SolveLP solves the LP relaxation with bounds [0, UB] by two-phase primal
-// simplex. Upper bounds are materialized as explicit <= rows.
+// simplex with implicit upper bounds. It is a convenience wrapper that
+// compiles a fresh Workspace per call; branch and bound reuses workspaces
+// across nodes instead.
 func SolveLP(p *Problem) (Solution, error) {
-	if err := p.validate(); err != nil {
+	w, err := NewWorkspace(p)
+	if err != nil {
 		return Solution{}, err
 	}
-	// Assemble the row set: user constraints plus finite upper bounds.
-	type row struct {
-		coefs []float64
-		sense Sense
-		rhs   float64
+	sol := w.SolveRelax()
+	if sol.Status == Optimal {
+		sol.X = append([]float64(nil), sol.X...) // detach from workspace buffer
 	}
-	var rows []row
-	for _, c := range p.Cons {
-		r := row{coefs: make([]float64, p.NumVars), sense: c.Sense, rhs: c.RHS}
-		for _, t := range c.Terms {
-			r.coefs[t.Var] += t.Coef
-		}
-		rows = append(rows, r)
-	}
-	for j := 0; j < p.NumVars; j++ {
-		if ub := p.ub(j); !math.IsInf(ub, 1) {
-			r := row{coefs: make([]float64, p.NumVars), sense: LE, rhs: ub}
-			r.coefs[j] = 1
-			rows = append(rows, r)
-		}
-	}
-	// Normalize to rhs >= 0.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			for j := range rows[i].coefs {
-				rows[i].coefs[j] = -rows[i].coefs[j]
-			}
-			rows[i].rhs = -rows[i].rhs
-			switch rows[i].sense {
-			case LE:
-				rows[i].sense = GE
-			case GE:
-				rows[i].sense = LE
-			}
-		}
-	}
-	m := len(rows)
-	// Count slack and artificial columns.
-	nSlack, nArt := 0, 0
-	for _, r := range rows {
-		switch r.sense {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-	n := p.NumVars + nSlack + nArt
-	// Tableau: m rows x (n+1) columns (last = rhs).
-	t := make([][]float64, m)
-	basis := make([]int, m)
-	slackAt, artAt := p.NumVars, p.NumVars+nSlack
-	artCols := make([]int, 0, nArt)
-	for i, r := range rows {
-		t[i] = make([]float64, n+1)
-		copy(t[i], r.coefs)
-		t[i][n] = r.rhs
-		switch r.sense {
-		case LE:
-			t[i][slackAt] = 1
-			basis[i] = slackAt
-			slackAt++
-		case GE:
-			t[i][slackAt] = -1
-			slackAt++
-			t[i][artAt] = 1
-			basis[i] = artAt
-			artCols = append(artCols, artAt)
-			artAt++
-		case EQ:
-			t[i][artAt] = 1
-			basis[i] = artAt
-			artCols = append(artCols, artAt)
-			artAt++
-		}
-	}
-	// Phase 1: minimize sum of artificials.
-	if nArt > 0 {
-		obj := make([]float64, n)
-		for _, c := range artCols {
-			obj[c] = 1
-		}
-		val, status := runSimplex(t, basis, obj, n)
-		if status == Unbounded {
-			return Solution{Status: Infeasible}, nil
-		}
-		if val > 1e-7 {
-			return Solution{Status: Infeasible}, nil
-		}
-		// Drive remaining artificials out of the basis where possible.
-		isArt := make([]bool, n)
-		for _, c := range artCols {
-			isArt[c] = true
-		}
-		for i := 0; i < m; i++ {
-			if !isArt[basis[i]] {
-				continue
-			}
-			pivoted := false
-			for j := 0; j < p.NumVars+nSlack; j++ {
-				if math.Abs(t[i][j]) > eps {
-					pivot(t, basis, i, j, n)
-					pivoted = true
-					break
-				}
-			}
-			_ = pivoted // a zero row stays with its artificial at value 0; harmless
-		}
-	}
-	// Phase 2: original objective, artificial columns forbidden.
-	obj := make([]float64, n)
-	copy(obj, p.Objective)
-	for _, c := range artCols {
-		obj[c] = math.Inf(1) // forbid re-entry
-	}
-	val, status := runSimplex(t, basis, obj, n)
-	if status == Unbounded {
-		return Solution{Status: Unbounded}, nil
-	}
-	x := make([]float64, p.NumVars)
-	for i, b := range basis {
-		if b < p.NumVars {
-			x[b] = t[i][n]
-		}
-	}
-	return Solution{Status: Optimal, X: x, Objective: val}, nil
-}
-
-// runSimplex minimizes obj over the current tableau, returning the
-// objective value. obj entries of +Inf mark forbidden columns. Column
-// selection uses Dantzig's rule (most negative reduced cost) with a switch
-// to Bland's anti-cycling rule after a degeneracy streak.
-func runSimplex(t [][]float64, basis []int, obj []float64, n int) (float64, Status) {
-	m := len(t)
-	red := make([]float64, n)
-	degenerate := 0
-	for iter := 0; iter < 50000; iter++ {
-		// One pass: r = obj - c_B^T * T, accumulated row-wise for cache
-		// friendliness.
-		copy(red, obj[:n])
-		for i := 0; i < m; i++ {
-			cb := obj[basis[i]]
-			if cb == 0 || math.IsInf(cb, 1) {
-				continue
-			}
-			row := t[i]
-			for j := 0; j < n; j++ {
-				if row[j] != 0 {
-					red[j] -= cb * row[j]
-				}
-			}
-		}
-		enter := -1
-		if degenerate < 40 {
-			best := -1e-9
-			for j := 0; j < n; j++ {
-				if red[j] < best && !math.IsInf(obj[j], 1) {
-					best = red[j]
-					enter = j
-				}
-			}
-		} else { // Bland fallback: first improving column
-			for j := 0; j < n; j++ {
-				if red[j] < -1e-9 && !math.IsInf(obj[j], 1) {
-					enter = j
-					break
-				}
-			}
-		}
-		if enter < 0 {
-			// Optimal: compute objective value.
-			val := 0.0
-			for i := 0; i < m; i++ {
-				ob := obj[basis[i]]
-				if !math.IsInf(ob, 1) {
-					val += ob * t[i][n]
-				}
-			}
-			return val, Optimal
-		}
-		// Ratio test, Bland tie-break on smallest basis index.
-		leave := -1
-		best := math.Inf(1)
-		for i := 0; i < m; i++ {
-			if t[i][enter] > eps {
-				ratio := t[i][n] / t[i][enter]
-				if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
-					best = ratio
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return 0, Unbounded
-		}
-		if t[leave][n] < eps {
-			degenerate++
-		} else {
-			degenerate = 0
-		}
-		pivot(t, basis, leave, enter, n)
-	}
-	return 0, LimitReached
-}
-
-// pivot performs a Gauss-Jordan pivot on t[row][col].
-func pivot(t [][]float64, basis []int, row, col, n int) {
-	pv := t[row][col]
-	for j := 0; j <= n; j++ {
-		t[row][j] /= pv
-	}
-	for i := range t {
-		if i == row {
-			continue
-		}
-		f := t[i][col]
-		if f == 0 {
-			continue
-		}
-		for j := 0; j <= n; j++ {
-			t[i][j] -= f * t[row][j]
-		}
-	}
-	basis[row] = col
+	return sol, nil
 }

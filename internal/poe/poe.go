@@ -14,6 +14,7 @@
 package poe
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,7 @@ type Spec struct {
 	S        int       // security slack (Table 1); 0 <= S <= M*N-1
 	MaxCover int       // per-cell overlap cap; 0 means 2 (the paper's value)
 	MaxNodes int       // branch-and-bound node limit; 0 means solver default
+	Workers  int       // parallel solver workers; 0 means GOMAXPROCS
 }
 
 func (s *Spec) shape() ShapeFunc {
@@ -47,11 +49,18 @@ func (s *Spec) maxCover() int {
 	return s.MaxCover
 }
 
-// Result is a PoE placement.
+// Result is a PoE placement. The placement is canonical: for a given spec
+// it is the same across runs and worker counts (the solver returns the
+// lexicographically smallest optimal selection).
 type Result struct {
 	PoEs     []xbar.Cell
 	Coverage []int // per-cell polyomino count
 	Optimal  bool  // true if branch and bound proved optimality
+
+	// Search statistics from the solver.
+	Nodes     int64   // branch-and-bound nodes explored
+	BestBound float64 // proven lower bound on the optimal PoE count
+	Gap       float64 // relative optimality gap; 0 when Optimal
 }
 
 // covers precomputes, for every candidate PoE i, the linear indices its
@@ -71,6 +80,13 @@ func covers(cfg xbar.Config, shape ShapeFunc) [][]int {
 
 // Solve finds a minimum PoE set satisfying the Table 1 constraints.
 func Solve(spec Spec) (*Result, error) {
+	return SolveContext(context.Background(), spec)
+}
+
+// SolveContext is Solve with cancellation and deadline support: when ctx
+// ends early the best placement found so far is returned (Optimal false)
+// if one exists.
+func SolveContext(ctx context.Context, spec Spec) (*Result, error) {
 	if err := spec.Cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,9 +113,9 @@ func Solve(spec Spec) (*Result, error) {
 		for k, i := range coveredBy[m] {
 			terms[k] = ilp.Term{Var: i, Coef: 1}
 		}
+		// One two-sided row per cell: half the tableau rows of a GE+LE pair.
 		p.Cons = append(p.Cons,
-			ilp.Constraint{Terms: terms, Sense: ilp.GE, RHS: 1},
-			ilp.Constraint{Terms: terms, Sense: ilp.LE, RHS: float64(maxCover)},
+			ilp.Constraint{Terms: terms, Sense: ilp.RNG, LB: 1, RHS: float64(maxCover)},
 		)
 	}
 	// Total coverage >= M*N + S.
@@ -110,7 +126,13 @@ func Solve(spec Spec) (*Result, error) {
 	p.Cons = append(p.Cons, ilp.Constraint{Terms: total, Sense: ilp.GE, RHS: float64(n + spec.S)})
 
 	inc := greedyIncumbent(n, cov, coveredBy, maxCover, spec.S)
-	sol, err := ilp.SolveILP(p, ilp.ILPOptions{MaxNodes: spec.MaxNodes, Incumbent: inc, IntegralObjective: true})
+	sol, err := ilp.SolveILPContext(ctx, p, ilp.ILPOptions{
+		MaxNodes:          spec.MaxNodes,
+		Incumbent:         inc,
+		IntegralObjective: true,
+		Workers:           spec.Workers,
+		Canonicalize:      true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +146,12 @@ func Solve(spec Spec) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("poe: unexpected solver status %v", sol.Status)
 	}
-	res := &Result{Optimal: sol.Status == ilp.Optimal}
+	res := &Result{
+		Optimal:   sol.Status == ilp.Optimal,
+		Nodes:     sol.Nodes,
+		BestBound: sol.BestBound,
+		Gap:       sol.RelGap,
+	}
 	for i, v := range sol.X {
 		if v > 0.5 {
 			res.PoEs = append(res.PoEs, spec.Cfg.CellAt(i))
