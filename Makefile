@@ -33,6 +33,10 @@ bench:
 	$(GO) test ./internal/poe -run xxx -bench 'BenchmarkPlacement' -benchtime 1x -benchmem \
 		| $(GO) run ./cmd/benchjson -o BENCH_ilp.json
 	@cat BENCH_ilp.json
+	( $(GO) test ./internal/linalg -run xxx -bench 'BenchmarkCholesky' -benchtime 10x -benchmem ; \
+	  $(GO) test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize' -benchtime 3x -benchmem ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_linalg.json
+	@cat BENCH_linalg.json
 
 ci:
 	./ci.sh

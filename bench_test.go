@@ -139,7 +139,7 @@ func BenchmarkMonteCarloShape(b *testing.B) {
 	cfg := xbar.DefaultConfig()
 	var changed int
 	for i := 0; i < b.N; i++ {
-		res, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, 20, 0.05, 0, 7)
+		res, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, 20, 0.05, 0, 7, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

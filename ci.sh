@@ -16,3 +16,6 @@ go test ./internal/core -run xxx -bench 'BenchmarkBlock' -benchtime 1x -benchmem
 	| go run ./cmd/benchjson -o /dev/null
 go test ./internal/poe -run xxx -bench 'BenchmarkPlacement8x8' -benchtime 1x -benchmem \
 	| go run ./cmd/benchjson -o /dev/null
+( go test ./internal/linalg -run xxx -bench 'BenchmarkCholeskyFactor' -benchtime 1x -benchmem ; \
+  go test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize8x8' -benchtime 1x -benchmem ) \
+	| go run ./cmd/benchjson -o /dev/null

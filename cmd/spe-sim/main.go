@@ -34,15 +34,16 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency)")
-	fullFlag   = flag.Bool("full", false, "run at paper scale (slow)")
-	instFlag   = flag.Int64("insts", 1_000_000, "instructions per workload for fig7/fig8/table3")
-	seqsFlag   = flag.Int("seqs", 10, "sequences per data set for table2")
-	bitsFlag   = flag.Int("bits", 20000, "bits per sequence for table2")
-	seedFlag   = flag.Int64("seed", 1, "master seed")
-	workerFlag = flag.Int("workers", 1, "goroutines for the fig7/fig8/table3 sweep (>1 fans workload x scheme runs out in parallel)")
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
-	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	expFlag     = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency)")
+	fullFlag    = flag.Bool("full", false, "run at paper scale (slow)")
+	instFlag    = flag.Int64("insts", 1_000_000, "instructions per workload for fig7/fig8/table3")
+	seqsFlag    = flag.Int("seqs", 10, "sequences per data set for table2")
+	bitsFlag    = flag.Int("bits", 20000, "bits per sequence for table2")
+	seedFlag    = flag.Int64("seed", 1, "master seed")
+	workerFlag  = flag.Int("workers", 1, "goroutines for the fig7/fig8/table3 sweep and the montecarlo sampler (>1 fans independent runs out in parallel)")
+	precharFlag = flag.Bool("precharacterize", false, "run the full-device SPECU characterization eagerly at engine power-on (WarmAll across all PoEs) before the experiment")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 )
 
 type experiment struct {
@@ -141,6 +142,14 @@ func engine() (*core.Engine, error) {
 	e, err := core.NewEngine(core.DefaultParams())
 	if err != nil {
 		return nil, err
+	}
+	if *precharFlag {
+		start := time.Now()
+		if err := e.Precharacterize(context.Background(), *workerFlag); err != nil {
+			return nil, err
+		}
+		fmt.Printf("precharacterized %d PoE records in %v (workers=%d)\n",
+			e.P.Xbar.Cells(), time.Since(start).Round(time.Millisecond), *workerFlag)
 	}
 	engCache = e
 	return e, nil
@@ -271,13 +280,13 @@ func montecarlo() error {
 	if *fullFlag {
 		samples = 1000
 	}
-	wire, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0, *seedFlag)
+	wire, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0, *seedFlag, *workerFlag)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("±5%% wire resistance, %d samples: shape changed in %d (paper: 0), max |dV| drift %.4f V\n",
 		wire.Samples, wire.ShapeChanged, wire.MaxVoltDelta)
-	macro, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0.8, *seedFlag+1)
+	macro, err := xbar.MonteCarloShape(cfg, xbar.Cell{Row: 4, Col: 3}, samples, 0.05, 0.8, *seedFlag+1, *workerFlag)
 	if err != nil {
 		return err
 	}

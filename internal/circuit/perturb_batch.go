@@ -1,0 +1,223 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// EdgePerturbation describes one single-resistor Sherman–Morrison request
+// against a Factored system: the Edge-th added resistor changes to NewOhms.
+type EdgePerturbation struct {
+	Edge    int
+	NewOhms float64
+}
+
+// ProbePair selects the voltage difference V(A) - V(B) between two full
+// node indices. Both nodes must be unknown (not voltage-fixed).
+type ProbePair struct {
+	A, B int
+}
+
+// edgeUpdate is a validated EdgePerturbation in unknown-index space.
+type edgeUpdate struct {
+	ia, ib int
+	dg     float64
+}
+
+func (f *Factored) validatePerturbations(perts []EdgePerturbation) ([]edgeUpdate, error) {
+	ups := make([]edgeUpdate, len(perts))
+	for j, p := range perts {
+		if p.Edge < 0 || p.Edge >= len(f.nw.edges) {
+			return nil, fmt.Errorf("circuit: edge %d out of range", p.Edge)
+		}
+		if !(p.NewOhms > 0) {
+			return nil, fmt.Errorf("circuit: perturbed resistance must be positive, got %g", p.NewOhms)
+		}
+		r := f.nw.edges[p.Edge]
+		ia, ib := f.idx[r.a], f.idx[r.b]
+		if ia < 0 || ib < 0 {
+			return nil, fmt.Errorf("circuit: perturbed edge (%d,%d) touches a fixed node", r.a, r.b)
+		}
+		ups[j] = edgeUpdate{ia: ia, ib: ib, dg: 1/p.NewOhms - r.g}
+	}
+	return ups, nil
+}
+
+// solveBatchInto dispatches to whichever factorization is live.
+func (f *Factored) solveBatchInto(x, b []float64, k int) error {
+	if f.chol != nil {
+		return f.chol.SolveBatchInto(x, b, k)
+	}
+	return f.lu.SolveBatchInto(x, b, k)
+}
+
+// SolveEdgesPerturbed computes the node voltages for a batch of independent
+// single-resistor perturbations against the shared base factorization. All
+// Sherman–Morrison correction vectors z_j = G^-1 (e_ia - e_ib) are solved
+// together as one blocked multi-RHS triangular sweep — the factor is
+// streamed through cache once per block row instead of once per perturbed
+// edge — and visit(j, sol) is then called for each request in order. The
+// Solution passed to visit aliases the receiver's scratch buffers and is
+// valid only for the duration of that callback.
+//
+// The whole batch is validated before any solve, so on error no callback
+// has run. Like SolveEdgePerturbed, each request needs both endpoints of
+// its edge unknown; a request whose resistance equals the base value
+// (dg == 0) yields the base solution.
+func (f *Factored) SolveEdgesPerturbed(perts []EdgePerturbation, visit func(j int, sol *Solution)) error {
+	m := len(perts)
+	if m == 0 {
+		return nil
+	}
+	ups, err := f.validatePerturbations(perts)
+	if err != nil {
+		return err
+	}
+	n := f.unknown
+	// Incidence panel: column j is u_j = e_ia - e_ib, solved in place.
+	z := make([]float64, n*m)
+	for j, e := range ups {
+		z[e.ia*m+j] = 1
+		z[e.ib*m+j] = -1
+	}
+	if err := f.solveBatchInto(z, z, m); err != nil {
+		return err
+	}
+	if f.sol.V == nil {
+		f.sol.V = make([]float64, f.nw.nodes)
+	}
+	for j, e := range ups {
+		if e.dg == 0 {
+			f.expandInto(f.sol.V, f.baseX)
+			visit(j, &f.sol)
+			continue
+		}
+		denom := 1 + e.dg*(z[e.ia*m+j]-z[e.ib*m+j])
+		if denom == 0 {
+			return fmt.Errorf("circuit: singular rank-1 update on edge %d", perts[j].Edge)
+		}
+		scale := e.dg * (f.baseX[e.ia] - f.baseX[e.ib]) / denom
+		for i := range f.x {
+			f.x[i] = f.baseX[i] - scale*z[i*m+j]
+		}
+		f.expandInto(f.sol.V, f.x)
+		visit(j, &f.sol)
+	}
+	return nil
+}
+
+// SolveEdgesPerturbedDiffs computes, for every perturbation j and probe
+// pair q, the perturbed voltage difference V(pairs[q].A) - V(pairs[q].B),
+// written to out[j*len(pairs)+q]. This is the probe form of the batched
+// Sherman–Morrison update: when only a few fixed voltage differences of
+// each perturbed solution are observed (the calibration reads ~|shape|
+// cell drops out of each of ~cells re-solves), symmetry of G collapses the
+// work. With y_q = G^-1 (e_a - e_b) for each probe pair,
+//
+//	z_j[a] - z_j[b] = (e_a - e_b)^T G^-1 u_j = y_q[ia] - y_q[ib],
+//
+// so only the len(pairs) probe systems need full solves. The denominators
+// need z_j[ia] - z_j[ib] = u_j^T G^-1 u_j = |L^-1 u_j|^2, which the
+// forward-only half sweep provides — the transposed back-substitution over
+// the perturbation batch, half the remaining flops, is skipped entirely.
+// The LU fallback has no usable transpose identity and solves the
+// perturbation batch in full.
+//
+// The batch is validated before any numeric work; on error out is
+// untouched. A perturbation with dg == 0 yields the base differences.
+func (f *Factored) SolveEdgesPerturbedDiffs(perts []EdgePerturbation, pairs []ProbePair, out []float64) error {
+	m, p := len(perts), len(pairs)
+	if len(out) != m*p {
+		return fmt.Errorf("circuit: diffs output length %d != %d*%d", len(out), m, p)
+	}
+	if m == 0 || p == 0 {
+		return nil
+	}
+	ups, err := f.validatePerturbations(perts)
+	if err != nil {
+		return err
+	}
+	type probe struct{ a, b int }
+	probes := make([]probe, p)
+	baseDiff := make([]float64, p)
+	for q, pr := range pairs {
+		if pr.A < 0 || pr.A >= f.nw.nodes || pr.B < 0 || pr.B >= f.nw.nodes {
+			return fmt.Errorf("circuit: probe pair (%d,%d) out of range", pr.A, pr.B)
+		}
+		a, b := f.idx[pr.A], f.idx[pr.B]
+		if a < 0 || b < 0 {
+			return fmt.Errorf("circuit: probe pair (%d,%d) touches a fixed node", pr.A, pr.B)
+		}
+		probes[q] = probe{a: a, b: b}
+		baseDiff[q] = f.baseX[a] - f.baseX[b]
+	}
+	n := f.unknown
+
+	if f.chol == nil {
+		// LU fallback: solve the perturbation batch in full and read both
+		// the denominators and the probe differences off the columns.
+		z := make([]float64, n*m)
+		for j, e := range ups {
+			z[e.ia*m+j] = 1
+			z[e.ib*m+j] = -1
+		}
+		if err := f.lu.SolveBatchInto(z, z, m); err != nil {
+			return err
+		}
+		for j, e := range ups {
+			if e.dg == 0 {
+				copy(out[j*p:j*p+p], baseDiff)
+				continue
+			}
+			denom := 1 + e.dg*(z[e.ia*m+j]-z[e.ib*m+j])
+			if denom == 0 {
+				return fmt.Errorf("circuit: singular rank-1 update on edge %d", perts[j].Edge)
+			}
+			scale := e.dg * (f.baseX[e.ia] - f.baseX[e.ib]) / denom
+			for q, pr := range probes {
+				out[j*p+q] = baseDiff[q] - scale*(z[pr.a*m+j]-z[pr.b*m+j])
+			}
+		}
+		return nil
+	}
+
+	// Probe systems: y_q = G^-1 (e_a - e_b), full solves.
+	y := make([]float64, n*p)
+	for q, pr := range probes {
+		y[pr.a*p+q] = 1
+		y[pr.b*p+q] = -1
+	}
+	if err := f.chol.SolveBatchInto(y, y, p); err != nil {
+		return err
+	}
+	// Denominators: s_j = u_j^T G^-1 u_j = |L^-1 u_j|^2, forward sweep only.
+	w := make([]float64, n*m)
+	for j, e := range ups {
+		w[e.ia*m+j] = 1
+		w[e.ib*m+j] = -1
+	}
+	if err := f.chol.ForwardBatchInto(w, w, m); err != nil {
+		return err
+	}
+	s := make([]float64, m)
+	for i := 0; i < n; i++ {
+		row := w[i*m : i*m+m]
+		for j, v := range row {
+			s[j] += v * v
+		}
+	}
+	for j, e := range ups {
+		if e.dg == 0 {
+			copy(out[j*p:j*p+p], baseDiff)
+			continue
+		}
+		denom := 1 + e.dg*s[j]
+		if denom == 0 {
+			return fmt.Errorf("circuit: singular rank-1 update on edge %d", perts[j].Edge)
+		}
+		scale := e.dg * (f.baseX[e.ia] - f.baseX[e.ib]) / denom
+		for q := range probes {
+			out[j*p+q] = baseDiff[q] - scale*(y[e.ia*p+q]-y[e.ib*p+q])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snvmm/internal/linalg"
+)
+
+// ladderNetwork builds a resistor mesh big enough to have many all-unknown
+// edges: a grid of rows x cols internal nodes with a driven corner.
+func ladderNetwork(t *testing.T, rows, cols int) *Network {
+	t.Helper()
+	node := func(r, c int) int { return 1 + r*cols + c }
+	nw := NewNetwork(1 + rows*cols)
+	mustAdd(t, nw.FixVoltage(node(0, 0), 1.5))
+	rng := rand.New(rand.NewSource(99))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(t, nw.AddResistor(node(r, c), node(r, c+1), 100+900*rng.Float64()))
+			}
+			if r+1 < rows {
+				mustAdd(t, nw.AddResistor(node(r, c), node(r+1, c), 100+900*rng.Float64()))
+			}
+		}
+	}
+	mustAdd(t, nw.AddResistor(node(rows-1, cols-1), 0, 450))
+	return nw
+}
+
+// allUnknownEdges returns the edge indices whose endpoints are both unknown
+// under the given factorization.
+func allUnknownEdges(f *Factored) []int {
+	var edges []int
+	for i, r := range f.nw.edges {
+		if f.idx[r.a] >= 0 && f.idx[r.b] >= 0 {
+			edges = append(edges, i)
+		}
+	}
+	return edges
+}
+
+func TestSolveEdgesPerturbedMatchesSequential(t *testing.T) {
+	nw := ladderNetwork(t, 6, 7)
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := allUnknownEdges(fac)
+	if len(edges) < 10 {
+		t.Fatalf("only %d usable edges", len(edges))
+	}
+	rng := rand.New(rand.NewSource(7))
+	perts := make([]EdgePerturbation, len(edges))
+	for j, e := range edges {
+		perts[j] = EdgePerturbation{Edge: e, NewOhms: 50 + 5000*rng.Float64()}
+	}
+	// One request with dg == 0 exercises the base-solution shortcut.
+	perts[3].NewOhms = 1 / fac.nw.edges[perts[3].Edge].g
+
+	got := make([][]float64, len(perts))
+	err = fac.SolveEdgesPerturbed(perts, func(j int, sol *Solution) {
+		got[j] = append([]float64(nil), sol.V...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range perts {
+		want, err := fac.SolveEdgePerturbed(p.Edge, p.NewOhms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.V {
+			if d := math.Abs(got[j][i] - want.V[i]); d > 1e-9 {
+				t.Errorf("pert %d (edge %d): V[%d] = %g, sequential %g",
+					j, p.Edge, i, got[j][i], want.V[i])
+			}
+		}
+	}
+}
+
+func TestSolveEdgesPerturbedDiffsMatchesSequential(t *testing.T) {
+	nw := ladderNetwork(t, 6, 7)
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fac.chol == nil {
+		t.Fatal("expected the Cholesky fast path for an SPD mesh")
+	}
+	edges := allUnknownEdges(fac)
+	rng := rand.New(rand.NewSource(11))
+	perts := make([]EdgePerturbation, len(edges))
+	for j, e := range edges {
+		perts[j] = EdgePerturbation{Edge: e, NewOhms: 50 + 5000*rng.Float64()}
+	}
+	perts[1].NewOhms = 1 / fac.nw.edges[perts[1].Edge].g // dg == 0 path
+	// Probe a handful of unknown node pairs, including a repeated node.
+	pairs := []ProbePair{{A: 2, B: 3}, {A: 5, B: 9}, {A: 9, B: 2}, {A: 17, B: 30}}
+	out := make([]float64, len(perts)*len(pairs))
+	if err := fac.SolveEdgesPerturbedDiffs(perts, pairs, out); err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range perts {
+		sol, err := fac.SolveEdgePerturbed(p.Edge, p.NewOhms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, pr := range pairs {
+			want := sol.V[pr.A] - sol.V[pr.B]
+			got := out[j*len(pairs)+q]
+			if d := math.Abs(got - want); d > 1e-9*(1+math.Abs(want)) {
+				t.Errorf("pert %d pair %d: diff = %g, sequential %g", j, q, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveEdgesPerturbedDiffsLUFallback(t *testing.T) {
+	nw := ladderNetwork(t, 4, 4)
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the LU fallback path and check it against the Cholesky path.
+	edges := allUnknownEdges(fac)
+	perts := make([]EdgePerturbation, len(edges))
+	for j, e := range edges {
+		perts[j] = EdgePerturbation{Edge: e, NewOhms: 75 + 100*float64(j)}
+	}
+	pairs := []ProbePair{{A: 2, B: 6}, {A: 3, B: 11}}
+	want := make([]float64, len(perts)*len(pairs))
+	if err := fac.SolveEdgesPerturbedDiffs(perts, pairs, want); err != nil {
+		t.Fatal(err)
+	}
+
+	luFac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble the reduced system the way FactorSystem does and swap the
+	// live factorization for pivoted LU.
+	g := linalg.NewDense(luFac.unknown, luFac.unknown)
+	rhs := make([]float64, luFac.unknown)
+	for i := 0; i < nw.nodes; i++ {
+		if luFac.idx[i] >= 0 {
+			g.Add(luFac.idx[i], luFac.idx[i], Gmin)
+		}
+	}
+	for _, r := range nw.edges {
+		stampDense(g, rhs, luFac.idx, luFac.fixed, r)
+	}
+	lu, err := linalg.Factor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	luFac.chol = nil
+	luFac.lu = lu
+	got := make([]float64, len(perts)*len(pairs))
+	if err := luFac.SolveEdgesPerturbedDiffs(perts, pairs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+			t.Errorf("LU fallback diff[%d] = %g, Cholesky %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveEdgesPerturbedErrors(t *testing.T) {
+	nw := ladderNetwork(t, 3, 3)
+	fac, err := nw.FactorSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := false
+	visit := func(int, *Solution) { visited = true }
+	if err := fac.SolveEdgesPerturbed([]EdgePerturbation{{Edge: -1, NewOhms: 10}}, visit); err == nil {
+		t.Error("expected range error")
+	}
+	if err := fac.SolveEdgesPerturbed([]EdgePerturbation{{Edge: 0, NewOhms: -5}}, visit); err == nil {
+		t.Error("expected resistance error")
+	}
+	if visited {
+		t.Error("visit ran despite validation error")
+	}
+	out := []float64{0}
+	bad := []EdgePerturbation{{Edge: allUnknownEdges(fac)[0], NewOhms: 100}}
+	if err := fac.SolveEdgesPerturbedDiffs(bad, []ProbePair{{A: 0, B: 1}}, out); err == nil {
+		t.Error("expected fixed-probe error (node 0 is ground)")
+	}
+	if err := fac.SolveEdgesPerturbedDiffs(bad, []ProbePair{{A: 1, B: 2}}, nil); err == nil {
+		t.Error("expected output-length error")
+	}
+}

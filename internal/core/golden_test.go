@@ -55,15 +55,25 @@ var (
 	// Schedule order/classes depend only on the key and the PoE count and
 	// are unchanged; migration for deployments is the same decrypt-under-
 	// old-placement, re-encrypt-on-scrub path as above.
+	//
+	// Regenerated a third time when the dense solvers moved to blocked
+	// kernels and the calibration's sensitivity sweep to the batched
+	// (probe-form) Sherman–Morrison update: fixed-block summation order and
+	// the u^T G^-1 u denominator identity change the modelled voltages at
+	// the last few ulps, again only visible through the comparator-sensitive
+	// mixer. The placement and schedule vectors above are byte-identical
+	// (the ILP does not touch the dense kernels); migration is the same
+	// decrypt-under-old-model, re-encrypt-on-scrub path as the first
+	// regeneration.
 	goldenCiphertext = []byte{
-		0xb1, 0x9b, 0x3f, 0x3c, 0x85, 0x45, 0x6d, 0xac,
-		0xa4, 0xa0, 0x87, 0x7c, 0x67, 0x8d, 0x2d, 0x63,
-		0x79, 0x5f, 0xfa, 0x58, 0x70, 0x2b, 0x3f, 0x79,
-		0x4a, 0x5e, 0xa8, 0x26, 0x6e, 0xe6, 0x08, 0x18,
-		0x34, 0xc1, 0x9b, 0x47, 0xda, 0x97, 0xd1, 0xe9,
-		0x4b, 0xbe, 0xea, 0xe3, 0x90, 0x64, 0x81, 0x76,
-		0x59, 0x0e, 0xdc, 0x02, 0x88, 0xd5, 0xb7, 0x96,
-		0x73, 0x45, 0x4e, 0x94, 0xef, 0xdd, 0x24, 0x7a,
+		0xae, 0x8a, 0x06, 0x32, 0xe4, 0x0d, 0x1b, 0xc1,
+		0xdf, 0x3b, 0x37, 0x75, 0x1e, 0xb0, 0xc7, 0xe6,
+		0xf4, 0xdd, 0xec, 0xf6, 0x44, 0x73, 0x88, 0x4a,
+		0x99, 0x2c, 0xda, 0x0b, 0x62, 0x63, 0x9f, 0x0c,
+		0xd6, 0xb3, 0x93, 0x3d, 0x7c, 0x3e, 0x2d, 0x11,
+		0x8c, 0x06, 0xcb, 0xd4, 0x42, 0x80, 0x11, 0xb8,
+		0x6e, 0xa2, 0xa4, 0xad, 0xaf, 0xe3, 0xab, 0x4f,
+		0xc8, 0x3d, 0xac, 0xfa, 0x7b, 0x23, 0xcc, 0x05,
 	}
 )
 

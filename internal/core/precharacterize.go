@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"snvmm/internal/xbar"
+)
+
+// Precharacterize runs the full-device SPECU characterization eagerly — the
+// paper's deployment-time step (§4–5) — instead of letting the first pulse
+// at each PoE pay for it lazily. It warms the process-wide calibration for
+// this engine's fabrication identity across all PoEs, fanning the per-PoE
+// work over up to `workers` goroutines (<= 0 or too large selects
+// GOMAXPROCS). Blocks fabricated afterwards by NewBlock find every record
+// already built, so first-touch encryption latency is flat.
+//
+// The shared identity exists only for unvaried configurations: with
+// VarFrac != 0 every block is a distinct fabrication identity that cannot
+// be characterized before the block exists, so Precharacterize refuses
+// rather than silently warming a calibration nothing will reuse.
+//
+// Cancelling ctx stops the sweep early with the context error; PoEs
+// characterized before the cancellation stay warm.
+func (e *Engine) Precharacterize(ctx context.Context, workers int) error {
+	if e.P.Xbar.VarFrac != 0 {
+		return fmt.Errorf("core: Precharacterize needs a shared fabrication identity (VarFrac == 0); varied configurations calibrate per block")
+	}
+	xb, err := xbar.New(e.P.Xbar)
+	if err != nil {
+		return err
+	}
+	// CalibrationFor folds the seed out of the identity, so the calibration
+	// warmed here is the same object every NewBlock will fetch.
+	cal, err := xbar.CalibrationFor(xb)
+	if err != nil {
+		return err
+	}
+	return cal.WarmAll(ctx, workers)
+}
+
+// Precharacterize is the SPECU-level delegate of Engine.Precharacterize,
+// the optional power-on step between PowerOn (key load) and serving
+// traffic.
+func (s *SPECU) Precharacterize(ctx context.Context, workers int) error {
+	return s.eng.Precharacterize(ctx, workers)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"snvmm/internal/prng"
+	"snvmm/internal/xbar"
+)
+
+// TestPrecharacterize checks the power-on warm sweep succeeds on the shared
+// default identity and that blocks fabricated afterwards work unchanged.
+func TestPrecharacterize(t *testing.T) {
+	e := engineForTest(t)
+	if err := e.Precharacterize(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A second sweep over warm records is a no-op.
+	if err := e.Precharacterize(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	blk, err := e.NewBlock(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, BlockSize)
+	for i := range pt {
+		pt[i] = byte(i * 31)
+	}
+	if err := blk.WritePlain(pt); err != nil {
+		t.Fatal(err)
+	}
+	key := prng.NewKey(0xAB, 0xCD)
+	if err := blk.Encrypt(key, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := blk.Decrypt(key, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := blk.ReadPlain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("round trip failed after precharacterize")
+	}
+}
+
+// TestPrecharacterizeVaried checks the refusal path: a varied fabrication
+// has no shared identity to warm.
+func TestPrecharacterizeVaried(t *testing.T) {
+	p := DefaultParams()
+	p.Xbar.VarFrac = 0.05
+	p.PoEs = []xbar.Cell{{Row: 0, Col: 0}, {Row: 7, Col: 7}}
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Precharacterize(context.Background(), 2); err == nil {
+		t.Fatal("expected refusal for VarFrac != 0")
+	}
+}

@@ -1,0 +1,191 @@
+package linalg
+
+// Cache-blocked building blocks for the dense fast path. The factorizations
+// and multi-RHS triangular sweeps in this package are all built from three
+// register-blocked primitives: a rank-k lower-triangle update (the trailing
+// update of the right-looking Cholesky), and two panel multiply-subtract
+// kernels (the cross-block updates of the forward and backward substitution
+// sweeps). Each kernel walks matrix rows contiguously and carries a 2x2 (or
+// 1x2) register tile so every loaded element feeds several multiply-adds —
+// the difference between streaming a 2+ MB factor once per block row and
+// re-reading it per right-hand side.
+//
+// The block size is a fixed constant, never tuned at runtime: the summation
+// order of every kernel — and therefore every solved voltage bit — is a pure
+// function of the input, independent of hardware, worker count and previous
+// calls.
+
+// denseBlock is the fixed panel width of the blocked factorization and the
+// multi-RHS triangular sweeps. 48 columns keep a diagonal block (48x48x8 B =
+// 18 KB) plus a slice of the right-hand-side panel resident in L1 while
+// remaining a multiple of the 2-wide register tiles.
+const denseBlock = 48
+
+// subMulRow computes dst[i] -= a*src[i] over min(len(dst), len(src))
+// elements — the scalar-tail form of the panel kernels, also used directly
+// by the diagonal-block substitutions where the triangular structure leaves
+// no rectangular panel to block.
+func subMulRow(dst, src []float64, a float64) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	for i, s := range src {
+		dst[i] -= a * s
+	}
+}
+
+// gemmSub computes C -= A*B on row-major panels: C is m rows of length k
+// with stride ldc, A is m x p with stride lda, B is p rows of length k with
+// stride ldb. It carries a 2x2 register tile over (row of C, row of B), so
+// each loaded B element feeds two rows of C and each A coefficient feeds a
+// whole row — the cross-block update of the forward sweep and of the
+// U back-substitution.
+func gemmSub(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, p, k int) {
+	var i int
+	for i = 0; i+1 < m; i += 2 {
+		c0 := c[i*ldc : i*ldc+k]
+		c1 := c[(i+1)*ldc : (i+1)*ldc+k]
+		var t int
+		for t = 0; t+1 < p; t += 2 {
+			a00 := a[i*lda+t]
+			a01 := a[i*lda+t+1]
+			a10 := a[(i+1)*lda+t]
+			a11 := a[(i+1)*lda+t+1]
+			if a00 == 0 && a01 == 0 && a10 == 0 && a11 == 0 {
+				continue
+			}
+			b0 := b[t*ldb : t*ldb+k]
+			b1 := b[(t+1)*ldb : (t+1)*ldb+k]
+			for j := range c0 {
+				v0, v1 := b0[j], b1[j]
+				c0[j] -= a00*v0 + a01*v1
+				c1[j] -= a10*v0 + a11*v1
+			}
+		}
+		for ; t < p; t++ {
+			subMulRow(c0, b[t*ldb:t*ldb+k], a[i*lda+t])
+			subMulRow(c1, b[t*ldb:t*ldb+k], a[(i+1)*lda+t])
+		}
+	}
+	for ; i < m; i++ {
+		c0 := c[i*ldc : i*ldc+k]
+		var t int
+		for t = 0; t+1 < p; t += 2 {
+			a0 := a[i*lda+t]
+			a1 := a[i*lda+t+1]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			b0 := b[t*ldb : t*ldb+k]
+			b1 := b[(t+1)*ldb : (t+1)*ldb+k]
+			for j := range c0 {
+				c0[j] -= a0*b0[j] + a1*b1[j]
+			}
+		}
+		for ; t < p; t++ {
+			subMulRow(c0, b[t*ldb:t*ldb+k], a[i*lda+t])
+		}
+	}
+}
+
+// gemmSubT computes C -= A^T*B with the coefficient matrix stored
+// transposed: C is m rows of length k with stride ldc, A is p x m with
+// stride lda (coefficient for C row i and B row t is A[t*lda+i]), B is p
+// rows of length k with stride ldb. This is the cross-block update of the
+// L^T backward sweep, where the factor is only available row-major.
+func gemmSubT(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, p, k int) {
+	var i int
+	for i = 0; i+1 < m; i += 2 {
+		c0 := c[i*ldc : i*ldc+k]
+		c1 := c[(i+1)*ldc : (i+1)*ldc+k]
+		var t int
+		for t = 0; t+1 < p; t += 2 {
+			a00 := a[t*lda+i]
+			a01 := a[(t+1)*lda+i]
+			a10 := a[t*lda+i+1]
+			a11 := a[(t+1)*lda+i+1]
+			if a00 == 0 && a01 == 0 && a10 == 0 && a11 == 0 {
+				continue
+			}
+			b0 := b[t*ldb : t*ldb+k]
+			b1 := b[(t+1)*ldb : (t+1)*ldb+k]
+			for j := range c0 {
+				v0, v1 := b0[j], b1[j]
+				c0[j] -= a00*v0 + a01*v1
+				c1[j] -= a10*v0 + a11*v1
+			}
+		}
+		for ; t < p; t++ {
+			subMulRow(c0, b[t*ldb:t*ldb+k], a[t*lda+i])
+			subMulRow(c1, b[t*ldb:t*ldb+k], a[t*lda+i+1])
+		}
+	}
+	for ; i < m; i++ {
+		c0 := c[i*ldc : i*ldc+k]
+		for t := 0; t < p; t++ {
+			subMulRow(c0, b[t*ldb:t*ldb+k], a[t*lda+i])
+		}
+	}
+}
+
+// syrkSubLower subtracts A*A^T from the lower triangle of the square region
+// C: for every jj <= i < m, C[i*ldc+jj] -= A[i,:] . A[jj,:], with A an m x p
+// panel of stride lda. The 2x2 tile over (i, jj) turns four dot products
+// into one pass over two row pairs. This is the trailing update of the
+// right-looking blocked Cholesky; the strict upper triangle of C is never
+// touched.
+func syrkSubLower(c []float64, ldc int, a []float64, lda int, m, p int) {
+	var i int
+	for i = 0; i+1 < m; i += 2 {
+		ai0 := a[i*lda : i*lda+p]
+		ai1 := a[(i+1)*lda : (i+1)*lda+p]
+		var jj int
+		for jj = 0; jj+1 <= i; jj += 2 {
+			aj0 := a[jj*lda : jj*lda+p]
+			aj1 := a[(jj+1)*lda : (jj+1)*lda+p]
+			var s00, s01, s10, s11 float64
+			for t := range ai0 {
+				v0, v1 := ai0[t], ai1[t]
+				w0, w1 := aj0[t], aj1[t]
+				s00 += v0 * w0
+				s01 += v0 * w1
+				s10 += v1 * w0
+				s11 += v1 * w1
+			}
+			c[i*ldc+jj] -= s00
+			c[i*ldc+jj+1] -= s01
+			c[(i+1)*ldc+jj] -= s10
+			c[(i+1)*ldc+jj+1] -= s11
+		}
+		// Diagonal corner of the row pair: (i, i) when i is odd-aligned,
+		// plus row i+1's entries at jj..i+1.
+		for ; jj <= i+1; jj++ {
+			aj := a[jj*lda : jj*lda+p]
+			if jj <= i {
+				c[i*ldc+jj] -= dotPanel(ai0, aj)
+			}
+			c[(i+1)*ldc+jj] -= dotPanel(ai1, aj)
+		}
+	}
+	for ; i < m; i++ {
+		ai := a[i*lda : i*lda+p]
+		for jj := 0; jj <= i; jj++ {
+			c[i*ldc+jj] -= dotPanel(ai, a[jj*lda:jj*lda+p])
+		}
+	}
+}
+
+// dotPanel is the unrolled dot product of two equal-length panel rows.
+func dotPanel(x, y []float64) float64 {
+	var s0, s1 float64
+	var t int
+	y = y[:len(x)]
+	for t = 0; t+1 < len(x); t += 2 {
+		s0 += x[t] * y[t]
+		s1 += x[t+1] * y[t+1]
+	}
+	if t < len(x) {
+		s0 += x[t] * y[t]
+	}
+	return s0 + s1
+}

@@ -1,0 +1,344 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refCholesky is the textbook unblocked recurrence the blocked Factor must
+// agree with (up to roundoff): the pre-blocking reference implementation,
+// kept here so the property tests never drift with the production kernel.
+func refCholesky(a *Dense) ([]float64, error) {
+	n := a.Rows
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.Data[i*a.Cols+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotSPD
+				}
+				l[i*n+i] = math.Sqrt(s)
+			} else {
+				l[i*n+j] = s / l[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// randSPD builds a random SPD matrix as B*B^T + n*I, which is symmetric
+// positive definite for any B.
+func randSPDDense(n int, rng *rand.Rand) *Dense {
+	b := NewDense(n, n)
+	for i := range b.Data {
+		b.Data[i] = 2*rng.Float64() - 1
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.Data[i*n+k] * b.Data[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Data[i*n+j] = s
+			a.Data[j*n+i] = s
+		}
+	}
+	return a
+}
+
+func randPanel(n, k int, rng *rand.Rand) []float64 {
+	p := make([]float64, n*k)
+	for i := range p {
+		p[i] = 10 * (2*rng.Float64() - 1)
+	}
+	return p
+}
+
+// Dimensions straddling the block-size boundaries: below one block, exact
+// multiples, one over, and a few blocks plus a ragged tail.
+var blockedSizes = []int{1, 2, 3, 7, denseBlock - 1, denseBlock, denseBlock + 1,
+	2*denseBlock + 5, 3 * denseBlock}
+
+func TestBlockedCholeskyMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range blockedSizes {
+		a := randSPDDense(n, rng)
+		ref, err := refCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: reference: %v", n, err)
+		}
+		c, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: blocked: %v", n, err)
+		}
+		scale := 0.0
+		for i := 0; i < n; i++ {
+			if d := math.Abs(ref[i*n+i]); d > scale {
+				scale = d
+			}
+		}
+		for i := range ref {
+			if d := math.Abs(c.l[i] - ref[i]); d > 1e-9*scale {
+				t.Fatalf("n=%d: factor entry %d differs: blocked %v ref %v",
+					n, i, c.l[i], ref[i])
+			}
+		}
+		// Strict upper triangle must stay zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if c.l[i*n+j] != 0 {
+					t.Fatalf("n=%d: upper entry (%d,%d) = %v", n, i, j, c.l[i*n+j])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedCholeskyNotSPD(t *testing.T) {
+	n := denseBlock + 3
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] = 1
+	}
+	// A negative pivot in the second block must surface as ErrNotSPD.
+	a.Data[(denseBlock+1)*n+(denseBlock+1)] = -1
+	if _, err := FactorCholesky(a); err != ErrNotSPD {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskySolveBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range blockedSizes {
+		for _, k := range []int{1, 2, 5, 17} {
+			a := randSPDDense(n, rng)
+			c, err := FactorCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			b := randPanel(n, k, rng)
+			x := make([]float64, n*k)
+			if err := c.SolveBatchInto(x, b, k); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			// Each panel column must match the single-RHS solver on the
+			// corresponding right-hand side.
+			col := make([]float64, n)
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					col[i] = b[i*k+j]
+				}
+				want, err := c.Solve(col)
+				if err != nil {
+					t.Fatalf("n=%d k=%d col %d: %v", n, k, j, err)
+				}
+				for i := 0; i < n; i++ {
+					got := x[i*k+j]
+					if d := math.Abs(got - want[i]); d > 1e-8*(1+math.Abs(want[i])) {
+						t.Fatalf("n=%d k=%d: x[%d][%d] = %v, single-RHS %v",
+							n, k, i, j, got, want[i])
+					}
+				}
+			}
+			// Aliased in-place solve must produce identical bits.
+			inPlace := append([]float64(nil), b...)
+			if err := c.SolveBatchInto(inPlace, inPlace, k); err != nil {
+				t.Fatalf("n=%d k=%d aliased: %v", n, k, err)
+			}
+			for i := range x {
+				if x[i] != inPlace[i] {
+					t.Fatalf("n=%d k=%d: aliased solve differs at %d", n, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyForwardBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range blockedSizes {
+		k := 9
+		a := randSPDDense(n, rng)
+		c, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := randPanel(n, k, rng)
+		y := make([]float64, n*k)
+		if err := c.ForwardBatchInto(y, b, k); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Check L*y = b column by column against the stored factor.
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for t := 0; t <= i; t++ {
+					s += c.l[i*n+t] * y[t*k+j]
+				}
+				if d := math.Abs(s - b[i*k+j]); d > 1e-8*(1+math.Abs(b[i*k+j])) {
+					t.Fatalf("n=%d: (L*y)[%d][%d] = %v, b %v", n, i, j, s, b[i*k+j])
+				}
+			}
+		}
+		// The forward sweep also gives u^T A^-1 u = |L^-1 u|^2; verify the
+		// identity against a full solve for one column.
+		u := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u[i] = b[i*k]
+		}
+		z, err := c.Solve(u)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := Dot(u, z)
+		got := 0.0
+		for i := 0; i < n; i++ {
+			got += y[i*k] * y[i*k]
+		}
+		if d := math.Abs(got - want); d > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: |L^-1 u|^2 = %v, u^T A^-1 u = %v", n, got, want)
+		}
+	}
+}
+
+func TestLUSolveBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range blockedSizes {
+		for _, k := range []int{1, 3, 11} {
+			// General nonsymmetric system so the pivoting actually permutes.
+			a := NewDense(n, n)
+			for i := range a.Data {
+				a.Data[i] = 2*rng.Float64() - 1
+			}
+			for i := 0; i < n; i++ {
+				a.Data[i*n+i] += float64(n)
+			}
+			f, err := Factor(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			b := randPanel(n, k, rng)
+			x := make([]float64, n*k)
+			if err := f.SolveBatchInto(x, b, k); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			col := make([]float64, n)
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					col[i] = b[i*k+j]
+				}
+				want, err := f.Solve(col)
+				if err != nil {
+					t.Fatalf("n=%d k=%d col %d: %v", n, k, j, err)
+				}
+				for i := 0; i < n; i++ {
+					got := x[i*k+j]
+					if d := math.Abs(got - want[i]); d > 1e-8*(1+math.Abs(want[i])) {
+						t.Fatalf("n=%d k=%d: x[%d][%d] = %v, single-RHS %v",
+							n, k, i, j, got, want[i])
+					}
+				}
+			}
+			// In-place (aliased) batch solve exercises the cycle-following
+			// permutation and must agree bit-for-bit.
+			inPlace := append([]float64(nil), b...)
+			if err := f.SolveBatchInto(inPlace, inPlace, k); err != nil {
+				t.Fatalf("n=%d k=%d aliased: %v", n, k, err)
+			}
+			for i := range x {
+				if x[i] != inPlace[i] {
+					t.Fatalf("n=%d k=%d: aliased solve differs at %d", n, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLUSolveBatchSingular(t *testing.T) {
+	n := 4
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] = 1
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.lu[2*n+2] = 0 // corrupt a pivot to simulate a singular factor
+	b := make([]float64, n*3)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := append([]float64(nil), b...)
+	if err := f.SolveBatchInto(x, x, 3); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	// The early singularity check must leave an aliased panel untouched.
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("panel modified at %d despite singular factor", i)
+		}
+	}
+}
+
+func BenchmarkCholeskyFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randSPDDense(512, rng)
+	c := NewCholesky(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolveBatch(b *testing.B) {
+	const n, k = 512, 64
+	rng := rand.New(rand.NewSource(2))
+	a := randSPDDense(n, rng)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := randPanel(n, k, rng)
+	x := make([]float64, n*k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SolveBatchInto(x, rhs, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskySolveSequential(b *testing.B) {
+	const n, k = 512, 64
+	rng := rand.New(rand.NewSource(2))
+	a := randSPDDense(n, rng)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := randPanel(n, k, rng)
+	col := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < k; j++ {
+			for r := 0; r < n; r++ {
+				col[r] = rhs[r*k+j]
+			}
+			if err := c.SolveInto(col, col); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

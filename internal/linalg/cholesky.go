@@ -17,6 +17,13 @@ var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
 // pivoted LU with no pivot bookkeeping — it is the dense fast path of the
 // circuit solver.
 //
+// Factor is right-looking and cache-blocked with the fixed panel width
+// denseBlock: each step factors one diagonal block with the textbook
+// unblocked recurrence, solves the panel below it against L11^T, and folds
+// the panel into the trailing matrix with the register-blocked rank-k
+// kernel. The fixed block size makes the summation order — and therefore
+// every bit of the factor — a pure function of the input.
+//
 // A Cholesky value is reusable: Factor overwrites the previous
 // factorization in place, so a solver loop (transient co-simulation,
 // calibration sweeps) pays the buffer allocation once.
@@ -42,33 +49,78 @@ func (c *Cholesky) Factor(a *Dense) error {
 		return fmt.Errorf("linalg: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	if c.n != n {
+	if c.n != n || len(c.l) != n*n {
 		c.n = n
 		c.l = make([]float64, n*n)
 	}
 	l := c.l
+	// Copy the lower triangle of a and zero the strict upper part, so stale
+	// entries from a previous factorization never leak into debugging dumps
+	// and the kernels may assume clean rows.
 	for i := 0; i < n; i++ {
+		copy(l[i*n:i*n+i+1], a.Data[i*a.Cols:i*a.Cols+i+1])
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	for k := 0; k < n; k += denseBlock {
+		bs := denseBlock
+		if k+bs > n {
+			bs = n - k
+		}
+		// Factor the diagonal block A11 = L11*L11^T in place.
+		if err := factorDiagBlock(l[k*n+k:], n, bs); err != nil {
+			return err
+		}
+		if k+bs == n {
+			break
+		}
+		// Panel solve: L21 = A21 * L11^-T, row by row (rows are contiguous).
+		trsmRightLT(l[(k+bs)*n+k:], n, l[k*n+k:], n, n-k-bs, bs)
+		// Trailing update: A22 -= L21*L21^T, lower triangle only.
+		syrkSubLower(l[(k+bs)*n+(k+bs):], n, l[(k+bs)*n+k:], n, n-k-bs, bs)
+	}
+	return nil
+}
+
+// factorDiagBlock runs the unblocked Cholesky recurrence on the bs x bs
+// block at the start of a, whose rows are ld apart.
+func factorDiagBlock(a []float64, ld, bs int) error {
+	for i := 0; i < bs; i++ {
 		for j := 0; j <= i; j++ {
-			s := a.Data[i*a.Cols+j]
+			s := a[i*ld+j]
 			for k := 0; k < j; k++ {
-				s -= l[i*n+k] * l[j*n+k]
+				s -= a[i*ld+k] * a[j*ld+k]
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
 					return ErrNotSPD
 				}
-				l[i*n+i] = math.Sqrt(s)
+				a[i*ld+i] = math.Sqrt(s)
 			} else {
-				l[i*n+j] = s / l[j*n+j]
+				a[i*ld+j] = s / a[j*ld+j]
 			}
-		}
-		// Zero the strict upper part so stale entries from a previous,
-		// larger factorization never leak into debugging dumps.
-		for j := i + 1; j < n; j++ {
-			l[i*n+j] = 0
 		}
 	}
 	return nil
+}
+
+// trsmRightLT solves X * L^T = B in place for the m x bs panel x (rows ld
+// apart), with L the bs x bs lower-triangular block at l (rows ldl apart).
+// Each panel row solves independently and contiguously: x[j] = (x[j] -
+// sum_{t<j} x[t]*L[j,t]) / L[j,j].
+func trsmRightLT(x []float64, ld int, l []float64, ldl int, m, bs int) {
+	for i := 0; i < m; i++ {
+		row := x[i*ld : i*ld+bs]
+		for j := 0; j < bs; j++ {
+			s := row[j]
+			lr := l[j*ldl : j*ldl+j]
+			for t, v := range lr {
+				s -= row[t] * v
+			}
+			row[j] = s / l[j*ldl+j]
+		}
+	}
 }
 
 // FactorCholesky is the allocating convenience wrapper around Factor.
@@ -120,4 +172,110 @@ func (c *Cholesky) SolveInto(x, b []float64) error {
 		x[i] = s / l[i*n+i]
 	}
 	return nil
+}
+
+// SolveBatchInto solves A*X = B for k right-hand sides at once. Both x and
+// b are n x k row-major panels (row i holds element i of every system), so
+// column j of the panel is right-hand side j; x and b may alias. The sweep
+// is blocked: within each denseBlock row band the substitution runs the
+// scalar recurrence across all k systems (contiguous panel rows), and the
+// band's contribution to the rest of the panel is folded in with one
+// register-blocked multiply — the factor is streamed once per band instead
+// of once per right-hand side.
+func (c *Cholesky) SolveBatchInto(x, b []float64, k int) error {
+	n := c.n
+	if k < 0 {
+		return fmt.Errorf("linalg: SolveBatchInto negative batch %d", k)
+	}
+	if len(b) != n*k || len(x) != n*k {
+		return fmt.Errorf("linalg: SolveBatchInto panel lengths %d/%d != %d", len(x), len(b), n*k)
+	}
+	if n == 0 || k == 0 {
+		return nil
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	c.forwardBatch(x, k)
+	c.backwardBatch(x, k)
+	return nil
+}
+
+// ForwardBatchInto applies only the forward sweep: it solves L*Y = B for k
+// right-hand sides, with x and b as in SolveBatchInto (they may alias).
+// Exposing the half sweep lets callers that only need inner products
+// against A^-1 — u^T A^-1 u = |L^-1 u|^2 — skip the transposed backward
+// pass entirely.
+func (c *Cholesky) ForwardBatchInto(x, b []float64, k int) error {
+	n := c.n
+	if k < 0 {
+		return fmt.Errorf("linalg: ForwardBatchInto negative batch %d", k)
+	}
+	if len(b) != n*k || len(x) != n*k {
+		return fmt.Errorf("linalg: ForwardBatchInto panel lengths %d/%d != %d", len(x), len(b), n*k)
+	}
+	if n == 0 || k == 0 {
+		return nil
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	c.forwardBatch(x, k)
+	return nil
+}
+
+// forwardBatch solves L*Y = X in place on the n x k panel x.
+func (c *Cholesky) forwardBatch(x []float64, k int) {
+	n := c.n
+	l := c.l
+	for kb := 0; kb < n; kb += denseBlock {
+		bs := denseBlock
+		if kb+bs > n {
+			bs = n - kb
+		}
+		// In-band substitution across all k systems.
+		for i := kb; i < kb+bs; i++ {
+			row := x[i*k : i*k+k]
+			for t := kb; t < i; t++ {
+				subMulRow(row, x[t*k:t*k+k], l[i*n+t])
+			}
+			inv := 1 / l[i*n+i]
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		// Fold the band into everything below it.
+		if rem := n - kb - bs; rem > 0 {
+			gemmSub(x[(kb+bs)*k:], k, l[(kb+bs)*n+kb:], n, x[kb*k:], k, rem, bs, k)
+		}
+	}
+}
+
+// backwardBatch solves L^T*X = Y in place on the n x k panel x.
+func (c *Cholesky) backwardBatch(x []float64, k int) {
+	n := c.n
+	l := c.l
+	first := ((n - 1) / denseBlock) * denseBlock
+	for kb := first; kb >= 0; kb -= denseBlock {
+		bs := denseBlock
+		if kb+bs > n {
+			bs = n - kb
+		}
+		// In-band substitution; the coefficient for row i against row t is
+		// L[t,i] (transposed), but both panel rows stay contiguous.
+		for i := kb + bs - 1; i >= kb; i-- {
+			row := x[i*k : i*k+k]
+			for t := i + 1; t < kb+bs; t++ {
+				subMulRow(row, x[t*k:t*k+k], l[t*n+i])
+			}
+			inv := 1 / l[i*n+i]
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		// Fold the band into everything above it: X[0:kb] -= L21^T * X[band].
+		if kb > 0 {
+			gemmSubT(x, k, l[kb*n:], n, x[kb*k:], k, kb, bs, k)
+		}
+	}
 }

@@ -192,6 +192,109 @@ func (f *LU) SolveInto(x, b []float64) error {
 	return nil
 }
 
+// SolveBatchInto solves A*X = B for k right-hand sides at once. x and b
+// are n x k row-major panels (row i holds element i of every system, so
+// panel column j is right-hand side j) and may alias. The pivot permutation
+// is applied once per panel row instead of once per element per solve, and
+// the triangular sweeps are blocked like Cholesky.SolveBatchInto: in-band
+// scalar recurrences across all k systems, cross-band updates through the
+// register-blocked multiply kernel.
+func (f *LU) SolveBatchInto(x, b []float64, k int) error {
+	n := f.n
+	if k < 0 {
+		return fmt.Errorf("linalg: SolveBatchInto negative batch %d", k)
+	}
+	if len(b) != n*k || len(x) != n*k {
+		return fmt.Errorf("linalg: SolveBatchInto panel lengths %d/%d != %d", len(x), len(b), n*k)
+	}
+	if n == 0 || k == 0 {
+		return nil
+	}
+	lu := f.lu
+	// Singularity is a property of the factor alone; reject it before
+	// touching x so an error never leaves a half-permuted panel behind.
+	for i := 0; i < n; i++ {
+		if lu[i*n+i] == 0 {
+			return ErrSingular
+		}
+	}
+	f.permuteRows(x, b, k)
+	// Forward substitution with unit-lower L.
+	for kb := 0; kb < n; kb += denseBlock {
+		bs := denseBlock
+		if kb+bs > n {
+			bs = n - kb
+		}
+		for i := kb; i < kb+bs; i++ {
+			row := x[i*k : i*k+k]
+			for t := kb; t < i; t++ {
+				subMulRow(row, x[t*k:t*k+k], lu[i*n+t])
+			}
+		}
+		if rem := n - kb - bs; rem > 0 {
+			gemmSub(x[(kb+bs)*k:], k, lu[(kb+bs)*n+kb:], n, x[kb*k:], k, rem, bs, k)
+		}
+	}
+	// Back substitution with U.
+	first := ((n - 1) / denseBlock) * denseBlock
+	for kb := first; kb >= 0; kb -= denseBlock {
+		bs := denseBlock
+		if kb+bs > n {
+			bs = n - kb
+		}
+		for i := kb + bs - 1; i >= kb; i-- {
+			row := x[i*k : i*k+k]
+			for t := i + 1; t < kb+bs; t++ {
+				subMulRow(row, x[t*k:t*k+k], lu[i*n+t])
+			}
+			inv := 1 / lu[i*n+i]
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		// X[0:kb] -= U[0:kb, band] * X[band].
+		if kb > 0 {
+			gemmSub(x, k, lu[kb:], n, x[kb*k:], k, kb, bs, k)
+		}
+	}
+	return nil
+}
+
+// permuteRows writes x[i] = b[piv[i]] row-wise on n x k panels. When x and
+// b alias, the permutation is applied in place by following its cycles with
+// a single temporary row, so the batch solve never needs an n x k scratch.
+func (f *LU) permuteRows(x, b []float64, k int) {
+	n := f.n
+	if &x[0] != &b[0] {
+		for i := 0; i < n; i++ {
+			copy(x[i*k:i*k+k], b[f.piv[i]*k:f.piv[i]*k+k])
+		}
+		return
+	}
+	visited := make([]bool, n)
+	tmp := make([]float64, k)
+	for i := 0; i < n; i++ {
+		if visited[i] || f.piv[i] == i {
+			visited[i] = true
+			continue
+		}
+		// Walk the cycle i -> piv[i] -> piv[piv[i]] -> ... -> i, moving each
+		// source row into place before it is overwritten.
+		copy(tmp, x[i*k:i*k+k])
+		j := i
+		for {
+			visited[j] = true
+			src := f.piv[j]
+			if src == i {
+				copy(x[j*k:j*k+k], tmp)
+				break
+			}
+			copy(x[j*k:j*k+k], x[src*k:src*k+k])
+			j = src
+		}
+	}
+}
+
 // Det returns the determinant of the factored matrix.
 func (f *LU) Det() float64 {
 	d := float64(f.sign)

@@ -21,6 +21,9 @@ func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []Sche
 	if workers <= 1 {
 		return Sweep(profiles, schemes, maxInsts, seed)
 	}
+	// Simulations are pure CPU: clamp to the schedulable parallelism so a
+	// generous -workers flag cannot oversubscribe the host (the same
+	// regression core.NewPool guards against).
 	if workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"snvmm/internal/circuit"
 	"snvmm/internal/device"
 )
 
@@ -127,8 +128,8 @@ func (c *Calibration) build(poe Cell, pc *poeCal) error {
 		inShape[c.cfg.Index(cell)] = true
 	}
 	// Baseline solve: everything at mid state. The system is factored once
-	// and each complement-cell perturbation is re-solved with a rank-1
-	// Sherman-Morrison update, which makes full-device calibration cheap
+	// and all complement-cell perturbations are answered by one batched
+	// Sherman-Morrison pass, which makes full-device calibration cheap
 	// enough to run per fabrication identity.
 	midR := c.xb.midR()
 	nw, cellEdge, err := c.xb.buildNetwork(poe, midR, c.cfg.VDrive)
@@ -145,29 +146,47 @@ func (c *Calibration) build(poe Cell, pc *poeCal) error {
 	for k, cell := range shape {
 		base[k] = abs(dv[c.cfg.Index(cell)])
 	}
-	// Finite-difference sensitivities: perturb each complement cell's
-	// state by +sensDelta, record the voltage change at each shape cell,
-	// and quantize to the fixed-point weight grid. maxW keeps every
-	// full-array deviation sum below 2^53, so int64 accumulation is exact
-	// and float64 conversion lossless.
-	maxW := int64((uint64(1)<<53 - 1) / uint64(3*cells))
-	wdense := make([][]int64, len(shape))
-	for k := range wdense {
-		wdense[k] = make([]int64, cells)
-	}
+	// Finite-difference sensitivities: perturb each complement cell's state
+	// by +sensDelta and record the voltage change at each shape cell. The
+	// calibration only observes the shape cells' junction drops, so the
+	// whole sweep is phrased in the probe form of the batched update: full
+	// solves for the ~|shape| probe pairs, a forward-only sweep over the
+	// ~cells perturbation batch for the denominators — instead of cells
+	// independent O(n^2) re-solves. The changes are then quantized to the
+	// fixed-point weight grid. maxW keeps every full-array deviation sum
+	// below 2^53, so int64 accumulation is exact and float64 conversion
+	// lossless.
+	comp := make([]int, 0, cells-len(shape))
+	perts := make([]circuit.EdgePerturbation, 0, cells-len(shape))
 	for m := 0; m < cells; m++ {
 		if inShape[m] {
 			continue
 		}
 		pr := c.xb.params[m]
 		rPert := pr.ROn + (pr.ROff-pr.ROn)*(0.5+sensDelta)
-		sol, err := fac.SolveEdgePerturbed(cellEdge+m, rPert+c.cfg.RAccess)
-		if err != nil {
-			return err
+		comp = append(comp, m)
+		perts = append(perts, circuit.EdgePerturbation{Edge: cellEdge + m, NewOhms: rPert + c.cfg.RAccess})
+	}
+	pairs := make([]circuit.ProbePair, len(shape))
+	for k, cell := range shape {
+		pairs[k] = circuit.ProbePair{
+			A: c.xb.rowNode(cell.Row, cell.Col),
+			B: c.xb.colNode(cell.Row, cell.Col),
 		}
-		c.xb.cellDropsInto(dv, sol)
-		for k, cell := range shape {
-			w := (abs(dv[c.cfg.Index(cell)]) - base[k]) / sensDelta
+	}
+	diffs := make([]float64, len(perts)*len(pairs))
+	if err := fac.SolveEdgesPerturbedDiffs(perts, pairs, diffs); err != nil {
+		return err
+	}
+	maxW := int64((uint64(1)<<53 - 1) / uint64(3*cells))
+	wdense := make([][]int64, len(shape))
+	for k := range wdense {
+		wdense[k] = make([]int64, cells)
+	}
+	for j, m := range comp {
+		row := diffs[j*len(pairs) : (j+1)*len(pairs)]
+		for k := range shape {
+			w := (abs(row[k]) - base[k]) / sensDelta
 			wq := int64(math.Round(w * (1 << devWeightBits)))
 			if wq > maxW || wq < -maxW {
 				return fmt.Errorf("xbar: PoE %+v sensitivity %g overflows the fixed-point weight grid", poe, w)

@@ -1,0 +1,37 @@
+package xbar
+
+import (
+	"context"
+	"testing"
+)
+
+// Cold-start characterization: build the full-device calibration from
+// nothing, every PoE. This is the deployment-time cost Precharacterize
+// front-loads, and the target of the blocked-kernel + batched
+// Sherman–Morrison work (EXPERIMENTS.md "Cold-start characterization").
+// Each iteration calibrates a fresh Calibration so nothing is ever warm;
+// the process-wide cache is bypassed by calling Calibrate directly.
+
+func benchCold(b *testing.B, rows, cols, workers int) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	x, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal := Calibrate(x)
+		if err := cal.WarmAll(ctx, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdCharacterize8x8(b *testing.B)   { benchCold(b, 8, 8, 1) }
+func BenchmarkColdCharacterize16x16(b *testing.B) { benchCold(b, 16, 16, 1) }
+
+// The parallel variant is what Precharacterize actually runs at power-on.
+func BenchmarkColdCharacterize16x16Parallel(b *testing.B) { benchCold(b, 16, 16, 0) }

@@ -159,14 +159,24 @@ func (c Config) PaperShape(poe Cell) []Cell {
 // cellParams materializes the per-cell device parameters, applying the
 // fabrication variation deterministically from the seed.
 func (c Config) cellParams() []device.Params {
-	out := make([]device.Params, c.Cells())
+	return c.cellParamsInto(nil)
+}
+
+// cellParamsInto is cellParams writing into dst when it has the capacity —
+// the allocation-free form for sweeps that rematerialize parameters per
+// sample (Monte Carlo).
+func (c Config) cellParamsInto(dst []device.Params) []device.Params {
+	if cap(dst) < c.Cells() {
+		dst = make([]device.Params, c.Cells())
+	}
+	dst = dst[:c.Cells()]
 	rng := rand.New(rand.NewSource(c.Seed))
-	for i := range out {
+	for i := range dst {
 		if c.VarFrac > 0 {
-			out[i] = c.Device.Vary(rng, c.VarFrac)
+			dst[i] = c.Device.Vary(rng, c.VarFrac)
 		} else {
-			out[i] = c.Device
+			dst[i] = c.Device
 		}
 	}
-	return out
+	return dst
 }

@@ -228,6 +228,32 @@ func (x *Crossbar) buildNetwork(poe Cell, cellR []float64, vDrive float64) (*cir
 	return nw, cellEdgeStart, nil
 }
 
+// setSneakResistances refills a network built by buildNetwork with new wire
+// and cell resistances in place, relying on its fixed edge layout: row-wire
+// segments occupy edges [0, Rows*Cols), column-wire segments the next
+// Rows*Cols, then the cells starting at cellEdge. Keeper and drive entries
+// are untouched. Together with a circuit.Workspace this turns a parametric
+// sweep into refill+resolve with no per-sample network assembly.
+func (x *Crossbar) setSneakResistances(nw *circuit.Network, cellEdge int, rWireRow, rWireCol float64, cellR []float64) error {
+	nWire := x.Cfg.Rows * x.Cfg.Cols
+	for i := 0; i < nWire; i++ {
+		if err := nw.SetResistance(i, nz(rWireRow)); err != nil {
+			return err
+		}
+	}
+	for i := nWire; i < 2*nWire; i++ {
+		if err := nw.SetResistance(i, nz(rWireCol)); err != nil {
+			return err
+		}
+	}
+	for i, r := range cellR {
+		if err := nw.SetResistance(cellEdge+i, r+x.Cfg.RAccess); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // nz guards against zero wire resistance (an ideal wire would merge nodes);
 // a tiny positive value keeps the network well-posed.
 func nz(r float64) float64 {

@@ -2,6 +2,11 @@ package xbar
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"snvmm/internal/device"
 )
 
 // MonteCarloResult summarizes a parametric-variation study of the polyomino
@@ -16,7 +21,23 @@ type MonteCarloResult struct {
 // MonteCarloShape perturbs wire resistances by a uniform factor in
 // [1-wireVar, 1+wireVar] and device resistance bounds by deviceVar, solving
 // the voltage-rule polyomino each time and comparing to the nominal shape.
-func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float64, seed int64) (MonteCarloResult, error) {
+// If a perturbed ROff lands at or below ROn — possible once deviceVar
+// approaches 1, where the two uniform draws can cross — the sample is
+// clamped to ROff = 1.5*ROn so it remains a physical (if extreme) device
+// rather than an inverted one; the sample still counts.
+//
+// Samples fan out over min(workers, GOMAXPROCS) goroutines (workers <= 0
+// selects GOMAXPROCS). Each sample draws its perturbations from an rng
+// seeded by mixing the caller's seed with the sample index, so the result
+// is a pure function of (cfg, poe, samples, vars, seed) — independent of
+// worker count and scheduling. Each worker assembles the sneak network once
+// and re-solves it through a reusable workspace, refilling resistances in
+// place per sample.
+//
+// On any error the zero MonteCarloResult is returned: a partially
+// accumulated result has no meaningful sample count and must not be
+// interpreted.
+func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float64, seed int64, workers int) (MonteCarloResult, error) {
 	nomCfg := cfg
 	nomCfg.Shape = ShapeVoltage
 	nom, err := New(nomCfg)
@@ -33,9 +54,78 @@ func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float
 	}
 	nomKey := shapeKey(nomCfg, nomShape)
 
-	res := MonteCarloResult{Samples: samples}
-	rng := rand.New(rand.NewSource(seed))
-	for s := 0; s < samples; s++ {
+	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
+		workers = maxp
+	}
+	if workers > samples {
+		workers = samples
+	}
+	if samples == 0 {
+		return MonteCarloResult{Samples: 0}, nil
+	}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		changed  int
+		maxDelta float64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localChanged, localMax, err := monteCarloWorker(nom, nomCfg, poe, nomKey, nomMap, samples, wireVar, deviceVar, seed, &next)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			changed += localChanged
+			if localMax > maxDelta {
+				maxDelta = localMax
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return MonteCarloResult{}, firstErr
+	}
+	return MonteCarloResult{Samples: samples, ShapeChanged: changed, MaxVoltDelta: maxDelta}, nil
+}
+
+// monteCarloWorker claims sample indices from next until they run out,
+// solving each perturbed configuration on a privately owned network +
+// workspace pair.
+func monteCarloWorker(nom *Crossbar, nomCfg Config, poe Cell, nomKey string, nomMap []float64,
+	samples int, wireVar, deviceVar float64, seed int64, next *atomic.Int64) (int, float64, error) {
+	cells := nomCfg.Cells()
+	nw, cellEdge, err := nom.buildNetwork(poe, nom.midR(), nomCfg.VDrive)
+	if err != nil {
+		return 0, 0, err
+	}
+	ws, err := nw.NewWorkspace()
+	if err != nil {
+		return 0, 0, err
+	}
+	var params []device.Params
+	cellR := make([]float64, cells)
+	key := make([]byte, cells)
+	changed, maxDelta := 0, 0.0
+	for {
+		s := int(next.Add(1)) - 1
+		if s >= samples {
+			return changed, maxDelta, nil
+		}
+		// Per-sample generator: the caller seed and the sample index are
+		// mixed through splitmix64, so sample s draws the same perturbations
+		// no matter which worker runs it. The draw order (row wires, column
+		// wires, then device bounds) is part of the pinned behaviour.
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(seed) ^ splitmix64(uint64(s)+1)))))
 		c := nomCfg
 		f := func(v float64, frac float64) float64 { return v * (1 + frac*(2*rng.Float64()-1)) }
 		c.RWireRow = f(c.RWireRow, wireVar)
@@ -43,32 +133,43 @@ func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float
 		if deviceVar > 0 {
 			c.Device.ROn = f(c.Device.ROn, deviceVar)
 			c.Device.ROff = f(c.Device.ROff, deviceVar)
+			// Independent draws can invert the bounds at large deviceVar;
+			// clamp to a still-physical window (see the function comment).
 			if c.Device.ROff <= c.Device.ROn {
 				c.Device.ROff = c.Device.ROn * 1.5
 			}
 		}
-		xb, err := New(c)
+		params = c.cellParamsInto(params)
+		for i, p := range params {
+			cellR[i] = p.ROn + (p.ROff-p.ROn)*0.5
+		}
+		if err := nom.setSneakResistances(nw, cellEdge, c.RWireRow, c.RWireCol, cellR); err != nil {
+			return 0, 0, err
+		}
+		sol, err := ws.Solve()
 		if err != nil {
-			return res, err
+			return 0, 0, err
 		}
-		shape, err := xb.Shape(poe)
-		if err != nil {
-			return res, err
-		}
-		if shapeKey(c, shape) != nomKey {
-			res.ShapeChanged++
-		}
-		m, err := xb.VoltageMap(poe)
-		if err != nil {
-			return res, err
-		}
-		for i := range m {
-			if d := abs(m[i] - nomMap[i]); d > res.MaxVoltDelta {
-				res.MaxVoltDelta = d
+		// One solve yields both Section 5 quantities: the voltage-rule
+		// membership (vs the nominal polyomino) and the per-cell |dv| drift.
+		for r := 0; r < c.Rows; r++ {
+			for j := 0; j < c.Cols; j++ {
+				i := c.Index(Cell{Row: r, Col: j})
+				v := abs(sol.V[nom.rowNode(r, j)] - sol.V[nom.colNode(r, j)])
+				if v >= params[i].VtOff {
+					key[i] = '1'
+				} else {
+					key[i] = '0'
+				}
+				if d := abs(v - nomMap[i]); d > maxDelta {
+					maxDelta = d
+				}
 			}
 		}
+		if string(key) != nomKey {
+			changed++
+		}
 	}
-	return res, nil
 }
 
 // shapeKey builds a canonical bitset string for a cell set.

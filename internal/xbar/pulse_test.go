@@ -312,7 +312,7 @@ func TestCalibrationBaseline(t *testing.T) {
 func TestMonteCarloWireStability(t *testing.T) {
 	// Paper: ±5% wire variation leaves the polyomino unchanged.
 	cfg := DefaultConfig()
-	res, err := MonteCarloShape(cfg, Cell{4, 3}, 30, 0.05, 0, 77)
+	res, err := MonteCarloShape(cfg, Cell{4, 3}, 30, 0.05, 0, 77, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestMonteCarloMacroChangesShape(t *testing.T) {
 	// Macro-level device changes should (at least sometimes) change the
 	// polyomino.
 	cfg := DefaultConfig()
-	res, err := MonteCarloShape(cfg, Cell{4, 3}, 30, 0.05, 0.9, 78)
+	res, err := MonteCarloShape(cfg, Cell{4, 3}, 30, 0.05, 0.9, 78, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,70 @@
+package xbar
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WarmAll characterizes every PoE of the device eagerly, fanning the
+// per-PoE work over a pool of goroutines. Each PoE's record is built under
+// its own sync.Once (see ensure), so WarmAll is safe to race with lazy
+// first-touch calibration from pipeline workers — whoever gets there first
+// does the work, everyone else blocks briefly and reuses it — and a second
+// WarmAll call is a cheap no-op sweep.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); any request is clamped to
+// that and to the PoE count, since the per-PoE work is pure CPU and extra
+// goroutines only add scheduling overhead (the oversubscription regression
+// measured in BENCH_specu.json).
+//
+// On cancellation WarmAll stops claiming new PoEs and returns the context
+// error; records built so far stay valid. The first build error wins and is
+// returned after all workers drain.
+func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
+	cells := c.cfg.Cells()
+	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
+		workers = maxp
+	}
+	if workers > cells {
+		workers = cells
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= cells {
+					return
+				}
+				if err := c.ensure(c.cfg.CellAt(i)); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
