@@ -28,14 +28,14 @@ fuzz:
 # headline numbers).
 bench:
 	$(GO) test ./internal/core -run xxx -bench 'BenchmarkBlock|BenchmarkNewBlock|BenchmarkSPECU' -benchtime 20x -benchmem \
-		| $(GO) run ./cmd/benchjson -o BENCH_specu.json
+		| $(GO) run ./cmd/benchjson -require 12 -o BENCH_specu.json
 	@cat BENCH_specu.json
 	$(GO) test ./internal/poe -run xxx -bench 'BenchmarkPlacement' -benchtime 1x -benchmem \
-		| $(GO) run ./cmd/benchjson -o BENCH_ilp.json
+		| $(GO) run ./cmd/benchjson -require 2 -o BENCH_ilp.json
 	@cat BENCH_ilp.json
 	( $(GO) test ./internal/linalg -run xxx -bench 'BenchmarkCholesky' -benchtime 10x -benchmem ; \
 	  $(GO) test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize' -benchtime 3x -benchmem ) \
-		| $(GO) run ./cmd/benchjson -o BENCH_linalg.json
+		| $(GO) run ./cmd/benchjson -require 6 -o BENCH_linalg.json
 	@cat BENCH_linalg.json
 
 ci:

@@ -6,16 +6,53 @@ set -eux
 
 go build ./...
 go vet ./...
+go vet -tags telemetry_debug ./...
 go test ./...
 go test -race ./...
 
 # Bench smoke: one iteration through the block-crypt benchmarks and the JSON
 # emitter, so a bench or tooling regression fails CI without costing real
-# benchmark time.
+# benchmark time. -require pins the expected result count per pattern, so a
+# renamed benchmark silently matching nothing also fails.
 go test ./internal/core -run xxx -bench 'BenchmarkBlock' -benchtime 1x -benchmem \
-	| go run ./cmd/benchjson -o /dev/null
+	| go run ./cmd/benchjson -require 3 -o /dev/null
 go test ./internal/poe -run xxx -bench 'BenchmarkPlacement8x8' -benchtime 1x -benchmem \
-	| go run ./cmd/benchjson -o /dev/null
+	| go run ./cmd/benchjson -require 1 -o /dev/null
 ( go test ./internal/linalg -run xxx -bench 'BenchmarkCholeskyFactor' -benchtime 1x -benchmem ; \
   go test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize8x8' -benchtime 1x -benchmem ) \
-	| go run ./cmd/benchjson -o /dev/null
+	| go run ./cmd/benchjson -require 2 -o /dev/null
+
+# Telemetry smoke: spe-sim serves /metrics while the concurrency experiment
+# runs; the snapshot must be well-formed JSON with live SPECU counters.
+tmpdir=$(mktemp -d)
+simpid=
+trap 'kill $simpid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/spe-sim" ./cmd/spe-sim
+"$tmpdir/spe-sim" -exp concurrency -telemetry-addr 127.0.0.1:0 -telemetry-hold 120s \
+	>"$tmpdir/sim.log" 2>&1 &
+simpid=$!
+addr=
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^telemetry: listening on //p' "$tmpdir/sim.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+test -n "$addr"
+ok=
+for _ in $(seq 1 120); do
+	if curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.json" 2>/dev/null &&
+		python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+c = snap["counters"]
+assert c.get("specu.reads", 0) > 0, c
+assert c.get("specu.writes", 0) > 0, c
+assert snap["histograms"], "no histograms exported"
+' "$tmpdir/metrics.json" 2>/dev/null; then
+		ok=1
+		break
+	fi
+	sleep 0.5
+done
+test -n "$ok"
+kill $simpid 2>/dev/null || true

@@ -42,6 +42,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
+	require := flag.Int("require", 1, "fail unless at least this many benchmark results were parsed (guards against a bench pattern silently matching nothing)")
 	flag.Parse()
 
 	var rep Report
@@ -74,6 +75,10 @@ func main() {
 	}
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if len(rep.Results) < *require {
+		fmt.Fprintf(os.Stderr, "benchjson: parsed %d benchmark results, need at least %d\n", len(rep.Results), *require)
 		os.Exit(1)
 	}
 	enc, err := json.MarshalIndent(&rep, "", "  ")

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"snvmm/internal/poe"
+	"snvmm/internal/telemetry"
 	"snvmm/internal/xbar"
 )
 
@@ -52,6 +53,12 @@ type jsonResult struct {
 	Gap       float64     `json:"gap"`
 	WallMS    float64     `json:"wall_ms"`
 	Stats     poe.Stats   `json:"coverage"`
+
+	// Work distribution of the parallel search, plus the full registry
+	// snapshot of the run (ilp.* instruments).
+	Steals           []int64             `json:"steals"`
+	IncumbentUpdates int64               `json:"incumbent_updates"`
+	Telemetry        *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func main() {
@@ -66,10 +73,15 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
 		defer cancel()
 	}
+	var reg *telemetry.Registry
+	if *jsonFlag {
+		reg = telemetry.New()
+	}
 	start := time.Now()
 	res, err := poe.SolveContext(ctx, poe.Spec{
 		Cfg: cfg, S: *sFlag, MaxCover: *coverFlag,
 		MaxNodes: *nodesFlag, Workers: *workersFlag,
+		Telemetry: reg,
 	})
 	wall := time.Since(start)
 	if err != nil {
@@ -79,12 +91,15 @@ func main() {
 	st := poe.StatsOf(cfg, cfg.PaperShape, res.PoEs)
 
 	if *jsonFlag {
+		snap := reg.Snapshot()
 		out := jsonResult{
 			Rows: cfg.Rows, Cols: cfg.Cols, S: *sFlag, MaxCover: *coverFlag,
 			PoEs: res.PoEs, Optimal: res.Optimal,
 			Nodes: res.Nodes, BestBound: res.BestBound, Gap: res.Gap,
 			WallMS: float64(wall.Microseconds()) / 1000,
 			Stats:  st,
+			Steals: res.Steals, IncumbentUpdates: res.IncumbentUpdates,
+			Telemetry: &snap,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,13 +24,16 @@ import (
 	"time"
 
 	"snvmm/internal/attacks"
+	"snvmm/internal/circuit"
 	"snvmm/internal/core"
 	"snvmm/internal/device"
+	"snvmm/internal/linalg"
 	"snvmm/internal/nist"
 	"snvmm/internal/poe"
 	"snvmm/internal/prng"
 	"snvmm/internal/secure"
 	"snvmm/internal/sim"
+	"snvmm/internal/telemetry"
 	"snvmm/internal/trace"
 	"snvmm/internal/xbar"
 )
@@ -44,7 +49,14 @@ var (
 	precharFlag = flag.Bool("precharacterize", false, "run the full-device SPECU characterization eagerly at engine power-on (WarmAll across all PoEs) before the experiment")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	telAddr     = flag.String("telemetry-addr", "", "serve the live introspection endpoint (/metrics, /spans, /debug/pprof) on this TCP address (e.g. 127.0.0.1:0); empty disables telemetry")
+	telHold     = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the experiment finishes (lets scrapers catch the final state)")
+	verboseFlag = flag.Bool("v", false, "print per-simulation progress during sweeps")
 )
+
+// telReg is non-nil when -telemetry-addr is set; a nil registry is inert,
+// so experiment code passes it around unconditionally.
+var telReg *telemetry.Registry
 
 type experiment struct {
 	name string
@@ -54,6 +66,23 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *telAddr != "" {
+		telReg = telemetry.New()
+		telReg.PublishExpvar("snvmm")
+		xbar.SetTelemetry(telReg)
+		linalg.SetTelemetry(telReg)
+		circuit.SetTelemetry(telReg)
+		ln, err := net.Listen("tcp", *telAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: listening on %s\n", ln.Addr())
+		go http.Serve(ln, telemetry.Handler(telReg)) //nolint:errcheck // best-effort introspection server
+		if *telHold > 0 {
+			defer time.Sleep(*telHold)
+		}
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -298,7 +327,7 @@ func montecarlo() error {
 func table1() error {
 	cfg := xbar.DefaultConfig()
 	for _, s := range []int{0, 32, 48, 56} {
-		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: s, MaxNodes: 100000})
+		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: s, MaxNodes: 100000, Telemetry: telReg})
 		if err != nil {
 			fmt.Printf("S=%2d: %v\n", s, err)
 			continue
@@ -421,11 +450,16 @@ func runSweep() ([]sim.Row, []sim.SchemeFactory, error) {
 		insts = 20_000_000
 	}
 	schemes := sim.Schemes()
-	if *workerFlag > 1 {
-		rows, err := sim.SweepParallel(context.Background(), trace.Profiles(), schemes, insts, *seedFlag, *workerFlag)
-		return rows, schemes, err
+	opts := sim.SweepOptions{Telemetry: telReg}
+	if *verboseFlag {
+		opts.OnProgress = func(done, total int, workload, scheme string) {
+			if scheme == "" {
+				scheme = "plain"
+			}
+			fmt.Printf("sweep: %d/%d done (%s/%s)\n", done, total, workload, scheme)
+		}
 	}
-	rows, err := sim.Sweep(trace.Profiles(), schemes, insts, *seedFlag)
+	rows, err := sim.SweepParallelOpts(context.Background(), trace.Profiles(), schemes, insts, *seedFlag, *workerFlag, opts)
 	return rows, schemes, err
 }
 
@@ -552,6 +586,9 @@ func concurrency() error {
 	// One timed pass = write all blocks (encrypt) + read them back (decrypt).
 	pass := func(workers int) (time.Duration, error) {
 		s := core.NewSPECU(eng, core.Parallel)
+		if telReg != nil {
+			s.EnableTelemetry(telReg)
+		}
 		if err := s.PowerOn(key); err != nil {
 			return 0, err
 		}

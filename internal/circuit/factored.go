@@ -36,6 +36,9 @@ type Factored struct {
 // Only networks small enough for the dense path are supported (the sparse
 // CG path has no cheap rank-1 update).
 func (nw *Network) FactorSystem() (*Factored, error) {
+	if t := ctel.Load(); t != nil {
+		t.factorSystems.Inc()
+	}
 	n := nw.nodes
 	idx := make([]int, n)
 	fixed := make([]float64, n)

@@ -1,0 +1,36 @@
+package circuit
+
+import (
+	"sync/atomic"
+
+	"snvmm/internal/telemetry"
+)
+
+// Package-level instrumentation of the solver reuse structure: how often a
+// base system is factored from scratch (FactorSystem), versus how often a
+// workspace answers a solve by refactoring its dense Cholesky in place or
+// by a pattern-reusing sparse CG solve (whose warm-start rate shows up in
+// the linalg.cg.* counters).
+
+// circuitTel is the resolved instrument set.
+type circuitTel struct {
+	factorSystems  *telemetry.Counter // full base factorizations (Sherman-Morrison root)
+	denseRefactors *telemetry.Counter // workspace dense solves (Cholesky refactor per call)
+	sparseSolves   *telemetry.Counter // workspace sparse solves (CSR template reuse + CG)
+}
+
+var ctel atomic.Pointer[circuitTel]
+
+// SetTelemetry attaches (or, with nil, detaches) the solver-reuse
+// instruments, all under the "circuit." prefix.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		ctel.Store(nil)
+		return
+	}
+	ctel.Store(&circuitTel{
+		factorSystems:  reg.Counter("circuit.factor_systems"),
+		denseRefactors: reg.Counter("circuit.ws.dense_refactors"),
+		sparseSolves:   reg.Counter("circuit.ws.sparse_solves"),
+	})
+}

@@ -149,6 +149,9 @@ func (ws *Workspace) Solve() (*Solution, error) {
 }
 
 func (ws *Workspace) solveDense() error {
+	if t := ctel.Load(); t != nil {
+		t.denseRefactors.Inc()
+	}
 	g := ws.g
 	for i := range g.Data {
 		g.Data[i] = 0
@@ -173,6 +176,9 @@ func (ws *Workspace) solveDense() error {
 }
 
 func (ws *Workspace) solveSparse() error {
+	if t := ctel.Load(); t != nil {
+		t.sparseSolves.Inc()
+	}
 	// Refill values in the exact pattern order recorded by NewWorkspace.
 	vals := ws.vals[:0]
 	for i := 0; i < ws.nw.nodes; i++ {

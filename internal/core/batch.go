@@ -34,6 +34,11 @@ type ReadResult struct {
 // fails with ErrServing if a pool is already attached.
 func (s *SPECU) Serve(ctx context.Context, workers, depth int) error {
 	p := NewPool(workers, depth)
+	// Wire instruments before publishing the pool so any task the pool runs
+	// observes a fully attached telemetry set (happens-before via the CAS).
+	if t := s.tel.Load(); t != nil {
+		wirePool(p, t.reg)
+	}
 	if !s.pool.CompareAndSwap(nil, p) {
 		p.Close()
 		return ErrServing
@@ -179,7 +184,8 @@ func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
 		return err
 	}
 	pool := s.pool.Load()
-	sh := s.shardOf(addr)
+	si := shardIndex(addr)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b, ok := sh.blocks[addr]
@@ -189,7 +195,7 @@ func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
 	if b.Encrypted() != decrypt {
 		return nil // already in the requested state
 	}
-	return b.crypt(key, addr, decrypt, pool)
+	return s.blockCrypt(si, b, key, addr, decrypt, pool)
 }
 
 // plaintextAddrs snapshots the addresses of currently plaintext blocks.

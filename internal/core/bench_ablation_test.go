@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"snvmm/internal/telemetry"
+)
+
+// Telemetry ablation: the same single-goroutine SPECU encrypt path with
+// instrumentation detached versus attached. The "off" variant is the number
+// that must stay glued to the pre-telemetry BlockEncrypt baseline — the
+// disabled fast path is one atomic load and a branch per call site — and
+// the on/off delta bounds the full enabled cost (two clock reads plus a
+// handful of padded atomic updates per operation, against a ~79 µs pulse
+// sequence). Both run under the make-bench 'BenchmarkSPECU' pattern so the
+// pair is archived in BENCH_specu.json.
+
+// benchAblationWrite drives b.N write+encrypt operations through s.
+func benchAblationWrite(b *testing.B, s *SPECU, addrs []uint64) {
+	b.Helper()
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(addrs[i%len(addrs)], data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+// BenchmarkSPECUEncryptTelemetryOff is the uninstrumented reference.
+func BenchmarkSPECUEncryptTelemetryOff(b *testing.B) {
+	s, addrs := benchSPECU(b, benchBlocks)
+	benchAblationWrite(b, s, addrs)
+}
+
+// BenchmarkSPECUEncryptTelemetryOn is the same workload with a live
+// registry attached (per-shard histograms, counters, gauges all updating).
+func BenchmarkSPECUEncryptTelemetryOn(b *testing.B) {
+	s, addrs := benchSPECU(b, benchBlocks)
+	s.EnableTelemetry(telemetry.New())
+	benchAblationWrite(b, s, addrs)
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"snvmm/internal/telemetry"
 )
 
 // Pool is a bounded worker pool: a fixed set of goroutines draining a
@@ -19,6 +22,29 @@ type Pool struct {
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	workers int
+
+	// tel, when non-nil, holds the pool-health instruments (SetTelemetry).
+	tel atomic.Pointer[poolTel]
+}
+
+// poolTel is the resolved pool instrument set.
+type poolTel struct {
+	queueDepth  *telemetry.Gauge
+	busyWorkers *telemetry.Gauge
+	tasksDone   *telemetry.Counter
+}
+
+// SetTelemetry attaches queue-depth and worker-utilization instruments.
+// Safe to call while the pool is serving; the gauges track transitions from
+// the moment of attachment (a queue backlog present at attach time shows up
+// as the depth going negative-relative, so attach before heavy submission
+// for exact depths). Passing all nils detaches.
+func (p *Pool) SetTelemetry(queueDepth, busyWorkers *telemetry.Gauge, tasksDone *telemetry.Counter) {
+	if queueDepth == nil && busyWorkers == nil && tasksDone == nil {
+		p.tel.Store(nil)
+		return
+	}
+	p.tel.Store(&poolTel{queueDepth: queueDepth, busyWorkers: busyWorkers, tasksDone: tasksDone})
 }
 
 // NewPool starts workers goroutines behind a queue of the given depth.
@@ -52,7 +78,7 @@ func (p *Pool) run() {
 	for {
 		select {
 		case f := <-p.tasks:
-			f()
+			p.runTask(f)
 		case <-p.quit:
 			// Drain: every task enqueued before Close flipped closed is
 			// already in the channel (the enqueue happens under mu.RLock),
@@ -61,13 +87,27 @@ func (p *Pool) run() {
 			for {
 				select {
 				case f := <-p.tasks:
-					f()
+					p.runTask(f)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// runTask executes one dequeued task with gauge maintenance.
+func (p *Pool) runTask(f func()) {
+	t := p.tel.Load()
+	if t == nil {
+		f()
+		return
+	}
+	t.queueDepth.Add(-1)
+	t.busyWorkers.Add(1)
+	f()
+	t.busyWorkers.Add(-1)
+	t.tasksDone.Inc()
 }
 
 // Workers returns the pool's worker count.
@@ -87,6 +127,9 @@ func (p *Pool) Submit(ctx context.Context, f func()) error {
 	}
 	select {
 	case p.tasks <- f:
+		if t := p.tel.Load(); t != nil {
+			t.queueDepth.Add(1)
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -104,6 +147,9 @@ func (p *Pool) TrySubmit(f func()) bool {
 	}
 	select {
 	case p.tasks <- f:
+		if t := p.tel.Load(); t != nil {
+			t.queueDepth.Add(1)
+		}
 		return true
 	default:
 		return false

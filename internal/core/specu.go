@@ -65,6 +65,10 @@ type SPECU struct {
 	// pool, when non-nil, parallelizes batch operations and fans each
 	// block's crossbars out to workers.
 	pool atomic.Pointer[Pool]
+
+	// tel, when non-nil, is the resolved instrument set (EnableTelemetry).
+	// The disabled fast path is this one load and a branch.
+	tel atomic.Pointer[specuTel]
 }
 
 // NewSPECU creates a control unit for a device built from the engine's
@@ -83,12 +87,17 @@ func (s *SPECU) Engine() *Engine { return s.eng }
 // Mode reports the configured SPE variant.
 func (s *SPECU) Mode() Mode { return s.mode }
 
-// shardOf maps a block address to its shard. The multiplicative hash
-// spreads block-aligned (low-bits-zero) addresses across all shards.
-func (s *SPECU) shardOf(addr uint64) *shard {
+// shardIndex maps a block address to its shard index. The multiplicative
+// hash spreads block-aligned (low-bits-zero) addresses across all shards.
+func shardIndex(addr uint64) int {
 	h := addr * 0x9E3779B97F4A7C15
 	h ^= h >> 32
-	return &s.shards[h&(NumShards-1)]
+	return int(h & (NumShards - 1))
+}
+
+// shardOf maps a block address to its shard.
+func (s *SPECU) shardOf(addr uint64) *shard {
+	return &s.shards[shardIndex(addr)]
 }
 
 // PowerOn installs the key released by the TPM into the SPECU's volatile
@@ -96,16 +105,20 @@ func (s *SPECU) shardOf(addr uint64) *shard {
 // different key over a live one fails with ErrKeyLoaded (it would strand
 // every resident ciphertext block).
 func (s *SPECU) PowerOn(key prng.Key) error {
+	sp := s.tel.Load().span(metaPowerOn)
 	s.keyMu.Lock()
 	defer s.keyMu.Unlock()
 	if s.hasKey {
 		if s.key == key {
+			sp.End(1, 0)
 			return nil
 		}
+		sp.End(0, 1)
 		return ErrKeyLoaded
 	}
 	s.key = key
 	s.hasKey = true
+	sp.End(1, 0)
 	return nil
 }
 
@@ -118,19 +131,28 @@ func (s *SPECU) PowerOn(key prng.Key) error {
 // plaintext remains; otherwise it reports ErrNoKey instead of silently
 // leaving plaintext in the NVMM.
 func (s *SPECU) PowerOff() error {
+	// The span opens before the barrier acquire, so its duration covers
+	// waiting out in-flight operations plus the flush itself; A0 reports
+	// the number of blocks the flush encrypted, A1 flags failure.
+	sp := s.tel.Load().span(metaPowerOff)
 	s.keyMu.Lock()
 	defer s.keyMu.Unlock()
 	if !s.hasKey {
 		if n := s.plaintextCount(); n > 0 {
+			sp.End(0, 1)
 			return fmt.Errorf("core: %d plaintext blocks resident at power-off: %w", n, ErrNoKey)
 		}
+		sp.End(0, 0)
 		return nil
 	}
-	if err := s.encryptAll(s.key); err != nil {
+	flushed, err := s.encryptAll(s.key)
+	if err != nil {
+		sp.End(int64(flushed), 1)
 		return err
 	}
 	s.key = prng.Key{}
 	s.hasKey = false
+	sp.End(int64(flushed), 0)
 	return nil
 }
 
@@ -161,12 +183,28 @@ func (s *SPECU) blockLocked(sh *shard, addr uint64) (*Block, error) {
 		return nil, err
 	}
 	sh.blocks[addr] = b
+	if t := s.tel.Load(); t != nil {
+		t.blocks.Add(1)
+		t.plaintext.Add(1) // fresh blocks are plaintext until encrypted
+	}
 	return b, nil
 }
 
 // Write stores a 64-byte cache block at addr: write phase then encryption
 // phase (Section 4.1).
 func (s *SPECU) Write(addr uint64, data []byte) error {
+	t := s.tel.Load()
+	if t == nil {
+		return s.write(addr, data)
+	}
+	start := t.reg.Now()
+	err := s.write(addr, data)
+	t.write[shardIndex(addr)].ObserveNs(t.reg.Now() - start)
+	t.writes.Inc()
+	return err
+}
+
+func (s *SPECU) write(addr uint64, data []byte) error {
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
@@ -174,7 +212,8 @@ func (s *SPECU) Write(addr uint64, data []byte) error {
 		return err
 	}
 	pool := s.pool.Load()
-	sh := s.shardOf(addr)
+	si := shardIndex(addr)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b, err := s.blockLocked(sh, addr)
@@ -183,20 +222,32 @@ func (s *SPECU) Write(addr uint64, data []byte) error {
 	}
 	if b.Encrypted() {
 		// Overwrite: the stale ciphertext is simply reprogrammed.
-		if err := b.crypt(key, addr, true, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, true, pool); err != nil {
 			return err
 		}
 	}
 	if err := b.WritePlain(data); err != nil {
 		return err
 	}
-	return b.crypt(key, addr, false, pool)
+	return s.blockCrypt(si, b, key, addr, false, pool)
 }
 
 // Read returns the plaintext of the block at addr. In Parallel mode the
 // block is re-encrypted immediately; in Serial mode it stays decrypted
 // until written back or EncryptPending is called.
 func (s *SPECU) Read(addr uint64) ([]byte, error) {
+	t := s.tel.Load()
+	if t == nil {
+		return s.read(addr)
+	}
+	start := t.reg.Now()
+	data, err := s.read(addr)
+	t.read[shardIndex(addr)].ObserveNs(t.reg.Now() - start)
+	t.reads.Inc()
+	return data, err
+}
+
+func (s *SPECU) read(addr uint64) ([]byte, error) {
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
@@ -204,7 +255,8 @@ func (s *SPECU) Read(addr uint64) ([]byte, error) {
 		return nil, err
 	}
 	pool := s.pool.Load()
-	sh := s.shardOf(addr)
+	si := shardIndex(addr)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b, ok := sh.blocks[addr]
@@ -212,7 +264,7 @@ func (s *SPECU) Read(addr uint64) ([]byte, error) {
 		return nil, fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
 	}
 	if b.Encrypted() {
-		if err := b.crypt(key, addr, true, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, true, pool); err != nil {
 			return nil, err
 		}
 	}
@@ -221,43 +273,53 @@ func (s *SPECU) Read(addr uint64) ([]byte, error) {
 		return nil, err
 	}
 	if s.mode == Parallel {
-		if err := b.crypt(key, addr, false, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, false, pool); err != nil {
 			return nil, err
 		}
 	}
 	return data, nil
 }
 
-// encryptAll encrypts every currently-plaintext block. keyMu must be held
-// (shared or exclusive) by the caller.
-func (s *SPECU) encryptAll(key prng.Key) error {
+// encryptAll encrypts every currently-plaintext block, returning how many
+// it encrypted. keyMu must be held (shared or exclusive) by the caller.
+func (s *SPECU) encryptAll(key prng.Key) (int, error) {
 	pool := s.pool.Load()
+	flushed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for addr, b := range sh.blocks {
 			if !b.Encrypted() {
-				if err := b.crypt(key, addr, false, pool); err != nil {
+				if err := s.blockCrypt(i, b, key, addr, false, pool); err != nil {
 					sh.mu.Unlock()
-					return err
+					return flushed, err
 				}
+				flushed++
 			}
 		}
 		sh.mu.Unlock()
 	}
-	return nil
+	return flushed, nil
 }
 
 // EncryptPending encrypts every currently-plaintext block (the Serial-mode
 // background timer, and the first step of power-down).
 func (s *SPECU) EncryptPending() error {
+	sp := s.tel.Load().span(metaEncryptPending)
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
 	if err != nil {
+		sp.End(0, 1)
 		return err
 	}
-	return s.encryptAll(key)
+	flushed, err := s.encryptAll(key)
+	if err != nil {
+		sp.End(int64(flushed), 1)
+		return err
+	}
+	sp.End(int64(flushed), 0)
+	return nil
 }
 
 // plaintextCount counts plaintext blocks; callers must hold keyMu to keep
@@ -317,6 +379,9 @@ func (s *SPECU) EncryptedFraction() float64 {
 // Steal returns the raw stored bits at addr without any key — the attacker
 // operation of Attack 1. It fails only if the address was never written.
 func (s *SPECU) Steal(addr uint64) ([]byte, error) {
+	if t := s.tel.Load(); t != nil {
+		t.steals.Inc()
+	}
 	sh := s.shardOf(addr)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()

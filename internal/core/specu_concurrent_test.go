@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"snvmm/internal/prng"
+	"snvmm/internal/telemetry"
 )
 
 // TestSPECUParallelReadWrite hammers overlapping addresses from many
@@ -349,6 +350,134 @@ func TestSPECUBatchRoundTrip(t *testing.T) {
 	}
 	if !errors.Is(errs[1], ErrNoBlock) {
 		t.Errorf("EncryptBatch unknown addr: got %v, want ErrNoBlock", errs[1])
+	}
+}
+
+// TestSPECUTelemetryBarrierSpans runs Steal and EncryptPending concurrently
+// with PowerOff on an instrumented SPECU and checks the recorded barrier
+// spans. The invariants: every span closes with a non-negative duration, the
+// power_off span reports success, each written block is flushed exactly once
+// (the A0 flush counts across all successful barriers sum to the block
+// count), and the steals counter matches the calls issued.
+func TestSPECUTelemetryBarrierSpans(t *testing.T) {
+	e := engineForTest(t)
+	s := NewSPECU(e, Serial) // Serial: reads leave plaintext for the barriers to flush
+	reg := telemetry.New()
+	s.EnableTelemetry(reg)
+	key := prng.NewKey(0x5EC0, 0xDA7A)
+	if err := s.PowerOn(key); err != nil {
+		t.Fatal(err)
+	}
+	const numAddrs = 8
+	for a := 0; a < numAddrs; a++ {
+		if err := s.Write(uint64(a)*BlockSize, make([]byte, BlockSize)); err != nil {
+			t.Fatal(err)
+		}
+		// Serial-mode reads decrypt in place and stay plaintext.
+		if _, err := s.Read(uint64(a) * BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.PlaintextBlocks(); got != numAddrs {
+		t.Fatalf("setup: plaintext blocks = %d, want %d", got, numAddrs)
+	}
+
+	const (
+		stealers   = 4
+		stealsEach = 16
+		flushers   = 3
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < stealers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for op := 0; op < stealsEach; op++ {
+				addr := uint64((g+op)%numAddrs) * BlockSize
+				if _, err := s.Steal(addr); err != nil {
+					t.Errorf("steal %#x: %v", addr, err)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < flushers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for op := 0; op < 4; op++ {
+				// ErrNoKey is expected once PowerOff wins the race.
+				if err := s.EncryptPending(); err != nil && !errors.Is(err, ErrNoKey) {
+					t.Errorf("EncryptPending: %v", err)
+				}
+			}
+		}()
+	}
+	close(start)
+	if err := s.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if s.HasKey() || s.PlaintextBlocks() != 0 {
+		t.Fatalf("after PowerOff: hasKey=%v plaintext=%d", s.HasKey(), s.PlaintextBlocks())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["specu.steals"]; got != stealers*stealsEach {
+		t.Errorf("specu.steals = %d, want %d", got, stealers*stealsEach)
+	}
+	if got := snap.Gauges["specu.plaintext_blocks"]; got != 0 {
+		t.Errorf("specu.plaintext_blocks gauge = %d, want 0", got)
+	}
+	if got := snap.Gauges["specu.blocks"]; got != numAddrs {
+		t.Errorf("specu.blocks gauge = %d, want %d", got, numAddrs)
+	}
+
+	events := reg.Recorder().Events(reg.Recorder().Cap())
+	var powerOns, powerOffs, pendings int
+	var flushedTotal int64
+	for _, ev := range events {
+		if ev.Subsystem != "specu" {
+			continue
+		}
+		if ev.DurNs < 0 {
+			t.Errorf("span %s recorded as instant event (dur %d)", ev.Name, ev.DurNs)
+		}
+		switch ev.Name {
+		case "power_on":
+			powerOns++
+		case "power_off":
+			powerOffs++
+			if ev.A1 != 0 {
+				t.Errorf("power_off span reports failure (A1=%d)", ev.A1)
+			}
+			flushedTotal += ev.A0
+		case "encrypt_pending":
+			pendings++
+			if ev.A1 == 0 {
+				flushedTotal += ev.A0
+			} else if ev.A0 != 0 {
+				t.Errorf("failed encrypt_pending span claims %d flushes", ev.A0)
+			}
+		}
+	}
+	if powerOns != 1 {
+		t.Errorf("power_on spans = %d, want 1", powerOns)
+	}
+	if powerOffs != 1 {
+		t.Errorf("power_off spans = %d, want 1", powerOffs)
+	}
+	if pendings != flushers*4 {
+		t.Errorf("encrypt_pending spans = %d, want %d", pendings, flushers*4)
+	}
+	// Every block is encrypted exactly once, under its shard lock, by
+	// whichever barrier reaches it first — the flush counts must partition
+	// the block set.
+	if flushedTotal != numAddrs {
+		t.Errorf("flush counts across barriers sum to %d, want %d", flushedTotal, numAddrs)
 	}
 }
 

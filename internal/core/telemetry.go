@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"snvmm/internal/prng"
+	"snvmm/internal/telemetry"
+)
+
+// SPECU instrumentation. EnableTelemetry resolves every instrument once
+// into a specuTel struct published through an atomic pointer; the data
+// path then pays one load-and-branch when telemetry is off, and padded
+// atomic updates plus two clock reads per operation when it is on. Only
+// aggregates are exported — per-shard distributions, totals, pool depth.
+// Nothing is keyed by block address or key material (see DESIGN.md
+// "Telemetry & introspection" for the side-channel rationale).
+
+// Span/event call sites, interned once.
+var (
+	metaPowerOn        = &telemetry.EventMeta{Subsystem: "specu", Name: "power_on"}
+	metaPowerOff       = &telemetry.EventMeta{Subsystem: "specu", Name: "power_off"}
+	metaEncryptPending = &telemetry.EventMeta{Subsystem: "specu", Name: "encrypt_pending"}
+)
+
+// specuTel is the resolved instrument set of one SPECU.
+type specuTel struct {
+	reg *telemetry.Registry
+
+	// Per-shard latency distributions of the four data-path operations.
+	read    [NumShards]*telemetry.Histogram
+	write   [NumShards]*telemetry.Histogram
+	encrypt [NumShards]*telemetry.Histogram
+	decrypt [NumShards]*telemetry.Histogram
+
+	reads  *telemetry.Counter
+	writes *telemetry.Counter
+	steals *telemetry.Counter
+
+	plaintext *telemetry.Gauge // blocks currently resident as plaintext
+	blocks    *telemetry.Gauge // blocks ever fabricated and resident
+
+	scope *telemetry.Scope // key-lifecycle barrier spans
+}
+
+// span opens a barrier span; safe on a nil receiver (disabled telemetry).
+func (t *specuTel) span(meta *telemetry.EventMeta) telemetry.Span {
+	if t == nil {
+		return telemetry.Span{}
+	}
+	return t.scope.Start(meta)
+}
+
+// EnableTelemetry attaches the SPECU to a registry. All instruments are
+// created under the "specu." prefix; per-shard histograms are named
+// specu.shardNN.{read,write,encrypt,decrypt}. Enabling is idempotent in
+// effect (instruments are shared by name) and safe to race with data
+// operations; passing nil detaches the instrumentation. If a worker pool
+// is already serving it is wired too, as is any pool attached later by
+// Serve.
+func (s *SPECU) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel.Store(nil)
+		return
+	}
+	t := &specuTel{
+		reg:       reg,
+		reads:     reg.Counter("specu.reads"),
+		writes:    reg.Counter("specu.writes"),
+		steals:    reg.Counter("specu.steals"),
+		plaintext: reg.Gauge("specu.plaintext_blocks"),
+		blocks:    reg.Gauge("specu.blocks"),
+		scope:     reg.Recorder().Scope("specu"),
+	}
+	for i := 0; i < NumShards; i++ {
+		t.read[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.read", i))
+		t.write[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.write", i))
+		t.encrypt[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.encrypt", i))
+		t.decrypt[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.decrypt", i))
+	}
+	s.tel.Store(t)
+	if p := s.pool.Load(); p != nil {
+		wirePool(p, reg)
+	}
+}
+
+// wirePool attaches the pool-health instruments.
+func wirePool(p *Pool, reg *telemetry.Registry) {
+	reg.Gauge("specu.pool.workers").Set(int64(p.Workers()))
+	p.SetTelemetry(
+		reg.Gauge("specu.pool.queue_depth"),
+		reg.Gauge("specu.pool.busy_workers"),
+		reg.Counter("specu.pool.tasks_done"),
+	)
+}
+
+// blockCrypt runs b.crypt with per-shard encrypt/decrypt latency recording
+// and plaintext-gauge maintenance. The caller holds the block's shard lock
+// (same contract as crypt itself).
+func (s *SPECU) blockCrypt(si int, b *Block, key prng.Key, addr uint64, decrypt bool, pool *Pool) error {
+	t := s.tel.Load()
+	if t == nil {
+		return b.crypt(key, addr, decrypt, pool)
+	}
+	start := t.reg.Now()
+	err := b.crypt(key, addr, decrypt, pool)
+	elapsed := t.reg.Now() - start
+	if decrypt {
+		t.decrypt[si].ObserveNs(elapsed)
+	} else {
+		t.encrypt[si].ObserveNs(elapsed)
+	}
+	if err == nil {
+		if decrypt {
+			t.plaintext.Add(1)
+		} else {
+			t.plaintext.Add(-1)
+		}
+	}
+	return err
+}

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"snvmm/internal/telemetry"
 )
 
 // ILPOptions configures the branch-and-bound search.
@@ -30,6 +32,11 @@ type ILPOptions struct {
 	// of one bounded probe solve per support variable. Only meaningful with
 	// Gap == 0 (with a nonzero gap the accepted objective itself can vary).
 	Canonicalize bool
+	// Telemetry, if non-nil, receives live search instruments (ilp.* node,
+	// steal, and incumbent counters plus best-objective/frontier-bound
+	// gauges) and incumbent events. Purely observational: the search order,
+	// objective, and canonical vector are identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // fixStep records one branching decision: variable Var fixed to Val.
@@ -99,6 +106,10 @@ type searcher struct {
 	incBits atomic.Uint64 // Float64bits of the incumbent objective; +Inf none
 	incX    []float64
 
+	tel        *ilpTel        // nil when telemetry is off
+	steals     []atomic.Int64 // per-worker frontier pops (len = workers)
+	incUpdates atomic.Int64
+
 	varCons [][]int32 // var -> indices of constraints containing it
 }
 
@@ -131,12 +142,25 @@ func (s *searcher) close() {
 // current incumbent. Ties keep the first winner; Canonicalize restores
 // determinism of the final vector.
 func (s *searcher) tryIncumbent(x []float64, obj float64) {
+	improved := false
 	s.incMu.Lock()
 	if obj < s.bestObj() {
 		s.incX = append(s.incX[:0], x...)
 		s.incBits.Store(math.Float64bits(obj))
+		improved = true
 	}
 	s.incMu.Unlock()
+	if improved {
+		s.incUpdates.Add(1)
+		if t := s.tel; t != nil {
+			t.incumbents.Inc()
+			t.bestObj.Set(obj)
+			// A0 carries the new objective (integral for covering problems),
+			// A1 the node count at the moment of improvement — together the
+			// gap trajectory of the run.
+			t.scope.Event(t.incumbMu, int64(math.Round(obj)), s.nodes.Load())
+		}
+	}
 	if obj <= s.stopAt+1e-7 {
 		s.close()
 	}
@@ -153,8 +177,10 @@ func (s *searcher) dropNode(bound float64) {
 }
 
 // take pops the best frontier node, blocking until one is available or the
-// search ends. It returns nil when the search is over.
-func (s *searcher) take() *bbNode {
+// search ends. It returns nil when the search is over. widx identifies the
+// calling worker for steal accounting: every frontier pop is work this
+// worker took from the shared pool rather than its own dive stack.
+func (s *searcher) take(widx int) *bbNode {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -174,6 +200,13 @@ func (s *searcher) take() *bbNode {
 				continue // drain, recording bounds
 			}
 			s.active++
+			s.steals[widx].Add(1)
+			if t := s.tel; t != nil {
+				t.steals.Inc()
+				if !math.IsInf(nd.bound, 0) { // root sentinel bound is -Inf
+					t.headBnd.Set(nd.bound)
+				}
+			}
 			return nd
 		}
 		if s.active == 0 {
@@ -207,10 +240,10 @@ func (s *searcher) offload(nd *bbNode) {
 // worker runs the steal-and-dive loop: take the globally best open node,
 // then dive depth-first from it, offloading the sibling of every branch so
 // other workers can steal breadth while this one chases an incumbent.
-func (s *searcher) worker(ws *Workspace) {
+func (s *searcher) worker(widx int, ws *Workspace) {
 	local := make([]*bbNode, 0, 64)
 	for {
-		nd := s.take()
+		nd := s.take(widx)
 		if nd == nil {
 			return
 		}
@@ -225,6 +258,9 @@ func (s *searcher) worker(ws *Workspace) {
 				}
 				local = local[:0]
 				break
+			}
+			if t := s.tel; t != nil {
+				t.nodes.Inc()
 			}
 			if s.nodes.Add(1) > s.maxNodes {
 				s.mu.Lock()
@@ -477,6 +513,8 @@ func solveBB(ctx context.Context, p *Problem, opt ILPOptions, pre []fixStep, tar
 		target:     target,
 		stopAt:     stopAt,
 		minDropped: math.Inf(1),
+		tel:        newILPTel(opt.Telemetry),
+		steals:     make([]atomic.Int64, len(pool)),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.incBits.Store(math.Float64bits(math.Inf(1)))
@@ -510,13 +548,13 @@ func solveBB(ctx context.Context, p *Problem, opt ILPOptions, pre []fixStep, tar
 	}
 
 	var wg sync.WaitGroup
-	for _, ws := range pool {
+	for i, ws := range pool {
 		ws.Stop = &s.stop // lets ctx expiry interrupt an LP mid-solve
 		wg.Add(1)
-		go func(ws *Workspace) {
+		go func(i int, ws *Workspace) {
 			defer wg.Done()
-			s.worker(ws)
-		}(ws)
+			s.worker(i, ws)
+		}(i, ws)
 	}
 	wg.Wait()
 
@@ -535,7 +573,11 @@ func solveBB(ctx context.Context, p *Problem, opt ILPOptions, pre []fixStep, tar
 	s.mu.Unlock()
 
 	obj := s.bestObj()
-	sol := Solution{Nodes: nodes}
+	sol := Solution{Nodes: nodes, IncumbentUpdates: s.incUpdates.Load()}
+	sol.Steals = make([]int64, len(s.steals))
+	for i := range s.steals {
+		sol.Steals[i] = s.steals[i].Load()
+	}
 	if s.incX != nil {
 		sol.X = s.incX
 		sol.Objective = obj

@@ -104,6 +104,10 @@ type Solution struct {
 	Nodes     int64   // branch-and-bound nodes explored
 	BestBound float64 // best proven lower bound on the optimum
 	RelGap    float64 // (Objective-BestBound)/max(1,|Objective|); 0 when proven
+
+	// Work-distribution statistics of the parallel search.
+	Steals           []int64 // per-worker pops off the shared frontier
+	IncumbentUpdates int64   // incumbent improvements accepted
 }
 
 const eps = 1e-9

@@ -178,6 +178,23 @@ type CGResult struct {
 // Jacobi-preconditioned conjugate gradients. The returned x is the best
 // iterate; check CGResult.Converged.
 func SolveCG(a *CSR, b []float64, opt CGOptions) ([]float64, CGResult, error) {
+	t := ltel.Load()
+	if t == nil {
+		return solveCG(a, b, opt)
+	}
+	x, res, err := solveCG(a, b, opt)
+	t.cgSolves.Inc()
+	t.cgIterations.Add(int64(res.Iterations))
+	if opt.X0 != nil {
+		t.cgWarmStarts.Inc()
+	}
+	if err != nil || !res.Converged {
+		t.cgFailures.Inc()
+	}
+	return x, res, err
+}
+
+func solveCG(a *CSR, b []float64, opt CGOptions) ([]float64, CGResult, error) {
 	n := a.N
 	if len(b) != n {
 		return nil, CGResult{}, fmt.Errorf("linalg: SolveCG rhs length %d != %d", len(b), n)

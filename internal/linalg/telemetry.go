@@ -1,0 +1,36 @@
+package linalg
+
+import (
+	"sync/atomic"
+
+	"snvmm/internal/telemetry"
+)
+
+// Package-level instrumentation of the iterative solver, published through
+// an atomic pointer so the disabled path is one load and a branch per solve
+// (not per iteration).
+
+// linalgTel is the resolved instrument set.
+type linalgTel struct {
+	cgSolves     *telemetry.Counter // SolveCG calls
+	cgIterations *telemetry.Counter // total CG iterations across all solves
+	cgWarmStarts *telemetry.Counter // solves seeded with a previous iterate
+	cgFailures   *telemetry.Counter // errored or non-converged solves
+}
+
+var ltel atomic.Pointer[linalgTel]
+
+// SetTelemetry attaches (or, with nil, detaches) the solver instruments,
+// all under the "linalg.cg." prefix.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		ltel.Store(nil)
+		return
+	}
+	ltel.Store(&linalgTel{
+		cgSolves:     reg.Counter("linalg.cg.solves"),
+		cgIterations: reg.Counter("linalg.cg.iterations"),
+		cgWarmStarts: reg.Counter("linalg.cg.warm_starts"),
+		cgFailures:   reg.Counter("linalg.cg.failures"),
+	})
+}

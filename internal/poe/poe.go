@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"snvmm/internal/ilp"
+	"snvmm/internal/telemetry"
 	"snvmm/internal/xbar"
 )
 
@@ -33,6 +34,10 @@ type Spec struct {
 	MaxCover int       // per-cell overlap cap; 0 means 2 (the paper's value)
 	MaxNodes int       // branch-and-bound node limit; 0 means solver default
 	Workers  int       // parallel solver workers; 0 means GOMAXPROCS
+
+	// Telemetry, if non-nil, receives the solver's live ilp.* instruments
+	// and incumbent events. Observational only; never changes the placement.
+	Telemetry *telemetry.Registry
 }
 
 func (s *Spec) shape() ShapeFunc {
@@ -61,6 +66,10 @@ type Result struct {
 	Nodes     int64   // branch-and-bound nodes explored
 	BestBound float64 // proven lower bound on the optimal PoE count
 	Gap       float64 // relative optimality gap; 0 when Optimal
+
+	// Work distribution of the parallel search.
+	Steals           []int64 // per-worker pops off the shared frontier
+	IncumbentUpdates int64   // incumbent improvements accepted
 }
 
 // covers precomputes, for every candidate PoE i, the linear indices its
@@ -132,6 +141,7 @@ func SolveContext(ctx context.Context, spec Spec) (*Result, error) {
 		IntegralObjective: true,
 		Workers:           spec.Workers,
 		Canonicalize:      true,
+		Telemetry:         spec.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -147,10 +157,12 @@ func SolveContext(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("poe: unexpected solver status %v", sol.Status)
 	}
 	res := &Result{
-		Optimal:   sol.Status == ilp.Optimal,
-		Nodes:     sol.Nodes,
-		BestBound: sol.BestBound,
-		Gap:       sol.RelGap,
+		Optimal:          sol.Status == ilp.Optimal,
+		Nodes:            sol.Nodes,
+		BestBound:        sol.BestBound,
+		Gap:              sol.RelGap,
+		Steals:           sol.Steals,
+		IncumbentUpdates: sol.IncumbentUpdates,
 	}
 	for i, v := range sol.X {
 		if v > 0.5 {

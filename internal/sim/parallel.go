@@ -5,10 +5,32 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"snvmm/internal/mem"
 	"snvmm/internal/secure"
+	"snvmm/internal/telemetry"
 	"snvmm/internal/trace"
+)
+
+// SweepOptions carries the observability hooks of a parallel sweep; the
+// zero value disables both.
+type SweepOptions struct {
+	// Telemetry, if non-nil, receives a sim.sweep.jobs_done counter, a
+	// sim.sweep.jobs_total gauge, one "job_done" event per completed
+	// simulation (A0 = completion ordinal, A1 = 1 on error), and a "sweep"
+	// span over the whole run.
+	Telemetry *telemetry.Registry
+	// OnProgress, if non-nil, is called after every completed simulation
+	// with the running completion count, the total, and the finished job's
+	// identity (scheme "" is the Plain baseline). Called from worker
+	// goroutines; it must be safe for concurrent use.
+	OnProgress func(done, total int, workload, scheme string)
+}
+
+var (
+	metaSweep   = &telemetry.EventMeta{Subsystem: "sim", Name: "sweep"}
+	metaJobDone = &telemetry.EventMeta{Subsystem: "sim", Name: "job_done"}
 )
 
 // SweepParallel produces exactly Sweep's rows but fans the independent
@@ -18,8 +40,18 @@ import (
 // assembled in deterministic profile/scheme order regardless of completion
 // order. Cancelling ctx abandons simulations not yet started.
 func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []SchemeFactory, maxInsts int64, seed int64, workers int) ([]Row, error) {
-	if workers <= 1 {
+	return SweepParallelOpts(ctx, profiles, schemes, maxInsts, seed, workers, SweepOptions{})
+}
+
+// SweepParallelOpts is SweepParallel with progress reporting. Rows are
+// identical to SweepParallel's for the same inputs; the hooks are purely
+// observational.
+func SweepParallelOpts(ctx context.Context, profiles []trace.Profile, schemes []SchemeFactory, maxInsts int64, seed int64, workers int, opts SweepOptions) ([]Row, error) {
+	if workers <= 1 && opts.Telemetry == nil && opts.OnProgress == nil {
 		return Sweep(profiles, schemes, maxInsts, seed)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	// Simulations are pure CPU: clamp to the schedulable parallelism so a
 	// generous -workers flag cannot oversubscribe the host (the same
@@ -48,6 +80,19 @@ func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []Sche
 		}
 	}
 
+	var (
+		sweepSpan telemetry.Span
+		scope     *telemetry.Scope
+		jobsDone  *telemetry.Counter
+	)
+	if reg := opts.Telemetry; reg != nil {
+		reg.Gauge("sim.sweep.jobs_total").Set(int64(len(jobs)))
+		jobsDone = reg.Counter("sim.sweep.jobs_done")
+		scope = reg.Recorder().Scope("sim")
+		sweepSpan = scope.Start(metaSweep)
+	}
+	var done atomic.Int64
+
 	outcomes := make([]outcome, len(jobs))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -67,9 +112,24 @@ func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []Sche
 			}
 			r, err := Run(j.prof, eng, maxInsts, seed)
 			outcomes[i] = outcome{res: r, err: err}
+			n := done.Add(1)
+			jobsDone.Inc()
+			if scope != nil {
+				failed := int64(0)
+				if err != nil {
+					failed = 1
+				}
+				scope.Event(metaJobDone, n, failed)
+			}
+			if opts.OnProgress != nil {
+				opts.OnProgress(int(n), len(jobs), j.prof.Name, j.scheme)
+			}
 		}(i, j)
 	}
 	wg.Wait()
+	if scope != nil {
+		sweepSpan.End(done.Load(), int64(len(jobs)))
+	}
 
 	rows := make([]Row, 0, len(profiles))
 	k := 0

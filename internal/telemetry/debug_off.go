@@ -1,0 +1,9 @@
+//go:build !telemetry_debug
+
+package telemetry
+
+// debugChecks gates internal invariant assertions; see debug_on.go. The
+// default build compiles them out entirely.
+const debugChecks = false
+
+func debugAssert(bool, string) {}

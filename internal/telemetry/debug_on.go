@@ -1,0 +1,15 @@
+//go:build telemetry_debug
+
+package telemetry
+
+// debugChecks gates internal invariant assertions that are too costly for
+// production builds (the CI runs `go vet -tags telemetry_debug` and the
+// race suite can be pointed at this build to double-check the recorder's
+// publication protocol).
+const debugChecks = true
+
+func debugAssert(cond bool, msg string) {
+	if !cond {
+		panic("telemetry: invariant violated: " + msg)
+	}
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every Histogram. Bucket 0 holds
+// zero-duration observations; bucket i (i >= 1) holds durations in
+// [2^(i-1), 2^i) nanoseconds, so the full range spans 1 ns to ~292 years —
+// log-scale, fixed-size, and mergeable by element-wise addition.
+const HistBuckets = 64
+
+// Histogram is a fixed-bucket log2 latency histogram. Observations are a
+// single atomic add into the owning bucket plus sum/min/max maintenance —
+// no locks, no allocation. The zero value is ready to use; all methods
+// no-op on a nil receiver.
+//
+// Snapshots are per-bucket atomic copies: the snapshot's Count is derived
+// from the copied buckets, so count and bucket totals are always mutually
+// consistent even while writers race the reader (Sum/Min/Max are read
+// separately and may trail by in-flight observations).
+type Histogram struct {
+	_       [cacheLine]byte
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // offset by +1 internally; 0 means "unset"
+	max     atomic.Int64
+	_       [cacheLine]byte
+}
+
+// bucketOf maps a nanosecond duration to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperNs returns the inclusive upper bound (in ns) of bucket i.
+func BucketUpperNs(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.ObserveNs(int64(d))
+}
+
+// ObserveNs records one duration given in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	// Min/max via CAS races: last writer in a tie wins, which is fine.
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur <= ns+1 {
+			break
+		}
+		if h.min.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= ns+1 {
+			break
+		}
+		if h.max.CompareAndSwap(cur, ns+1) {
+			break
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a snapshot.
+type HistBucket struct {
+	LeNs  int64 `json:"le_ns"` // inclusive upper bound in nanoseconds
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Only non-empty
+// buckets are retained.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	MinNs   int64        `json:"min_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	P50Ns   int64        `json:"p50_ns"`
+	P90Ns   int64        `json:"p90_ns"`
+	P99Ns   int64        `json:"p99_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Empty (or nil) histograms snapshot to the
+// zero value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [HistBuckets]int64
+	for i := range counts {
+		if c := h.buckets[i].Load(); c > 0 {
+			counts[i] = c
+			s.Count += c
+			s.Buckets = append(s.Buckets, HistBucket{LeNs: BucketUpperNs(i), Count: c})
+		}
+	}
+	s.SumNs = h.sum.Load()
+	if m := h.min.Load(); m > 0 {
+		s.MinNs = m - 1
+	}
+	if m := h.max.Load(); m > 0 {
+		s.MaxNs = m - 1
+	}
+	s.P50Ns = quantile(&counts, s.Count, 0.50)
+	s.P90Ns = quantile(&counts, s.Count, 0.90)
+	s.P99Ns = quantile(&counts, s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation — an upper estimate with at most one octave of error.
+func quantile(counts *[HistBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total))) // nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return BucketUpperNs(i)
+		}
+	}
+	return BucketUpperNs(HistBuckets - 1)
+}
+
+// Merge folds other into s element-wise: bucket counts and sums add, min
+// and max widen, quantiles are re-derived from the merged buckets. Use it
+// to aggregate per-shard or per-worker histograms into one distribution.
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	var counts [HistBuckets]int64
+	fill := func(src HistSnapshot) {
+		for _, b := range src.Buckets {
+			counts[bucketIndexOfUpper(b.LeNs)] += b.Count
+		}
+	}
+	fill(s)
+	fill(other)
+	out := HistSnapshot{
+		Count: s.Count + other.Count,
+		SumNs: s.SumNs + other.SumNs,
+		MinNs: s.MinNs,
+		MaxNs: s.MaxNs,
+	}
+	if other.Count > 0 && (s.Count == 0 || other.MinNs < out.MinNs) {
+		out.MinNs = other.MinNs
+	}
+	if other.MaxNs > out.MaxNs {
+		out.MaxNs = other.MaxNs
+	}
+	for i, c := range counts {
+		if c > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{LeNs: BucketUpperNs(i), Count: c})
+		}
+	}
+	out.P50Ns = quantile(&counts, out.Count, 0.50)
+	out.P90Ns = quantile(&counts, out.Count, 0.90)
+	out.P99Ns = quantile(&counts, out.Count, 0.99)
+	return out
+}
+
+// bucketIndexOfUpper inverts BucketUpperNs for snapshot bucket bounds.
+func bucketIndexOfUpper(le int64) int {
+	if le <= 0 {
+		return 0
+	}
+	if le == math.MaxInt64 {
+		return HistBuckets - 1
+	}
+	return bits.Len64(uint64(le))
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the live introspection endpoint:
+//
+//	/metrics      JSON Snapshot of every instrument
+//	/spans        recent ring-buffer events (?max=N, default 256)
+//	/debug/vars   expvar (includes the registry if PublishExpvar was called)
+//	/debug/pprof  the standard pprof handlers
+//
+// The handler holds only the registry pointer; it is safe to serve while
+// every instrument is being written.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		max := 256
+		if s := req.URL.Query().Get("max"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				max = n
+			}
+		}
+		events := r.Recorder().Events(max)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, struct {
+			Capacity int     `json:"capacity"`
+			Events   []Event `json:"events"`
+		}{Capacity: r.Recorder().Cap(), Events: events})
+	})
+	mux.HandleFunc("/debug/vars", expvarHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvarHandler mirrors expvar's unexported handler so the endpoint works
+// on this mux rather than only on http.DefaultServeMux.
+func expvarHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // a broken client connection is not actionable
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed coherence granule. Instruments pad to it so two
+// hot counters never share a line (128 covers the adjacent-line prefetcher
+// on current x86 parts).
+const cacheLine = 128
+
+// Counter is a monotonically increasing sum, padded to its own cache line.
+// The zero value is ready to use; all methods no-op on a nil receiver.
+type Counter struct {
+	_ [cacheLine - 8]byte
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current sum (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer level (queue depth, resident blocks).
+// The zero value is ready to use; all methods no-op on a nil receiver.
+type Gauge struct {
+	_ [cacheLine - 8]byte
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (use negative deltas to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is an instantaneous float64 level (objective values, bounds),
+// stored as IEEE bits in a padded atomic word. The zero value reads 0; all
+// methods no-op on a nil receiver.
+type FloatGauge struct {
+	_ [cacheLine - 8]byte
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Set stores the gauge's value.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Load returns the current value (0 on nil).
+func (g *FloatGauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// EventMeta identifies one event call site: a subsystem and an event name.
+// Callers create one per site (a package-level var or a field built at
+// instrumentation time) so recording an event allocates nothing and the
+// ring slots store a single interned pointer.
+type EventMeta struct {
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+}
+
+// Event is one recorded span or instant event. A span has Dur >= 0 and
+// covers [Start, Start+Dur]; an instant event has Dur == -1. A0/A1 are two
+// free-form integer attributes (progress counts, objective bits, ...).
+type Event struct {
+	Seq       uint64 `json:"seq"`
+	StartNano int64  `json:"start_unix_nano"`
+	DurNs     int64  `json:"dur_ns"` // -1 for instant events
+	Scope     string `json:"scope"`
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+	A0        int64  `json:"a0,omitempty"`
+	A1        int64  `json:"a1,omitempty"`
+}
+
+// slot is one ring entry. Every field is atomic so concurrent writers and
+// snapshot readers are race-free; seq is the publication word — readers
+// accept a slot only when seq reads the same claimed value before and
+// after copying the payload.
+type slot struct {
+	seq   atomic.Uint64
+	start atomic.Int64
+	dur   atomic.Int64
+	a0    atomic.Int64
+	a1    atomic.Int64
+	scope atomic.Pointer[string]
+	meta  atomic.Pointer[EventMeta]
+}
+
+// Recorder is a lock-free, fixed-capacity ring of recent spans and events.
+// Writers claim a slot with one atomic increment and publish with atomic
+// stores; the ring never blocks and old events are overwritten in arrival
+// order. A reader that races an overwrite simply skips that slot (the
+// publication sequence changes under it). Two writers can collide on one
+// slot only when a writer stalls for an entire ring wrap (capacity events);
+// the seq protocol then discards the torn slot rather than exposing it.
+//
+// All methods no-op on a nil receiver, so disabled telemetry costs one
+// branch per call site.
+type Recorder struct {
+	slots []slot
+	mask  uint64
+	head  atomic.Uint64 // next sequence number to claim + 1
+	now   func() int64
+}
+
+// newRecorder sizes the ring up to the next power of two.
+func newRecorder(capacity int, now func() int64) *Recorder {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Recorder{slots: make([]slot, n), mask: uint64(n - 1), now: now}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// record claims the next slot and publishes one event.
+func (r *Recorder) record(scope *string, meta *EventMeta, start, dur, a0, a1 int64) {
+	if r == nil || meta == nil {
+		return
+	}
+	seq := r.head.Add(1)
+	if debugChecks {
+		debugAssert(seq != 0, "recorder sequence wrapped to zero")
+		debugAssert(r.mask+1 == uint64(len(r.slots)), "recorder mask does not match capacity")
+	}
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // invalidate for readers while the payload is in flight
+	s.start.Store(start)
+	s.dur.Store(dur)
+	s.a0.Store(a0)
+	s.a1.Store(a1)
+	s.scope.Store(scope)
+	s.meta.Store(meta)
+	s.seq.Store(seq) // publish
+}
+
+// Events returns up to max recent events, oldest first. Slots being
+// rewritten while the reader copies them are skipped; the result is the
+// set of events whose publication was stable across the copy.
+func (r *Recorder) Events(max int) []Event {
+	if r == nil || max <= 0 {
+		return nil
+	}
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	if uint64(max) < n {
+		n = uint64(max)
+	}
+	if head < n {
+		n = head
+	}
+	out := make([]Event, 0, n)
+	for seq := head - n + 1; seq <= head && head > 0; seq++ {
+		s := &r.slots[(seq-1)&r.mask]
+		got := s.seq.Load()
+		if got == 0 {
+			continue
+		}
+		ev := Event{
+			Seq:       got,
+			StartNano: s.start.Load(),
+			DurNs:     s.dur.Load(),
+			A0:        s.a0.Load(),
+			A1:        s.a1.Load(),
+		}
+		if sc := s.scope.Load(); sc != nil {
+			ev.Scope = *sc
+		}
+		m := s.meta.Load()
+		if s.seq.Load() != got || m == nil {
+			continue // overwritten mid-copy: discard the torn read
+		}
+		ev.Subsystem = m.Subsystem
+		ev.Name = m.Name
+		out = append(out, ev)
+	}
+	// Claim order is publication order except for slots torn by a very
+	// late writer; sort by sequence to present a stable timeline.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Scope is a per-goroutine (or per-worker, per-shard) event source: a
+// label attached to every event it records. Create one per goroutine at
+// spawn; recording through it is allocation-free.
+type Scope struct {
+	rec   *Recorder
+	label *string
+}
+
+// Scope creates a labelled event source. Safe on a nil recorder (returns
+// a no-op scope).
+func (r *Recorder) Scope(label string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{rec: r, label: &label}
+}
+
+// Event records an instant event with two integer attributes.
+func (sc *Scope) Event(meta *EventMeta, a0, a1 int64) {
+	if sc == nil {
+		return
+	}
+	sc.rec.record(sc.label, meta, sc.rec.now(), -1, a0, a1)
+}
+
+// Span is an in-flight span started by Scope.Start. It is a value type:
+// starting and ending a span allocates nothing.
+type Span struct {
+	sc    *Scope
+	meta  *EventMeta
+	start int64
+}
+
+// Start begins a span. The span is recorded when End is called; an
+// unfinished span is never visible in the ring.
+func (sc *Scope) Start(meta *EventMeta) Span {
+	if sc == nil {
+		return Span{}
+	}
+	return Span{sc: sc, meta: meta, start: sc.rec.now()}
+}
+
+// End records the span with its measured duration and the given
+// attributes.
+func (sp Span) End(a0, a1 int64) {
+	if sp.sc == nil {
+		return
+	}
+	end := sp.sc.rec.now()
+	dur := end - sp.start
+	if dur < 0 {
+		dur = 0
+	}
+	sp.sc.rec.record(sp.sc.label, sp.meta, sp.start, dur, a0, a1)
+}

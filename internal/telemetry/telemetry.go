@@ -1,0 +1,264 @@
+// Package telemetry is the runtime introspection core: lock-free counters,
+// gauges and log-scale latency histograms, a ring-buffer span/event
+// recorder, and a Registry that names them and renders consistent JSON and
+// expvar snapshots.
+//
+// The package is built for instrumenting hot paths:
+//
+//   - Zero dependencies beyond the standard library.
+//   - Allocation-free on the hot path: counters, gauges and histograms
+//     update with a single atomic RMW on a padded cache line; spans are
+//     value types and event metadata is interned per call site.
+//   - Nil-safe everywhere. A nil *Registry hands out nil instruments, and
+//     every instrument method no-ops on a nil receiver, so uninstrumented
+//     builds pay exactly one pointer test per call site — the disabled
+//     fast path is a load-compare-branch, with no locks, maps or clock
+//     reads behind it.
+//   - Deterministic in tests: the Registry's clock is injectable, so span
+//     timestamps, durations and histogram buckets can be pinned exactly.
+//
+// Side-channel note: the SPECU instrumentation built on this package
+// deliberately exports only aggregates (per-shard histograms, totals).
+// Nothing here records per-block addresses, per-block timing, or anything
+// else indexed by key- or data-dependent values; see DESIGN.md
+// "Telemetry & introspection".
+package telemetry
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry names and owns a process's instruments. All methods are safe
+// for concurrent use, and safe on a nil receiver (returning nil
+// instruments, which are themselves no-ops).
+type Registry struct {
+	mu      sync.Mutex
+	counter map[string]*Counter
+	gauge   map[string]*Gauge
+	fgauge  map[string]*FloatGauge
+	hist    map[string]*Histogram
+	rec     *Recorder
+
+	nowFn func() int64 // unix nanoseconds; injectable for deterministic tests
+}
+
+// DefaultRingSize is the event recorder capacity of a New registry.
+const DefaultRingSize = 4096
+
+// New returns a registry with the wall clock and a DefaultRingSize event
+// recorder.
+func New() *Registry {
+	r := &Registry{
+		counter: make(map[string]*Counter),
+		gauge:   make(map[string]*Gauge),
+		fgauge:  make(map[string]*FloatGauge),
+		hist:    make(map[string]*Histogram),
+		nowFn:   func() int64 { return time.Now().UnixNano() },
+	}
+	r.rec = newRecorder(DefaultRingSize, r.Now)
+	return r
+}
+
+// SetClock replaces the registry's time source (unix nanoseconds). Spans
+// and snapshots become fully deterministic under a fake clock. Must be
+// called before instruments are handed out; it is not synchronized against
+// concurrent Now calls.
+func (r *Registry) SetClock(now func() int64) {
+	if r == nil || now == nil {
+		return
+	}
+	r.nowFn = now
+	r.rec.now = now
+}
+
+// Now returns the registry's current time in unix nanoseconds (0 on a nil
+// registry).
+func (r *Registry) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.nowFn()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counter[name]
+	if !ok {
+		c = &Counter{}
+		r.counter[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named integer gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauge[name]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hist[name]
+	if !ok {
+		h = &Histogram{}
+		r.hist[name] = h
+	}
+	return h
+}
+
+// Recorder returns the registry's span/event ring buffer (nil on a nil
+// registry; a nil recorder is itself a no-op).
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.rec
+}
+
+// Snapshot is a point-in-time rendering of every named instrument. Each
+// instrument is read atomically; the set as a whole is collected without
+// stopping writers, so instruments updated while the snapshot walks the
+// registry may differ by in-flight operations (each histogram is
+// internally consistent: its count is derived from its bucket copies).
+type Snapshot struct {
+	TimeUnixNano int64                   `json:"time_unix_nano"`
+	Counters     map[string]int64        `json:"counters,omitempty"`
+	Gauges       map[string]int64        `json:"gauges,omitempty"`
+	FloatGauges  map[string]float64      `json:"float_gauges,omitempty"`
+	Histograms   map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot renders every instrument. Returns an empty snapshot on a nil
+// registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counter))
+	for k, v := range r.counter {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauge))
+	for k, v := range r.gauge {
+		gauges[k] = v
+	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauge))
+	for k, v := range r.fgauge {
+		fgauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hist))
+	for k, v := range r.hist {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		TimeUnixNano: r.Now(),
+		Counters:     make(map[string]int64, len(counters)),
+		Gauges:       make(map[string]int64, len(gauges)),
+		FloatGauges:  make(map[string]float64, len(fgauges)),
+		Histograms:   make(map[string]HistSnapshot, len(hists)),
+	}
+	for k, v := range counters {
+		snap.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = v.Load()
+	}
+	for k, v := range fgauges {
+		snap.FloatGauges[k] = jsonSafe(v.Load())
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.Snapshot()
+	}
+	return snap
+}
+
+// jsonSafe clamps non-finite floats so a Snapshot always marshals:
+// encoding/json rejects NaN and ±Inf outright, and one stray sentinel value
+// (an unsolved bound, say) must not break the whole /metrics endpoint.
+func jsonSafe(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// InstrumentNames returns the sorted names of every instrument, for tests
+// and diagnostics.
+func (r *Registry) InstrumentNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counter)+len(r.gauge)+len(r.fgauge)+len(r.hist))
+	for k := range r.counter {
+		names = append(names, k)
+	}
+	for k := range r.gauge {
+		names = append(names, k)
+	}
+	for k := range r.fgauge {
+		names = append(names, k)
+	}
+	for k := range r.hist {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PublishExpvar exposes the registry's snapshot under the given expvar
+// name. expvar panics on duplicate names, so this must be called at most
+// once per name per process.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

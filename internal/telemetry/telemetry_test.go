@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic registry clock: each Now() call advances by
+// step nanoseconds.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    int64
+	step int64
+}
+
+func (c *fakeClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t += c.step
+	return c.t
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	// Every path must be a no-op, not a panic.
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.FloatGauge("x").Set(1.5)
+	r.Histogram("x").Observe(time.Millisecond)
+	r.Recorder().Scope("s").Event(&EventMeta{Subsystem: "a", Name: "b"}, 0, 0)
+	sp := r.Recorder().Scope("s").Start(&EventMeta{Subsystem: "a", Name: "b"})
+	sp.End(0, 0)
+	if got := r.Recorder().Events(10); got != nil {
+		t.Errorf("nil recorder events = %v", got)
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.TimeUnixNano != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+	if r.Now() != 0 {
+		t.Error("nil registry Now != 0")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	clk := &fakeClock{step: 1}
+	r.SetClock(clk.now)
+
+	c := r.Counter("ops")
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	c.Add(5)
+	if got := c.Load(); got != 15 {
+		t.Errorf("counter = %d, want 15", got)
+	}
+	if r.Counter("ops") != c {
+		t.Error("Counter not idempotent per name")
+	}
+
+	g := r.Gauge("depth")
+	g.Add(4)
+	g.Add(-1)
+	if got := g.Load(); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+	fg := r.FloatGauge("bound")
+	fg.Set(12.25)
+	if got := fg.Load(); got != 12.25 {
+		t.Errorf("float gauge = %v, want 12.25", got)
+	}
+
+	h := r.Histogram("lat")
+	// Deterministic durations: 0ns, 1ns, 100ns, 1us, 1ms.
+	for _, d := range []time.Duration{0, 1, 100, time.Microsecond, time.Millisecond} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("hist count = %d, want 5", s.Count)
+	}
+	wantSum := int64(0 + 1 + 100 + 1000 + 1000000)
+	if s.SumNs != wantSum {
+		t.Errorf("hist sum = %d, want %d", s.SumNs, wantSum)
+	}
+	if s.MinNs != 0 || s.MaxNs != 1000000 {
+		t.Errorf("hist min/max = %d/%d, want 0/1000000", s.MinNs, s.MaxNs)
+	}
+	// 1ms lands in bucket [2^19, 2^20): p99 upper bound is 2^20-1.
+	if s.P99Ns != (1<<20)-1 {
+		t.Errorf("hist p99 = %d, want %d", s.P99Ns, (1<<20)-1)
+	}
+	// p50 is the 100ns observation's bucket [64,128): upper bound 127.
+	if s.P50Ns != 127 {
+		t.Errorf("hist p50 = %d, want 127", s.P50Ns)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {math.MaxInt64, 63}}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := BucketUpperNs(10); got != 1023 {
+		t.Errorf("BucketUpperNs(10) = %d", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.ObserveNs(10)
+	a.ObserveNs(100)
+	b.ObserveNs(1000)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 || m.SumNs != 1110 {
+		t.Errorf("merged count/sum = %d/%d, want 3/1110", m.Count, m.SumNs)
+	}
+	if m.MinNs != 10 || m.MaxNs != 1000 {
+		t.Errorf("merged min/max = %d/%d, want 10/1000", m.MinNs, m.MaxNs)
+	}
+	// Merge with an empty snapshot is the identity.
+	id := a.Snapshot().Merge(HistSnapshot{})
+	if id.Count != 2 || id.MinNs != 10 || id.MaxNs != 100 {
+		t.Errorf("identity merge = %+v", id)
+	}
+}
+
+func TestRecorderSpansDeterministic(t *testing.T) {
+	r := New()
+	clk := &fakeClock{step: 10}
+	r.SetClock(clk.now)
+
+	meta := &EventMeta{Subsystem: "specu", Name: "poweroff"}
+	sc := r.Recorder().Scope("unit0")
+	sp := sc.Start(meta) // now = 10
+	sc.Event(&EventMeta{Subsystem: "specu", Name: "tick"}, 7, 0)
+	sp.End(3, 4) // start 10, end 30 -> dur 20
+
+	evs := r.Recorder().Events(16)
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	tick, span := evs[0], evs[1]
+	if tick.Name != "tick" || tick.DurNs != -1 || tick.A0 != 7 {
+		t.Errorf("instant event = %+v", tick)
+	}
+	if span.Name != "poweroff" || span.Subsystem != "specu" || span.Scope != "unit0" {
+		t.Errorf("span identity = %+v", span)
+	}
+	if span.StartNano != 10 || span.DurNs != 20 || span.A0 != 3 || span.A1 != 4 {
+		t.Errorf("span timing = %+v, want start 10 dur 20 a0 3 a1 4", span)
+	}
+}
+
+func TestRecorderWrapKeepsNewest(t *testing.T) {
+	rec := newRecorder(8, func() int64 { return 0 })
+	sc := rec.Scope("w")
+	meta := &EventMeta{Subsystem: "t", Name: "e"}
+	for i := 0; i < 20; i++ {
+		sc.Event(meta, int64(i), 0)
+	}
+	evs := rec.Events(100)
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want ring capacity 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.A0 != want {
+			t.Errorf("event %d: a0 = %d, want %d", i, ev.A0, want)
+		}
+	}
+}
+
+func TestRecorderConcurrentWriters(t *testing.T) {
+	r := New()
+	meta := &EventMeta{Subsystem: "t", Name: "e"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := r.Recorder().Scope("g")
+			for i := 0; i < 500; i++ {
+				sc.Event(meta, int64(g), int64(i))
+				if i%37 == 0 {
+					r.Recorder().Events(64) // readers race writers freely
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Recorder().Events(DefaultRingSize)
+	if len(evs) == 0 {
+		t.Fatal("no events survived")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not ordered by seq: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestSnapshotJSONAndHandler(t *testing.T) {
+	r := New()
+	clk := &fakeClock{step: 1}
+	r.SetClock(clk.now)
+	r.Counter("specu.reads").Add(2)
+	r.Gauge("specu.pool.queue_depth").Set(1)
+	r.Histogram("specu.shard00.read").Observe(80 * time.Microsecond)
+	r.Recorder().Scope("main").Event(&EventMeta{Subsystem: "sim", Name: "done"}, 1, 1)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["specu.reads"] != 2 {
+		t.Errorf("snapshot counter = %d, want 2", snap.Counters["specu.reads"])
+	}
+	if h := snap.Histograms["specu.shard00.read"]; h.Count != 1 {
+		t.Errorf("snapshot histogram count = %d, want 1", h.Count)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/spans?max=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var spans struct {
+		Capacity int     `json:"capacity"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&spans); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+	if spans.Capacity != DefaultRingSize || len(spans.Events) != 1 {
+		t.Errorf("spans = capacity %d, %d events", spans.Capacity, len(spans.Events))
+	}
+}
+
+// BenchmarkDisabledOverhead pins the disabled fast path: all instruments
+// nil, one branch per call.
+func BenchmarkDisabledOverhead(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.ObserveNs(int64(i))
+	}
+}
+
+// BenchmarkEnabledHistogram measures the enabled hot-path cost of one
+// histogram observation.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	r := New()
+	h := r.Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i))
+	}
+}

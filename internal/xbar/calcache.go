@@ -24,7 +24,12 @@ var calCache = struct {
 // are built exactly once under a per-PoE singleflight, so a fleet of workers
 // first-touching the same PoE pays for one characterization total.
 func CalibrationFor(x *Crossbar) (*Calibration, error) {
+	t := xtel.Load()
 	if x.Cfg.VarFrac != 0 {
+		// Varied devices never share; a private calibration is a miss.
+		if t != nil {
+			t.cacheMisses.Inc()
+		}
 		return Calibrate(x), nil
 	}
 	key := x.Cfg
@@ -32,7 +37,13 @@ func CalibrationFor(x *Crossbar) (*Calibration, error) {
 	calCache.mu.Lock()
 	defer calCache.mu.Unlock()
 	if c, ok := calCache.m[key]; ok {
+		if t != nil {
+			t.cacheHits.Inc()
+		}
 		return c, nil
+	}
+	if t != nil {
+		t.cacheMisses.Inc()
 	}
 	// The cache owns a pristine reference crossbar (never pulsed) so the
 	// calibration does not pin caller state alive or observe its mutations.

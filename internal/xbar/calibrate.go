@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"snvmm/internal/circuit"
 	"snvmm/internal/device"
@@ -52,6 +53,13 @@ type Calibration struct {
 type poeCal struct {
 	once sync.Once
 	err  error
+
+	// started/done bracket the build for singleflight-wait accounting:
+	// a caller seeing started && !done is about to block inside once.Do
+	// behind another goroutine's build. Purely observational — the Once
+	// remains the synchronization.
+	started atomic.Bool
+	done    atomic.Bool
 
 	shape   []Cell
 	inShape []bool
@@ -108,7 +116,18 @@ func (c *Calibration) ensure(poe Cell) error {
 		return fmt.Errorf("xbar: PoE %+v out of bounds", poe)
 	}
 	pc := &c.poes[c.cfg.Index(poe)]
+	if t := xtel.Load(); t != nil && !pc.done.Load() {
+		// Whoever flips started owns the build; everyone else arriving
+		// before done is a singleflight waiter (an approximation — a racer
+		// landing in the build/done gap may be counted without blocking).
+		if pc.started.Swap(true) {
+			t.sfWaits.Inc()
+		} else {
+			t.builds.Inc()
+		}
+	}
 	pc.once.Do(func() { pc.err = c.build(poe, pc) })
+	pc.done.Store(true)
 	return pc.err
 }
 

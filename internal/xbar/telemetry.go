@@ -1,0 +1,48 @@
+package xbar
+
+import (
+	"sync/atomic"
+
+	"snvmm/internal/telemetry"
+)
+
+// Package-level instrumentation. The calibration cache is process-wide, so
+// its instruments are too: SetTelemetry publishes a resolved instrument set
+// through an atomic pointer and every hot path pays one load-and-branch
+// when telemetry is off. Only aggregate counts are exported — nothing keyed
+// by PoE, seed, or cell state.
+
+// xbarTel is the resolved instrument set.
+type xbarTel struct {
+	reg *telemetry.Registry
+
+	cacheHits   *telemetry.Counter // CalibrationFor served from the shared cache
+	cacheMisses *telemetry.Counter // CalibrationFor built a new calibration
+	builds      *telemetry.Counter // per-PoE characterizations actually run
+	sfWaits     *telemetry.Counter // ensure() blocked on another goroutine's build
+	warmPoes    *telemetry.Counter // PoEs swept by WarmAll workers
+
+	scope *telemetry.Scope
+}
+
+var xtel atomic.Pointer[xbarTel]
+
+var metaWarmAll = &telemetry.EventMeta{Subsystem: "xbar", Name: "warm_all"}
+
+// SetTelemetry attaches (or, with nil, detaches) the package's calibration
+// instruments, all under the "xbar.cal." prefix.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		xtel.Store(nil)
+		return
+	}
+	xtel.Store(&xbarTel{
+		reg:         reg,
+		cacheHits:   reg.Counter("xbar.cal.cache_hits"),
+		cacheMisses: reg.Counter("xbar.cal.cache_misses"),
+		builds:      reg.Counter("xbar.cal.builds"),
+		sfWaits:     reg.Counter("xbar.cal.singleflight_waits"),
+		warmPoes:    reg.Counter("xbar.cal.warm_poes"),
+		scope:       reg.Recorder().Scope("xbar"),
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"snvmm/internal/telemetry"
 )
 
 // WarmAll characterizes every PoE of the device eagerly, fanning the
@@ -29,6 +31,14 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 	}
 	if workers > cells {
 		workers = cells
+	}
+	// The span's A0 reports PoEs swept, A1 flags failure/cancellation; the
+	// xbar.cal.warm_poes counter is live progress while the sweep runs.
+	var sp telemetry.Span
+	var swept atomic.Int64
+	t := xtel.Load()
+	if t != nil {
+		sp = t.scope.Start(metaWarmAll)
 	}
 	var (
 		next     atomic.Int64
@@ -60,11 +70,22 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 					record(err)
 					return
 				}
+				if t != nil {
+					t.warmPoes.Inc()
+					swept.Add(1)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
+	if t != nil {
+		failed := int64(0)
+		if firstErr != nil {
+			failed = 1
+		}
+		sp.End(swept.Load(), failed)
+	}
 	return firstErr
 }
