@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet fuzz bench ci
+.PHONY: build test test-race vet fuzz bench test-attacks ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,18 @@ test-race:
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzSPERoundTrip -fuzztime 30s
 	$(GO) test ./internal/cipher/stream -run xxx -fuzz FuzzStreamRoundTrip -fuzztime 30s
+	$(GO) test ./internal/trace -run xxx -fuzz FuzzParseWorkload -fuzztime 30s
+
+# The hardened attack tier: the red-team harness (side channels, crash
+# injection, exposure windows), the attack cost models, and the secure-engine
+# edge/workload suites — with the concurrency chaos test race-instrumented,
+# then archived as BENCH_attacks.json so defense metrics diff across commits.
+test-attacks:
+	$(GO) test ./internal/redteam ./internal/attacks ./internal/secure ./internal/trace
+	$(GO) test -race ./internal/redteam -run TestConcurrentBatchesUnderPowerCycles
+	$(GO) test ./internal/redteam -run xxx -bench . -benchtime 1x -benchmem \
+		| $(GO) run ./cmd/benchjson -require 4 -o BENCH_attacks.json
+	@cat BENCH_attacks.json
 
 # SPECU hot-path benchmarks (block crypt + sharded pipeline), archived as
 # JSON so runs can be diffed across commits (EXPERIMENTS.md records the

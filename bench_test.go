@@ -173,7 +173,11 @@ func BenchmarkTable2NIST(b *testing.B) {
 func BenchmarkBruteForceModel(b *testing.B) {
 	var years float64
 	for i := 0; i < b.N; i++ {
-		years = attacks.DefaultBruteForce().Log10Years()
+		var err error
+		years, err = attacks.DefaultBruteForce().Log10Years()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(years, "log10-years")
 }

@@ -21,6 +21,8 @@ go test ./internal/poe -run xxx -bench 'BenchmarkPlacement8x8' -benchtime 1x -be
 ( go test ./internal/linalg -run xxx -bench 'BenchmarkCholeskyFactor' -benchtime 1x -benchmem ; \
   go test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize8x8' -benchtime 1x -benchmem ) \
 	| go run ./cmd/benchjson -require 2 -o /dev/null
+go test ./internal/redteam -run xxx -bench . -benchtime 1x -benchmem \
+	| go run ./cmd/benchjson -require 4 -o /dev/null
 
 # Telemetry smoke: spe-sim serves /metrics while the concurrency experiment
 # runs; the snapshot must be well-formed JSON with live SPECU counters.
@@ -28,6 +30,25 @@ tmpdir=$(mktemp -d)
 simpid=
 trap 'kill $simpid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/spe-sim" ./cmd/spe-sim
+
+# Red-team smoke: the adversarial harness must exit 0 with a clean verdict —
+# the power-balanced driver statistically silent, the leaky raw driver
+# flagged, nothing scraped after a clean PowerOff, and epoch re-encryption
+# shrinking the exposure window. The python check pins the JSON shape so a
+# report field rename also fails CI.
+"$tmpdir/spe-sim" -redteam all >"$tmpdir/redteam.json"
+python3 -c '
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["pass"] and rep["failures"] == [], rep["failures"]
+drivers = {r["driver"]: r["leaks"] for r in rep["sidechannel"]}
+assert drivers == {"balanced": False, "raw": True}, drivers
+scraped = [r["scraped_bytes"] for r in rep["crash"]]
+assert scraped[0] > scraped[1] > scraped[2] == 0, scraped
+exp = [r["exposure_byte_cycles"] for r in rep["exposure"]]
+assert exp[1] < exp[0], exp
+' "$tmpdir/redteam.json"
+
 "$tmpdir/spe-sim" -exp concurrency -telemetry-addr 127.0.0.1:0 -telemetry-hold 120s \
 	>"$tmpdir/sim.log" 2>&1 &
 simpid=$!

@@ -22,13 +22,16 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Extra holds custom b.ReportMetric units
+// (e.g. "byte-cycles/op" from the red-team exposure benchmarks) keyed by
+// unit name, so float metrics survive into the archived JSON.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted document.
@@ -112,15 +115,20 @@ func parseBench(line string) (Result, bool) {
 	}
 	r := Result{Name: f[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
 		switch f[i+1] {
 		case "B/op":
-			r.BytesPerOp = v
+			r.BytesPerOp = int64(v)
 		case "allocs/op":
-			r.AllocsPerOp = v
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, true

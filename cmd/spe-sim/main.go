@@ -39,7 +39,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency)")
+	expFlag     = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency | redteam)")
 	fullFlag    = flag.Bool("full", false, "run at paper scale (slow)")
 	instFlag    = flag.Int64("insts", 1_000_000, "instructions per workload for fig7/fig8/table3")
 	seqsFlag    = flag.Int("seqs", 10, "sequences per data set for table2")
@@ -52,6 +52,8 @@ var (
 	telAddr     = flag.String("telemetry-addr", "", "serve the live introspection endpoint (/metrics, /spans, /debug/pprof) on this TCP address (e.g. 127.0.0.1:0); empty disables telemetry")
 	telHold     = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the experiment finishes (lets scrapers catch the final state)")
 	verboseFlag = flag.Bool("v", false, "print per-simulation progress during sweeps")
+	rtFlag      = flag.String("redteam", "", "run an adversarial scenario and emit a JSON verdict (sidechannel | crash | all); exits nonzero if a defense fails")
+	rtScript    = flag.String("redteam-script", "", "workload script driving the redteam exposure measurement (default: built-in crash schedule)")
 )
 
 // telReg is non-nil when -telemetry-addr is set; a nil registry is inert,
@@ -128,6 +130,14 @@ func main() {
 		{"wearlevel", "extension: start-gap defense against endurance attacks", wearlevelExp},
 		{"nvcache", "future work: SPE-protected non-volatile cache sweep", nvcacheExp},
 		{"concurrency", "sharded SPECU pipeline: sequential vs pooled throughput + shadow verification", concurrency},
+		{"redteam", "adversarial harness: side-channel distinguisher + crash injection (JSON verdict)", func() error { return runRedteam("all", *rtScript) }},
+	}
+	if *rtFlag != "" {
+		if err := runRedteam(*rtFlag, *rtScript); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	switch *expFlag {
 	case "list":

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"snvmm/internal/redteam"
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+	"snvmm/internal/xbar"
+)
+
+// The -redteam runner mounts the adversarial scenarios against a freshly
+// built engine and emits one JSON report on stdout; the process exits
+// nonzero if any defense fails its assertion, so CI can gate on it.
+//
+//	spe-sim -redteam sidechannel     TVLA fixed-vs-random trace distinguisher
+//	spe-sim -redteam crash           crash injection + exposure windows
+//	spe-sim -redteam all             both
+//
+// -redteam-script replaces the canonical crash schedule with a parsed
+// workload script (see internal/trace.ParseWorkload for the grammar).
+
+// redteamOutput is the JSON document the runner prints.
+type redteamOutput struct {
+	SideChannel []*redteam.SideChannelReport `json:"sidechannel,omitempty"`
+	Crash       []*redteam.CrashReport       `json:"crash,omitempty"`
+	Exposure    []*redteam.ExposureReport    `json:"exposure,omitempty"`
+	Failures    []string                     `json:"failures"`
+	Pass        bool                         `json:"pass"`
+}
+
+func runRedteam(which, scriptPath string) error {
+	out := &redteamOutput{Failures: []string{}}
+	fail := func(format string, args ...any) {
+		out.Failures = append(out.Failures, fmt.Sprintf(format, args...))
+	}
+	eng, err := engine()
+	if err != nil {
+		return err
+	}
+
+	if which == "sidechannel" || which == "all" {
+		for _, mode := range []xbar.TraceMode{xbar.TraceBalanced, xbar.TraceRaw} {
+			rep, err := redteam.RunSideChannel(eng, redteam.SideChannelConfig{
+				Mode: mode, Seed: *seedFlag, ScopeNoise: 0.01,
+			})
+			if err != nil {
+				return err
+			}
+			out.SideChannel = append(out.SideChannel, rep)
+			if mode == xbar.TraceBalanced && rep.Leaks {
+				fail("balanced driver leaks (corrected p = %g < %g)", rep.CorrectedP, rep.Alpha)
+			}
+			if mode == xbar.TraceRaw && !rep.Leaks {
+				fail("raw driver not flagged (corrected p = %g >= %g)", rep.CorrectedP, rep.Alpha)
+			}
+		}
+	}
+
+	if which == "crash" || which == "all" {
+		points := []redteam.CrashPoint{
+			redteam.CrashBetweenBatches, redteam.CrashMidFlush, redteam.CrashDuringPowerOff,
+		}
+		var scraped []uint64
+		for _, p := range points {
+			rep, err := redteam.RunCrash(eng, redteam.CrashConfig{Point: p, Blocks: 8, Seed: *seedFlag})
+			if err != nil {
+				return err
+			}
+			out.Crash = append(out.Crash, rep)
+			scraped = append(scraped, rep.ScrapedBytes)
+		}
+		if scraped[2] != 0 {
+			fail("scrape after PowerOff recovered %d bytes", scraped[2])
+		}
+		if !(scraped[0] > scraped[1] && scraped[1] > scraped[2]) {
+			fail("crash haul not strictly shrinking along the shutdown path: %v", scraped)
+		}
+
+		script := redteam.DefaultCrashScript(64)
+		if scriptPath != "" {
+			src, err := os.ReadFile(scriptPath)
+			if err != nil {
+				return err
+			}
+			if script, err = trace.ParseWorkload(src); err != nil {
+				return err
+			}
+		}
+		for _, epoch := range []uint64{0, 500} {
+			e := secure.NewSPESerial(1 << 40)
+			e.EpochCycles = epoch
+			rep, err := redteam.RunExposure(e, script)
+			if err != nil {
+				return err
+			}
+			out.Exposure = append(out.Exposure, rep)
+		}
+		if n := len(out.Exposure); n >= 2 &&
+			out.Exposure[n-1].ExposureByteCycles >= out.Exposure[n-2].ExposureByteCycles {
+			fail("epoch re-encryption did not shrink the exposure window (%d >= %d byte·cycles)",
+				out.Exposure[n-1].ExposureByteCycles, out.Exposure[n-2].ExposureByteCycles)
+		}
+	}
+
+	if which != "sidechannel" && which != "crash" && which != "all" {
+		return fmt.Errorf("unknown redteam scenario %q (sidechannel | crash | all)", which)
+	}
+
+	out.Pass = len(out.Failures) == 0
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if !out.Pass {
+		return fmt.Errorf("redteam: %d assertion(s) failed", len(out.Failures))
+	}
+	return nil
+}

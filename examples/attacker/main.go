@@ -54,14 +54,26 @@ func main() {
 
 	// --- Extrapolate to the real configuration.
 	bf := attacks.DefaultBruteForce()
+	combs, err := bf.Log10Combinations()
+	if err != nil {
+		log.Fatal(err)
+	}
+	years, err := bf.Log10Years()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nsame attack on the real 8x8/16-PoE device:\n")
-	fmt.Printf("  search space: 10^%.1f schedules\n", bf.Log10Combinations())
-	fmt.Printf("  at 100 ns per pulse: 10^%.1f years\n", bf.Log10Years())
+	fmt.Printf("  search space: 10^%.1f schedules\n", combs)
+	fmt.Printf("  at 100 ns per pulse: 10^%.1f years\n", years)
 	known := bf
 	known.KnownILP = true
-	fmt.Printf("  with the ILP placement public: 10^%.1f years\n", known.Log10Years())
+	knownYears, err := known.Log10Years()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with the ILP placement public: 10^%.1f years\n", knownYears)
 	toyRate := float64(trials) // trials in well under a second
-	full := math.Pow(10, bf.Log10Combinations())
+	full := math.Pow(10, combs)
 	fmt.Printf("  (the toy search did %.0f trials; the real key space is %.1e times larger)\n",
 		toyRate, full/toyRate)
 

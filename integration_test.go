@@ -272,7 +272,11 @@ func TestBruteForceConsistency(t *testing.T) {
 	if bf.PoEs != 16 {
 		t.Fatalf("placement has %d PoEs", bf.PoEs)
 	}
-	if y := bf.Log10Years(); y < 30 {
+	y, err := bf.Log10Years()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < 30 {
 		t.Errorf("brute force only 10^%.1f years", y)
 	}
 }

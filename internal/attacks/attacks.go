@@ -28,6 +28,21 @@ type BruteForce struct {
 	KnownILP bool
 }
 
+// Validate rejects configurations the cost model has no meaning for:
+// non-positive fields, and more PoEs than candidate cells (a placement
+// cannot reuse a cell, so P(cells, poes) would be an empty product over
+// negative factors).
+func (b BruteForce) Validate() error {
+	if b.Cells <= 0 || b.PoEs <= 0 || b.Pulses <= 0 {
+		return fmt.Errorf("attacks: BruteForce fields must be positive (cells=%d poes=%d pulses=%d)",
+			b.Cells, b.PoEs, b.Pulses)
+	}
+	if b.PoEs > b.Cells {
+		return fmt.Errorf("attacks: %d PoEs exceed %d candidate cells", b.PoEs, b.Cells)
+	}
+	return nil
+}
+
 // log10Perm returns log10 of the falling factorial P(n, k).
 func log10Perm(n, k int) float64 {
 	s := 0.0
@@ -43,22 +58,29 @@ func log10Factorial(n int) float64 { return log10Perm(n, n) }
 // Log10Combinations returns log10 of the number of key guesses the
 // attacker must try: P(cells, poes) * pulses^poes for the ciphertext-only
 // attack, or poes! * poes^poes when the attacker knows the ILP placement
-// but not the firing order or pulse widths.
-func (b BruteForce) Log10Combinations() float64 {
+// but not the firing order or pulse widths. Invalid configurations error.
+func (b BruteForce) Log10Combinations() (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
 	if b.KnownILP {
 		// 16! orderings x 16^16 pulse-width assignments (Section 6.2.1
 		// uses 16 widths per polarity at fixed polarity pattern).
-		return log10Factorial(b.PoEs) + float64(b.PoEs)*math.Log10(float64(b.PoEs))
+		return log10Factorial(b.PoEs) + float64(b.PoEs)*math.Log10(float64(b.PoEs)), nil
 	}
-	return log10Perm(b.Cells, b.PoEs) + float64(b.PoEs)*math.Log10(float64(b.Pulses))
+	return log10Perm(b.Cells, b.PoEs) + float64(b.PoEs)*math.Log10(float64(b.Pulses)), nil
 }
 
 // Log10Years converts the guess count into log10(years) at one trial per
 // PoE-sequence application (PoEs x PulseSeconds per trial). Decryption can
 // only be attempted on the physical device, so no parallel speedup applies.
-func (b BruteForce) Log10Years() float64 {
+func (b BruteForce) Log10Years() (float64, error) {
+	c, err := b.Log10Combinations()
+	if err != nil {
+		return 0, err
+	}
 	perTrial := float64(b.PoEs) * PulseSeconds
-	return b.Log10Combinations() + math.Log10(perTrial/SecondsPerYear)
+	return c + math.Log10(perTrial/SecondsPerYear), nil
 }
 
 // DefaultBruteForce is the paper's 8x8 configuration.
@@ -137,14 +159,22 @@ func Describe() string {
 	known.KnownILP = true
 	cb := DefaultColdBoot()
 	addr, volt := KeySpaceBits(64, 16, 32)
+	// The defaults are valid by construction; a failed Validate would
+	// surface as NaN in the report rather than a silent wrong number.
+	val := func(v float64, err error) float64 {
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
 	return fmt.Sprintf(
 		"brute force: 10^%.1f combinations (~10^%.1f years)\n"+
 			"known-ILP: 10^%.1f combinations (~10^%.1f years)\n"+
 			"AES-128 reference: ~10^%.1f years\n"+
 			"key space: %.1f address bits + %.1f voltage bits\n"+
 			"cold boot: %.2f us/block, window %.2f ms (DRAM %.1f s, %.0fx larger)",
-		bf.Log10Combinations(), bf.Log10Years(),
-		known.Log10Combinations(), known.Log10Years(),
+		val(bf.Log10Combinations()), val(bf.Log10Years()),
+		val(known.Log10Combinations()), val(known.Log10Years()),
 		AESBruteForceLog10Years(),
 		addr, volt,
 		cb.BlockSeconds()*1e6, cb.WindowSeconds()*1e3, cb.DRAMRetention, cb.Advantage())

@@ -16,17 +16,27 @@ func TestBruteForcePaperNumbers(t *testing.T) {
 	// gives ~1e39 (EXPERIMENTS.md discusses the paper's arithmetic) —
 	// either way far beyond feasible.
 	bf := DefaultBruteForce()
-	if c := bf.Log10Combinations(); c < 50 || c > 54 {
+	c, err := bf.Log10Combinations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 50 || c > 54 {
 		t.Errorf("brute force log10 combinations = %.1f, want ~52", c)
 	}
-	years := bf.Log10Years()
+	years, err := bf.Log10Years()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if years < 36 || years > 41 {
 		t.Errorf("brute force log10 years = %.1f, want ~39", years)
 	}
 	// Known-ILP attack: 16! * 16^16 -> ~1e19 years.
 	known := bf
 	known.KnownILP = true
-	y2 := known.Log10Years()
+	y2, err := known.Log10Years()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if y2 < 17 || y2 > 21 {
 		t.Errorf("known-ILP log10 years = %.1f, want ~19", y2)
 	}
@@ -39,6 +49,76 @@ func TestBruteForcePaperNumbers(t *testing.T) {
 	aes := AESBruteForceLog10Years()
 	if aes < 20 || aes > 40 {
 		t.Errorf("AES log10 years = %.1f", aes)
+	}
+}
+
+// TestBruteForceGoldenValues pins the Section 6.2.1 headline numbers for
+// the 8x8 / 16-PoE configuration as exact golden values, so any formula
+// drift — not just order-of-magnitude breakage — fails loudly.
+func TestBruteForceGoldenValues(t *testing.T) {
+	const tol = 1e-9
+	bf := DefaultBruteForce()
+	golden := []struct {
+		name string
+		got  func() (float64, error)
+		want float64
+	}{
+		{"combinations", bf.Log10Combinations, 52.091907762348},
+		{"years", bf.Log10Years, 38.796923777918},
+	}
+	known := bf
+	known.KnownILP = true
+	golden = append(golden,
+		struct {
+			name string
+			got  func() (float64, error)
+			want float64
+		}{"known-ILP combinations", known.Log10Combinations, 32.586539316274},
+		struct {
+			name string
+			got  func() (float64, error)
+			want float64
+		}{"known-ILP years", known.Log10Years, 19.291555331845},
+	)
+	for _, g := range golden {
+		v, err := g.got()
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if math.Abs(v-g.want) > tol {
+			t.Errorf("%s: log10 = %.12f, want %.12f", g.name, v, g.want)
+		}
+	}
+}
+
+// TestBruteForceValidation is the regression for the silent-acceptance bug:
+// PoEs > Cells and non-positive fields must error instead of producing a
+// nonsense cost.
+func TestBruteForceValidation(t *testing.T) {
+	bad := []BruteForce{
+		{Cells: 16, PoEs: 17, Pulses: 32}, // more PoEs than cells
+		{Cells: -64, PoEs: 16, Pulses: 32},
+		{Cells: 64, PoEs: 0, Pulses: 32},
+		{Cells: 64, PoEs: -1, Pulses: 32},
+		{Cells: 64, PoEs: 16, Pulses: 0},
+		{Cells: 64, PoEs: 16, Pulses: -32},
+		{},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", b)
+		}
+		if _, err := b.Log10Combinations(); err == nil {
+			t.Errorf("Log10Combinations accepted %+v", b)
+		}
+		if _, err := b.Log10Years(); err == nil {
+			t.Errorf("Log10Years accepted %+v", b)
+		}
+	}
+	// The boundary case PoEs == Cells is legitimate (every cell pulsed).
+	edge := BruteForce{Cells: 16, PoEs: 16, Pulses: 32}
+	if err := edge.Validate(); err != nil {
+		t.Errorf("Validate rejected PoEs == Cells: %v", err)
 	}
 }
 

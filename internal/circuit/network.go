@@ -234,6 +234,18 @@ func (nw *Network) EdgeCurrent(sol *Solution, i int) float64 {
 	return (sol.V[r.a] - sol.V[r.b]) * r.g
 }
 
+// Power returns the total dissipated power of the network under the
+// solution: Σ (ΔV)²·G over every resistor. This is what a supply-rail
+// current probe integrates — the side-channel observable of a pulse.
+func (nw *Network) Power(sol *Solution) float64 {
+	sum := 0.0
+	for _, r := range nw.edges {
+		dv := sol.V[r.a] - sol.V[r.b]
+		sum += dv * dv * r.g
+	}
+	return sum
+}
+
 // TerminalCurrent returns the net current injected into the network by the
 // fixed node (positive = flowing out of the source into the network),
 // computed by summing resistor currents incident to it plus its Gmin leak.

@@ -39,6 +39,13 @@ func NewCipher(eng *Engine, seed int64) (*Cipher, error) {
 // BlockBytes is the cipher's block size in bytes (16 for 8x8 MLC-2).
 func (c *Cipher) BlockBytes() int { return c.xb.BlockBytes() }
 
+// SetTraceSink attaches a per-pulse side-channel trace sink to the cipher's
+// crossbar (see xbar.PulseTraceSink); nil detaches it. Red-team harnesses
+// use this to observe every pulse an Encrypt/Decrypt call emits.
+func (c *Cipher) SetTraceSink(sink xbar.PulseTraceSink, mode xbar.TraceMode) error {
+	return c.xb.SetTraceSink(sink, mode)
+}
+
 // Encrypt writes pt into the crossbar, applies the keyed pulse schedule,
 // and returns the resulting ciphertext.
 func (c *Cipher) Encrypt(key prng.Key, pt []byte) ([]byte, error) {

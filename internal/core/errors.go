@@ -12,6 +12,13 @@ var (
 	// remain but no key is available to secure them.
 	ErrNoKey = errors.New("core: SPECU has no key (powered down?)")
 
+	// ErrPoweredOff is the name crash-injection harnesses match on when an
+	// operation lands on a power-cycled SPECU. It is an alias of ErrNoKey —
+	// the SPECU's only powered-off observable is its empty key register —
+	// so errors.Is(err, ErrPoweredOff) and errors.Is(err, ErrNoKey) are
+	// interchangeable.
+	ErrPoweredOff = ErrNoKey
+
 	// ErrKeyLoaded is returned by PowerOn when a different key is already
 	// installed: silently replacing it would leave every resident
 	// ciphertext block undecryptable.

@@ -356,6 +356,21 @@ func (s *SPECU) Blocks() int {
 	return n
 }
 
+// Addresses returns every allocated block address, in no particular order.
+// Red-team scrapers iterate it with Steal to sweep the raw NVMM contents.
+func (s *SPECU) Addresses() []uint64 {
+	var out []uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for addr := range sh.blocks {
+			out = append(out, addr)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // EncryptedFraction is the fraction of allocated blocks holding ciphertext.
 func (s *SPECU) EncryptedFraction() float64 {
 	total, plain := 0, 0

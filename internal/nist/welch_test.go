@@ -1,0 +1,70 @@
+package nist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWelchTIdenticalConstant(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{5, 5, 5, 5}
+	r := WelchT(a, b)
+	if !r.Applicable || r.P[0] != 1 {
+		t.Fatalf("identical constants: got %+v, want p=1", r)
+	}
+	if !r.Pass(Alpha) {
+		t.Fatalf("identical constants must pass at alpha")
+	}
+}
+
+func TestWelchTConstantShift(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{6, 6, 6, 6}
+	r := WelchT(a, b)
+	if !r.Applicable || r.P[0] != 0 {
+		t.Fatalf("shifted constants: got %+v, want p=0", r)
+	}
+	if r.Pass(Alpha) {
+		t.Fatalf("shifted constants must fail at alpha")
+	}
+}
+
+func TestWelchTSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r := WelchT(a, b)
+	if !r.Applicable {
+		t.Fatal("inapplicable")
+	}
+	if r.P[0] < Alpha {
+		t.Fatalf("same-distribution samples flagged: p=%g", r.P[0])
+	}
+}
+
+func TestWelchTShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1
+	}
+	r := WelchT(a, b)
+	if r.P[0] >= Alpha {
+		t.Fatalf("unit shift not flagged: p=%g", r.P[0])
+	}
+}
+
+func TestWelchTInapplicable(t *testing.T) {
+	if r := WelchT([]float64{1}, []float64{2, 3}); r.Applicable {
+		t.Fatal("n<2 must be inapplicable")
+	}
+	if r := WelchT(nil, nil); r.Applicable || !r.Pass(Alpha) {
+		t.Fatal("empty samples must be inapplicable and pass vacuously")
+	}
+}

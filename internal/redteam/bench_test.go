@@ -1,0 +1,61 @@
+package redteam
+
+import (
+	"testing"
+
+	"snvmm/internal/secure"
+	"snvmm/internal/xbar"
+)
+
+// The attack-surface benchmarks archived in BENCH_attacks.json. Besides
+// wall-clock cost they report the security metrics themselves
+// (byte-cycles of exposure, scraped bytes), so a defense regression shows
+// up as a metric jump in the JSON diff, not just a timing drift.
+
+func BenchmarkSideChannelBalanced(b *testing.B) {
+	eng := testEngine(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := RunSideChannel(eng, SideChannelConfig{
+			Mode: xbar.TraceBalanced, TracesPerGroup: 8, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Leaks {
+			b.Fatal("balanced driver leaked")
+		}
+		b.ReportMetric(rep.CorrectedP, "corrected-p")
+	}
+}
+
+func BenchmarkCrashScrape(b *testing.B) {
+	eng := testEngine(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := RunCrash(eng, CrashConfig{Point: CrashBetweenBatches, Blocks: 8, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.ScrapedBytes), "scraped-B")
+	}
+}
+
+func BenchmarkExposureNoEpoch(b *testing.B) {
+	benchExposure(b, 0)
+}
+
+func BenchmarkExposureEpoch500(b *testing.B) {
+	benchExposure(b, 500)
+}
+
+func benchExposure(b *testing.B, epoch uint64) {
+	script := DefaultCrashScript(64)
+	for i := 0; i < b.N; i++ {
+		e := secure.NewSPESerial(1 << 40)
+		e.EpochCycles = epoch
+		rep, err := RunExposure(e, script)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.ExposureByteCycles), "byte-cycles")
+	}
+}

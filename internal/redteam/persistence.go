@@ -1,0 +1,243 @@
+package redteam
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"snvmm/internal/core"
+	"snvmm/internal/mem"
+	"snvmm/internal/prng"
+	"snvmm/internal/secure"
+	"snvmm/internal/trace"
+)
+
+// CrashPoint selects where in the workload the attacker cuts power.
+type CrashPoint int
+
+const (
+	// CrashBetweenBatches cuts power after a read batch, before any flush
+	// begins — the serial-mode worst case, every read-decrypted block
+	// still plaintext.
+	CrashBetweenBatches CrashPoint = iota
+	// CrashMidFlush cuts power halfway through the EncryptPending drain:
+	// half the plaintext blocks have been re-encrypted, half have not.
+	CrashMidFlush
+	// CrashDuringPowerOff cuts power after PowerOff's flush completed —
+	// the clean shutdown the paper's 1.87 ms drain pays for.
+	CrashDuringPowerOff
+)
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashBetweenBatches:
+		return "between-batches"
+	case CrashMidFlush:
+		return "mid-flush"
+	case CrashDuringPowerOff:
+		return "during-poweroff"
+	default:
+		return fmt.Sprintf("crash-point-%d", int(p))
+	}
+}
+
+// CrashConfig parameterizes one crash-injection run against a real SPECU.
+type CrashConfig struct {
+	Point CrashPoint
+	// Blocks is the working-set size in 64-byte blocks (<= 0 selects 16).
+	Blocks int
+	// Seed fixes the payloads.
+	Seed int64
+}
+
+// CrashReport is what the attacker walked away with.
+type CrashReport struct {
+	Point           string `json:"point"`
+	Blocks          int    `json:"blocks"`
+	PlaintextBlocks int    `json:"plaintext_blocks"` // SPECU accounting at the crash instant
+	ScrapedBytes    uint64 `json:"scraped_bytes"`    // plaintext bytes recovered from the raw cells
+}
+
+// RunCrash drives a Serial-mode SPECU through a write+read workload, cuts
+// power at the configured point, and scrapes every block's raw cells
+// (core.SPECU.Steal — Attack 1's read operation) looking for the plaintext
+// it knows was written. A scraped block counts as recovered only if the raw
+// bits equal the plaintext exactly; blocks the flush reached are ciphertext
+// under the keyed pulse sequence and match nothing.
+func RunCrash(eng *core.Engine, cfg CrashConfig) (*CrashReport, error) {
+	n := cfg.Blocks
+	if n <= 0 {
+		n = 16
+	}
+	s := core.NewSPECU(eng, core.Serial)
+	key := keyFromSeed(cfg.Seed)
+	if err := s.PowerOn(key); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// The attacker-observed workload: write the working set, then read it
+	// all back. Serial mode leaves every read block plaintext in the NVMM.
+	want := make(map[uint64][]byte, n)
+	writes := make([]core.WriteOp, 0, n)
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * core.BlockSize
+		data := blockPayload(cfg.Seed, addr)
+		want[addr] = data
+		writes = append(writes, core.WriteOp{Addr: addr, Data: data})
+	}
+	for _, err := range s.WriteBatch(ctx, writes) {
+		if err != nil {
+			return nil, err
+		}
+	}
+	addrs := make([]uint64, 0, n)
+	for addr := range want {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, r := range s.ReadBatch(ctx, addrs) {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+	}
+
+	// Reach the crash point.
+	switch cfg.Point {
+	case CrashBetweenBatches:
+		// Nothing: power dies right here.
+	case CrashMidFlush:
+		// The flush re-encrypts oldest-first; power dies after it covered
+		// half the plaintext. Modeled as an EncryptBatch over that half.
+		if errs := s.EncryptBatch(ctx, addrs[:len(addrs)/2]); errs != nil {
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	case CrashDuringPowerOff:
+		// PowerOff's drain completed; the crash lands on a dead, fully
+		// encrypted array.
+		if err := s.PowerOff(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("redteam: unknown crash point %d", cfg.Point)
+	}
+
+	rep := &CrashReport{
+		Point:           cfg.Point.String(),
+		Blocks:          n,
+		PlaintextBlocks: s.PlaintextBlocks(),
+	}
+	// Power is gone: the key register is dark, but the cells persist. The
+	// scrape needs no key — that is the attack.
+	for _, addr := range s.Addresses() {
+		raw, err := s.Steal(addr)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(raw, want[addr]) {
+			rep.ScrapedBytes += uint64(len(raw))
+		}
+	}
+	return rep, nil
+}
+
+// ExposureReport is the cycle-level exposure-window measurement for one
+// secure-engine run over a workload script.
+type ExposureReport struct {
+	Engine             string `json:"engine"`
+	EpochCycles        uint64 `json:"epoch_cycles"`
+	CrashCycle         uint64 `json:"crash_cycle"`
+	PlaintextBytes     uint64 `json:"plaintext_bytes"`      // remanent at the crash
+	ExposureByteCycles uint64 `json:"exposure_byte_cycles"` // cumulative window
+}
+
+// RunExposure replays a parsed workload script against a Table 3 engine and
+// measures the persistence-attack surface. Script semantics: w/r issue
+// block accesses (advancing time one cycle per access), t advances time and
+// runs the background walker, f is an explicit walker invocation (an epoch
+// boundary opportunity), and x cuts power — the measurement point. A script
+// without an x measures at end-of-script instead. Engines that do not
+// implement secure.Remanent (AES, Stream, SPE-parallel keep no plaintext)
+// report zero.
+func RunExposure(engine mem.EncryptionEngine, script []trace.Op) (*ExposureReport, error) {
+	now := uint64(0)
+loop:
+	for _, op := range script {
+		switch op.Kind {
+		case trace.OpWrite:
+			for i := uint64(0); i < op.Count; i++ {
+				now++
+				engine.WriteDelay(op.Addr+i*secure.BlockBytes, now)
+			}
+		case trace.OpRead:
+			for i := uint64(0); i < op.Count; i++ {
+				now++
+				engine.ReadDelay(op.Addr+i*secure.BlockBytes, now)
+			}
+		case trace.OpTick:
+			now += op.Cycles
+			engine.Tick(now)
+		case trace.OpFlush:
+			engine.Tick(now)
+		case trace.OpCrash:
+			break loop
+		default:
+			return nil, fmt.Errorf("redteam: unknown op kind %d", op.Kind)
+		}
+	}
+	rep := &ExposureReport{Engine: engine.Name(), CrashCycle: now}
+	if e, ok := engine.(*secure.INVMM); ok {
+		rep.EpochCycles = e.EpochCycles
+	}
+	if e, ok := engine.(*secure.SPESerial); ok {
+		rep.EpochCycles = e.EpochCycles
+	}
+	if r, ok := engine.(secure.Remanent); ok {
+		rep.PlaintextBytes = r.PlaintextBytes()
+		rep.ExposureByteCycles = r.ExposureByteCycles(now)
+	}
+	return rep, nil
+}
+
+// DefaultCrashScript is the canonical adversarial schedule: a read sweep
+// that decrypts a working set in place, idle gaps long enough for epoch
+// flushes but (deliberately) not for the inertness/re-encryption timers,
+// then a power cut.
+func DefaultCrashScript(blocks int) []trace.Op {
+	if blocks <= 0 {
+		blocks = 64
+	}
+	ops := make([]trace.Op, 0, 2*blocks+2)
+	for i := 0; i < blocks; i++ {
+		ops = append(ops,
+			trace.Op{Kind: trace.OpRead, Addr: uint64(i) * secure.BlockBytes, Count: 1},
+			trace.Op{Kind: trace.OpTick, Cycles: 100},
+		)
+	}
+	ops = append(ops,
+		trace.Op{Kind: trace.OpTick, Cycles: 1000},
+		trace.Op{Kind: trace.OpCrash},
+	)
+	return ops
+}
+
+// keyFromSeed derives the SPECU key for a scenario seed.
+func keyFromSeed(seed int64) prng.Key {
+	g := prng.NewGen(uint64(seed)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB)
+	return prng.NewKey(g.Uint64(), g.Uint64())
+}
+
+// blockPayload derives the deterministic 64-byte plaintext for (seed, addr).
+func blockPayload(seed int64, addr uint64) []byte {
+	g := prng.NewGen(uint64(seed) ^ addr*0x9E3779B97F4A7C15)
+	out := make([]byte, core.BlockSize)
+	for i := range out {
+		out[i] = byte(g.Uint64())
+	}
+	return out
+}

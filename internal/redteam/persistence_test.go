@@ -1,0 +1,125 @@
+package redteam
+
+import (
+	"testing"
+
+	"snvmm/internal/secure"
+)
+
+// TestCrashPointsOrdering runs all three crash points and checks the
+// attacker's haul shrinks as the crash lands later in the shutdown path:
+// everything plaintext between batches, about half mid-flush, nothing after
+// the PowerOff drain.
+func TestCrashPointsOrdering(t *testing.T) {
+	eng := testEngine(t)
+	const blocks = 8
+	get := func(p CrashPoint) *CrashReport {
+		rep, err := RunCrash(eng, CrashConfig{Point: p, Blocks: blocks, Seed: 11})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		return rep
+	}
+	between := get(CrashBetweenBatches)
+	mid := get(CrashMidFlush)
+	off := get(CrashDuringPowerOff)
+
+	if between.ScrapedBytes != blocks*64 {
+		t.Fatalf("between-batches scrape got %d bytes, want all %d", between.ScrapedBytes, blocks*64)
+	}
+	if mid.ScrapedBytes != blocks/2*64 {
+		t.Fatalf("mid-flush scrape got %d bytes, want %d", mid.ScrapedBytes, blocks/2*64)
+	}
+	if off.ScrapedBytes != 0 {
+		t.Fatalf("post-PowerOff scrape recovered %d bytes, want 0", off.ScrapedBytes)
+	}
+	if off.PlaintextBlocks != 0 {
+		t.Fatalf("post-PowerOff accounting shows %d plaintext blocks", off.PlaintextBlocks)
+	}
+	if !(between.ScrapedBytes > mid.ScrapedBytes && mid.ScrapedBytes > off.ScrapedBytes) {
+		t.Fatalf("haul not strictly shrinking: %d, %d, %d",
+			between.ScrapedBytes, mid.ScrapedBytes, off.ScrapedBytes)
+	}
+}
+
+// TestExposureEpochShrink is the cycle-level acceptance assertion: over the
+// canonical crash script, enabling epoch re-encryption strictly shrinks the
+// measured exposure window for both plaintext-holding engines.
+func TestExposureEpochShrink(t *testing.T) {
+	script := DefaultCrashScript(64)
+
+	serial := func(epoch uint64) *ExposureReport {
+		e := secure.NewSPESerial(1 << 40)
+		e.EpochCycles = epoch
+		rep, err := RunExposure(e, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base, epoched := serial(0), serial(500)
+	if epoched.ExposureByteCycles >= base.ExposureByteCycles {
+		t.Fatalf("SPE-serial: epoch window %d >= baseline %d",
+			epoched.ExposureByteCycles, base.ExposureByteCycles)
+	}
+	if epoched.PlaintextBytes >= base.PlaintextBytes && base.PlaintextBytes > 0 {
+		t.Fatalf("SPE-serial: epoch left %d plaintext bytes vs baseline %d",
+			epoched.PlaintextBytes, base.PlaintextBytes)
+	}
+
+	invmm := func(epoch uint64) *ExposureReport {
+		e := secure.NewINVMM(1 << 40)
+		e.EpochCycles = epoch
+		rep, err := RunExposure(e, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	baseI, epochedI := invmm(0), invmm(500)
+	if epochedI.ExposureByteCycles >= baseI.ExposureByteCycles {
+		t.Fatalf("i-NVMM: epoch window %d >= baseline %d",
+			epochedI.ExposureByteCycles, baseI.ExposureByteCycles)
+	}
+}
+
+// TestExposureNonRemanentEngines checks the always-encrypted engines report
+// a zero attack surface over the same script.
+func TestExposureNonRemanentEngines(t *testing.T) {
+	script := DefaultCrashScript(32)
+	for _, e := range []interface {
+		Name() string
+		ReadDelay(addr, now uint64) (uint64, uint64)
+		WriteDelay(addr, now uint64) uint64
+		Tick(now uint64)
+		EncryptedFraction() float64
+		PowerDown(now uint64) uint64
+	}{secure.NewAES(), secure.NewStream(), secure.NewSPEParallel()} {
+		rep, err := RunExposure(e, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ExposureByteCycles != 0 || rep.PlaintextBytes != 0 {
+			t.Fatalf("%s: nonzero attack surface %+v", e.Name(), rep)
+		}
+	}
+}
+
+// TestRunExposureDeterministic pins that replaying the same script yields
+// identical reports.
+func TestRunExposureDeterministic(t *testing.T) {
+	script := DefaultCrashScript(16)
+	mk := func() *ExposureReport {
+		e := secure.NewSPESerial(1 << 40)
+		e.EpochCycles = 300
+		rep, err := RunExposure(e, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := mk(), mk()
+	if *a != *b {
+		t.Fatalf("exposure reports differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,29 @@
+// Package redteam is the adversarial scenario harness: instead of modeling
+// attack cost formulas (internal/attacks), it mounts the attacks against a
+// running SPE system and asserts the defenses hold.
+//
+// Two attack families are implemented, matching the two papers the threat
+// model cites:
+//
+//   - Side channels (Chen et al., "Power-balanced Memristive Cryptographic
+//     Implementation Against Side Channel Attacks"): a probe on the pulse
+//     driver's supply rail records per-pulse timing and energy
+//     (xbar.PulseTraceSink). A TVLA-style fixed-vs-random key experiment
+//     with Welch's t-test per sample point decides whether the traces
+//     depend on the key — and therefore on the keyed PoE placement order
+//     and pulse schedule. The hardened constant-slot, power-balanced
+//     driver must pass (p >= alpha); the deliberately leaky raw driver
+//     must be flagged (p < alpha).
+//
+//   - Persistence attacks (Yao & Venkataramani, "Architecting Non-Volatile
+//     Main Memory to Guard Against Persistence-based Attacks"): power is
+//     cut mid-workload at adversarially chosen points and the NVMM's raw
+//     cells are scraped for remanent plaintext. The harness measures both
+//     the instantaneous remanence at the crash (bytes recovered by the
+//     scrape) and the cumulative exposure window (byte·cycles of plaintext
+//     residence, secure.Remanent), and verifies epoch-based re-encryption
+//     shrinks the window.
+//
+// Everything is deterministic under a fixed seed so CI can assert exact
+// verdicts.
+package redteam

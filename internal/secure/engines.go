@@ -41,6 +41,22 @@ const BlockBytes = 64
 // PageBytes is i-NVMM's page granularity.
 const PageBytes = 4096
 
+// Remanent is implemented by engines that leave plaintext resident in the
+// NVMM (i-NVMM, SPE-serial) and can account for it. The exposure window is
+// the red-team metric for persistence attacks (Yao & Venkataramani): every
+// byte of plaintext contributes one byte·cycle per cycle it stays resident,
+// so a scraped power-off is dangerous in proportion to the integral, not
+// just the instantaneous plaintext count.
+type Remanent interface {
+	// PlaintextBytes is the number of bytes currently resident as
+	// plaintext.
+	PlaintextBytes() uint64
+	// ExposureByteCycles is the cumulative exposure integral up to `now`:
+	// Σ over every plaintext residency interval of bytes × cycles,
+	// including intervals still open at `now`.
+	ExposureByteCycles(now uint64) uint64
+}
+
 // Plain is the unencrypted baseline.
 type Plain struct{}
 
@@ -87,6 +103,11 @@ func (*Stream) PowerDown(now uint64) uint64                 { return 0 }
 type INVMM struct {
 	InertThreshold uint64
 	WalkBudget     int
+	// EpochCycles, when nonzero, adds epoch-based re-encryption: every
+	// EpochCycles cycles the Tick flush encrypts all resident plaintext
+	// regardless of inertness, bounding any page's plaintext dwell — and
+	// therefore the exposure window — by one epoch.
+	EpochCycles uint64
 
 	lastAccess map[uint64]uint64 // page -> last access cycle
 	encrypted  map[uint64]bool   // page -> ciphertext?
@@ -95,6 +116,10 @@ type INVMM struct {
 	// deterministic (a budgeted range over a map picks random victims).
 	// Entries go stale when the page is touched again; Tick skips those.
 	queue []walkEntry
+
+	plainSince map[uint64]uint64 // page -> cycle its open plaintext interval began
+	exposure   uint64            // closed plaintext intervals, byte·cycles
+	lastEpoch  uint64            // cycle of the last epoch flush
 }
 
 type walkEntry struct {
@@ -109,6 +134,7 @@ func NewINVMM(inertThreshold uint64) *INVMM {
 		WalkBudget:     8,
 		lastAccess:     make(map[uint64]uint64),
 		encrypted:      make(map[uint64]bool),
+		plainSince:     make(map[uint64]uint64),
 	}
 }
 
@@ -122,7 +148,21 @@ func (e *INVMM) touch(addr, now uint64) (wasEncrypted bool) {
 	e.encrypted[p] = false
 	e.lastAccess[p] = now
 	e.queue = append(e.queue, walkEntry{key: p, when: now})
+	if _, open := e.plainSince[p]; !open {
+		e.plainSince[p] = now
+	}
 	return wasEncrypted
+}
+
+// closePlain ends page p's open plaintext interval at `now`, folding it into
+// the exposure accumulator.
+func (e *INVMM) closePlain(p, now uint64) {
+	if since, open := e.plainSince[p]; open {
+		if now > since {
+			e.exposure += (now - since) * PageBytes
+		}
+		delete(e.plainSince, p)
+	}
 }
 
 // ReadDelay decrypts the block if its page was ciphertext.
@@ -158,9 +198,20 @@ func (e *INVMM) Tick(now uint64) {
 			continue // stale: re-touched or already encrypted
 		}
 		e.encrypted[ent.key] = true
+		e.closePlain(ent.key, now)
 		budget--
 	}
 	e.queue = e.queue[i:]
+	if e.EpochCycles > 0 && now-e.lastEpoch >= e.EpochCycles {
+		// Epoch flush: encrypt everything still plaintext, hot or not. The
+		// flush ignores the walk budget — the paper's epoch model charges
+		// this as a burst, and the red-team exposure metric is what it buys.
+		for p := range e.plainSince {
+			e.encrypted[p] = true
+			e.closePlain(p, now)
+		}
+		e.lastEpoch = now
+	}
 }
 
 // EncryptedFraction is the fraction of touched pages held in ciphertext.
@@ -185,9 +236,27 @@ func (e *INVMM) PowerDown(now uint64) uint64 {
 		if !e.encrypted[p] {
 			blocks += PageBytes / BlockBytes
 			e.encrypted[p] = true
+			e.closePlain(p, now)
 		}
 	}
 	return blocks * AESLatency * (PageBytes / BlockBytes) // AES engine walks each block
+}
+
+// PlaintextBytes is the resident plaintext right now (Remanent).
+func (e *INVMM) PlaintextBytes() uint64 {
+	return uint64(len(e.plainSince)) * PageBytes
+}
+
+// ExposureByteCycles is the cumulative exposure integral up to now
+// (Remanent): closed intervals plus the still-open ones.
+func (e *INVMM) ExposureByteCycles(now uint64) uint64 {
+	total := e.exposure
+	for _, since := range e.plainSince {
+		if now > since {
+			total += (now - since) * PageBytes
+		}
+	}
+	return total
 }
 
 // SPESerial leaves blocks decrypted after a read until the re-encryption
@@ -195,12 +264,19 @@ func (e *INVMM) PowerDown(now uint64) uint64 {
 type SPESerial struct {
 	ReencryptAfter uint64 // cycles a block may stay plaintext
 	WalkBudget     int
+	// EpochCycles, when nonzero, adds epoch-based re-encryption: every
+	// EpochCycles cycles the Tick flush re-encrypts every plaintext block
+	// regardless of the per-block timer, bounding the exposure window.
+	EpochCycles uint64
 
 	plaintextAt map[uint64]uint64 // block -> cycle it became plaintext
 	touched     map[uint64]bool
 	// queue holds plaintext blocks in the order they were decrypted, so
 	// the re-encryption timer fires oldest-first and deterministically.
 	queue []walkEntry
+
+	exposure  uint64 // closed plaintext intervals, byte·cycles
+	lastEpoch uint64 // cycle of the last epoch flush
 }
 
 // NewSPESerial builds the serial-mode engine.
@@ -234,8 +310,19 @@ func (e *SPESerial) ReadDelay(addr, now uint64) (uint64, uint64) {
 func (e *SPESerial) WriteDelay(addr, now uint64) uint64 {
 	b := e.block(addr)
 	e.touched[b] = true
-	delete(e.plaintextAt, b)
+	e.closePlain(b, now)
 	return SPEEncrypt
+}
+
+// closePlain ends block b's open plaintext interval at `now`, folding it
+// into the exposure accumulator.
+func (e *SPESerial) closePlain(b, now uint64) {
+	if since, plain := e.plaintextAt[b]; plain {
+		if now > since {
+			e.exposure += (now - since) * BlockBytes
+		}
+		delete(e.plaintextAt, b)
+	}
 }
 
 // Tick re-encrypts blocks whose plaintext dwell exceeded the timer,
@@ -253,10 +340,17 @@ func (e *SPESerial) Tick(now uint64) {
 		if since, plain := e.plaintextAt[ent.key]; !plain || since != ent.when {
 			continue
 		}
-		delete(e.plaintextAt, ent.key)
+		e.closePlain(ent.key, now)
 		budget--
 	}
 	e.queue = e.queue[i:]
+	if e.EpochCycles > 0 && now-e.lastEpoch >= e.EpochCycles {
+		for b := range e.plaintextAt {
+			e.closePlain(b, now)
+		}
+		e.queue = e.queue[:0]
+		e.lastEpoch = now
+	}
 }
 
 // EncryptedFraction is the fraction of touched blocks in ciphertext.
@@ -270,8 +364,27 @@ func (e *SPESerial) EncryptedFraction() float64 {
 // PowerDown secures the remaining plaintext blocks at 1.6 us each.
 func (e *SPESerial) PowerDown(now uint64) uint64 {
 	n := uint64(len(e.plaintextAt))
-	e.plaintextAt = make(map[uint64]uint64)
+	for b := range e.plaintextAt {
+		e.closePlain(b, now)
+	}
 	return n * CyclesPerBlockSecure
+}
+
+// PlaintextBytes is the resident plaintext right now (Remanent).
+func (e *SPESerial) PlaintextBytes() uint64 {
+	return uint64(len(e.plaintextAt)) * BlockBytes
+}
+
+// ExposureByteCycles is the cumulative exposure integral up to now
+// (Remanent): closed intervals plus the still-open ones.
+func (e *SPESerial) ExposureByteCycles(now uint64) uint64 {
+	total := e.exposure
+	for _, since := range e.plaintextAt {
+		if now > since {
+			total += (now - since) * BlockBytes
+		}
+	}
+	return total
 }
 
 // SPEParallel re-encrypts immediately after every read: the read path pays

@@ -97,6 +97,37 @@ func NewShadow(ctx context.Context, cfg ShadowConfig, seed int64) (*Shadow, erro
 	}, nil
 }
 
+// NewShadowWith wraps an externally built, already powered-and-served SPECU
+// instead of fabricating one. The red-team harness uses this to shadow a
+// SPECU it also crash-injects: the shadow mirrors traffic, the harness owns
+// the power lifecycle.
+func NewShadowWith(ctx context.Context, cfg ShadowConfig, specu *core.SPECU) (*Shadow, error) {
+	if specu == nil {
+		return nil, fmt.Errorf("sim: NewShadowWith needs a SPECU")
+	}
+	if cfg.MaxBlocks <= 0 {
+		cfg.MaxBlocks = 256
+	}
+	if cfg.MaxOps <= 0 {
+		cfg.MaxOps = 4096
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 64
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Shadow{
+		cfg:      cfg,
+		specu:    specu,
+		ctx:      ctx,
+		model:    make(map[uint64][]byte),
+		version:  make(map[uint64]uint64),
+		writeSet: make(map[uint64]int),
+		readSet:  make(map[uint64]bool),
+	}, nil
+}
+
 // SPECU exposes the shadowed control unit (tests and reporting).
 func (s *Shadow) SPECU() *core.SPECU { return s.specu }
 

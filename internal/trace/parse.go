@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// This file adds a parsed workload format alongside the synthetic
+// generators: a line-oriented script of memory operations that red-team
+// scenarios (and tests) use to drive an engine through an exact,
+// adversarially chosen access schedule. The grammar is deliberately tiny:
+//
+//	# comment                 (also: blank lines)
+//	w <addr> [count]          write `count` consecutive blocks at addr
+//	r <addr> [count]          read  `count` consecutive blocks at addr
+//	t <cycles>                advance simulated time
+//	f                         flush (EncryptPending / epoch boundary)
+//	x                         crash: cut power without a clean PowerOff
+//
+// Addresses accept decimal, 0x-hex and 0o-octal (strconv base 0). Counts
+// are bounded by MaxOpCount so a hostile script cannot ask a driver to
+// materialize billions of blocks.
+
+// OpKind enumerates workload script operations.
+type OpKind int
+
+const (
+	// OpWrite writes Count consecutive blocks starting at Addr.
+	OpWrite OpKind = iota
+	// OpRead reads Count consecutive blocks starting at Addr.
+	OpRead
+	// OpTick advances simulated time by Cycles.
+	OpTick
+	// OpFlush requests an encrypt-pending / epoch flush.
+	OpFlush
+	// OpCrash cuts power without a clean PowerOff.
+	OpCrash
+)
+
+// Op is one parsed workload operation.
+type Op struct {
+	Kind   OpKind
+	Addr   uint64
+	Count  uint64 // blocks touched by OpWrite/OpRead; always >= 1
+	Cycles uint64 // OpTick advance
+}
+
+// MaxOpCount bounds the per-op block count (and the tick advance): scripts
+// are attacker-controlled inputs, so a single `w 0 9999999999` must be a
+// parse error, not an allocation.
+const MaxOpCount = 1 << 20
+
+// maxScriptOps bounds the total operation count of one script.
+const maxScriptOps = 1 << 20
+
+// ParseWorkload parses a workload script. It returns an error — never
+// panics — on malformed records, truncated/oversized input, unknown verbs,
+// or counts beyond MaxOpCount.
+func ParseWorkload(src []byte) ([]Op, error) {
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	var ops []Op
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := bytes.Fields(sc.Bytes())
+		if len(fields) == 0 || fields[0][0] == '#' {
+			continue
+		}
+		if len(ops) >= maxScriptOps {
+			return nil, fmt.Errorf("trace: line %d: script exceeds %d operations", lineNo, maxScriptOps)
+		}
+		verb := string(fields[0])
+		var op Op
+		switch verb {
+		case "w", "r":
+			op.Kind = OpWrite
+			if verb == "r" {
+				op.Kind = OpRead
+			}
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("trace: line %d: %q needs an address and optional count", lineNo, verb)
+			}
+			addr, err := parseU64(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad address %q: %w", lineNo, fields[1], err)
+			}
+			op.Addr = addr
+			op.Count = 1
+			if len(fields) == 3 {
+				n, err := parseU64(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad count %q: %w", lineNo, fields[2], err)
+				}
+				if n == 0 || n > MaxOpCount {
+					return nil, fmt.Errorf("trace: line %d: count %d outside [1,%d]", lineNo, n, MaxOpCount)
+				}
+				op.Count = n
+			}
+		case "t":
+			op.Kind = OpTick
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: t needs a cycle count", lineNo)
+			}
+			n, err := parseU64(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad cycles %q: %w", lineNo, fields[1], err)
+			}
+			if n == 0 || n > MaxOpCount {
+				return nil, fmt.Errorf("trace: line %d: cycles %d outside [1,%d]", lineNo, n, MaxOpCount)
+			}
+			op.Cycles = n
+		case "f":
+			op.Kind = OpFlush
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("trace: line %d: f takes no operands", lineNo)
+			}
+		case "x":
+			op.Kind = OpCrash
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("trace: line %d: x takes no operands", lineNo)
+			}
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown verb %q", lineNo, verb)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+	}
+	return ops, nil
+}
+
+// parseU64 parses an unsigned integer in decimal/hex/octal. A leading '+'
+// or '-' is rejected outright (ParseUint would accept neither, but the
+// explicit check gives negative numbers a clear error).
+func parseU64(b []byte) (uint64, error) {
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		return 0, fmt.Errorf("signed value not allowed")
+	}
+	return strconv.ParseUint(string(b), 0, 64)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWorkloadBasic(t *testing.T) {
+	src := []byte(`
+# a comment
+w 0x1000 4
+r 4096
+t 500
+f
+x
+`)
+	ops, err := ParseWorkload(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Kind: OpWrite, Addr: 0x1000, Count: 4},
+		{Kind: OpRead, Addr: 4096, Count: 1},
+		{Kind: OpTick, Cycles: 500},
+		{Kind: OpFlush},
+		{Kind: OpCrash},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(ops), len(want))
+	}
+	for i, op := range ops {
+		if op != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, op, want[i])
+		}
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown verb", "q 12\n"},
+		{"write missing addr", "w\n"},
+		{"read trailing junk", "r 0 1 2\n"},
+		{"negative addr", "w -1\n"},
+		{"plus sign", "r +5\n"},
+		{"huge count", "w 0 4294967296\n"},
+		{"zero count", "r 0 0\n"},
+		{"tick missing cycles", "t\n"},
+		{"tick overflow", "t 99999999999999999999\n"},
+		{"flush operand", "f 1\n"},
+		{"crash operand", "x now\n"},
+		{"hex garbage", "w 0xzz\n"},
+		{"overlong line", "w " + strings.Repeat("1", 70*1024) + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseWorkload([]byte(tc.src)); err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+func FuzzParseWorkload(f *testing.F) {
+	f.Add([]byte("w 0x1000 4\nr 4096\nt 500\nf\nx\n"))
+	f.Add([]byte("# comment only\n"))
+	f.Add([]byte("w 0 1048576\n"))
+	f.Add([]byte("w 0 1048577\n")) // one past MaxOpCount
+	f.Add([]byte("r 18446744073709551615\n"))
+	f.Add([]byte("t 99999999999999999999\n"))
+	f.Add([]byte("w -1\nx extra\n"))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		ops, err := ParseWorkload(src)
+		if err != nil {
+			return
+		}
+		// Accepted scripts obey the documented bounds.
+		if len(ops) > maxScriptOps {
+			t.Fatalf("parser returned %d ops past its own cap", len(ops))
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case OpWrite, OpRead:
+				if op.Count < 1 || op.Count > MaxOpCount {
+					t.Fatalf("op %d: count %d out of bounds", i, op.Count)
+				}
+			case OpTick:
+				if op.Cycles < 1 || op.Cycles > MaxOpCount {
+					t.Fatalf("op %d: cycles %d out of bounds", i, op.Cycles)
+				}
+			case OpFlush, OpCrash:
+			default:
+				t.Fatalf("op %d: unknown kind %d", i, op.Kind)
+			}
+		}
+	})
+}

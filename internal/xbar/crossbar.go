@@ -14,6 +14,7 @@ type Crossbar struct {
 	levels []int           // per-cell MLC level, row-major
 	wear   []uint64        // per-cell pulse count, for endurance studies
 	trk    *devTracker     // incremental deviation state for the pulse path
+	trace  *traceState     // optional per-pulse side-channel sink (nil = off)
 }
 
 // New builds a crossbar with all cells at level 0.

@@ -96,6 +96,12 @@ func (x *Crossbar) ApplyPulse(cal *Calibration, poe Cell, class int) error {
 	cal.mixersInto(mixers, pidx, pc, acc)
 	width := class % device.NumWidths
 	negative := class >= device.NumWidths
+	if x.trace != nil {
+		// The supply-rail observable is defined by the pre-pulse operating
+		// point: the sneak voltages the driver sustains while the cells
+		// drift. acc still holds the pre-mutation deviations here.
+		x.emitTrace(pc, acc, width, negative)
+	}
 	for k, cell := range pc.shape {
 		i := x.Cfg.Index(cell)
 		pi := permIndex(width, mixers[k], i)

@@ -22,6 +22,10 @@ type TransientResult struct {
 	Drift []float64
 	// MaxVoltage is the largest |drop| each cell saw during the pulse.
 	MaxVoltage []float64
+	// Energy is the total energy dissipated in the network over the pulse
+	// (joules): the time integral of circuit.Power — what a supply-rail
+	// probe would record for this pulse.
+	Energy float64
 	// Steps is the number of integration steps taken.
 	Steps int
 }
@@ -89,6 +93,7 @@ func (x *Crossbar) TransientPulse(poe Cell, v float64, width float64, steps int)
 			return nil, err
 		}
 		x.cellDropsInto(dv, sol)
+		res.Energy += nw.Power(sol) * dt
 		for i := range states {
 			av := dv[i]
 			if av < 0 {
