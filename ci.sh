@@ -31,6 +31,12 @@ simpid=
 trap 'kill $simpid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/spe-sim" ./cmd/spe-sim
 
+# Size-wall smoke: a full 24x24 precharacterization must finish inside a
+# CI-sane wall clock. Before the locality-truncated sketch path this size
+# was unreachable (the dense path needed ~7 s for 16x16 alone and scaled
+# as cells^4); the budget fails CI if the size wall ever comes back.
+timeout 300 "$tmpdir/spe-sim" -exp sizewall -rows 24 -cols 24 -precharacterize
+
 # Red-team smoke: the adversarial harness must exit 0 with a clean verdict —
 # the power-balanced driver statistically silent, the leaky raw driver
 # flagged, nothing scraped after a clean PowerOff, and epoch re-encryption

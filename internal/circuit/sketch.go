@@ -1,0 +1,377 @@
+package circuit
+
+import (
+	"fmt"
+
+	"snvmm/internal/linalg"
+)
+
+// ProbeSketch extends the probe-form Sherman–Morrison trick of
+// SolveEdgesPerturbedDiffs from one factored operating point to a whole
+// family of them. The crossbar calibration solves the same sneak network
+// once per PoE, with only the two driven terminals changing between PoEs —
+// n factorizations of an O(n)-node system, the O(n^6)-ish wall that keeps
+// 32x32 devices out of reach.
+//
+// The sketch instead factors the network exactly once with no driven nodes
+// (every terminal held through its keeper, only ground fixed) and
+// precomputes Green-function tables against a fixed probe set:
+//
+//	W[i][j] = u_i^T G^-1 u_j   (pair/pair: u = e_A - e_B per probe pair)
+//	C[s][j] = e_s^T G^-1 u_j   (single/pair)
+//	T[s][t] = e_s^T G^-1 e_t   (single/single)
+//
+// Driving k terminals to fixed voltages is then a rank-k boundary
+// constraint. With E the incidence of the pinned singles and M = E^T G^-1 E
+// (a k x k slice of T), the constrained solution is x = G^-1 E M^-1 v, and
+// the block-inverse identity gives the constrained (reduced-system) inverse
+// purely in table entries:
+//
+//	u_i^T H u_j = W[i][j] - C_i^T M^-1 C_j,   H = (G restricted)^-1
+//
+// so every per-PoE quantity the calibration needs — base probe drops,
+// Sherman–Morrison denominators, perturbed drops — costs O(k) table
+// arithmetic instead of a linear solve. Building the tables costs one
+// factorization plus ns+np batched solves, after which characterizing all n
+// PoEs is table lookups: per-PoE cost scales with the swept neighbourhood,
+// not with device size.
+//
+// Backends: dense Cholesky (LU fallback) up to SketchOptions.DenseLimit
+// unknowns, above that the CSR + Jacobi-CG machinery with each probe solve
+// warm-started from its neighbour (probe RHS of adjacent cells are close,
+// so are their Green columns).
+//
+// A ProbeSketch is immutable once built and safe for concurrent readers.
+type ProbeSketch struct {
+	n      int // unknowns (nodes - 1, ground eliminated)
+	np, ns int
+
+	pa, pb []int // pair endpoints in unknown space
+	si     []int // singles in unknown space
+
+	w    []float64 // np x np, W[i*np+j]
+	cmat []float64 // ns x np, C[s*np+j]
+	tmat []float64 // ns x ns, T[s*ns+t]
+}
+
+// SketchOptions tunes FactorSketch. The zero value selects the defaults.
+type SketchOptions struct {
+	// DenseLimit is the unknown count above which the sketch switches from
+	// the dense Cholesky backend to sparse CG. 0 means 6000 (a 32x32
+	// crossbar has ~2100 unknowns and stays dense; 64x64 crosses over).
+	DenseLimit int
+	// BatchRHS is the multi-RHS panel width of the dense backend. 0 means 64.
+	BatchRHS int
+	// CGTol is the relative residual tolerance of the CG backend. 0 means
+	// 1e-12.
+	CGTol float64
+}
+
+const (
+	defaultSketchDenseLimit = 6000
+	defaultSketchBatch      = 64
+)
+
+// FactorSketch factors the network once and precomputes the Green tables
+// for the given probe pairs and single-node probes. The network must have
+// no fixed nodes besides ground: boundary drives are applied per operating
+// point through Pin, which is what lets one factorization serve them all.
+func (nw *Network) FactorSketch(pairs []ProbePair, singles []int, opt SketchOptions) (*ProbeSketch, error) {
+	if len(nw.fixed) != 1 {
+		return nil, fmt.Errorf("circuit: FactorSketch needs a network with only ground fixed, got %d fixed nodes", len(nw.fixed))
+	}
+	if _, ok := nw.fixed[Ground]; !ok {
+		return nil, fmt.Errorf("circuit: FactorSketch needs ground fixed")
+	}
+	np, ns := len(pairs), len(singles)
+	if np == 0 {
+		return nil, fmt.Errorf("circuit: FactorSketch needs at least one probe pair")
+	}
+	n := nw.nodes - 1
+	if n == 0 {
+		return nil, fmt.Errorf("circuit: FactorSketch needs at least one unknown node")
+	}
+	sk := &ProbeSketch{
+		n: n, np: np, ns: ns,
+		pa: make([]int, np), pb: make([]int, np),
+		si:   make([]int, ns),
+		w:    make([]float64, np*np),
+		cmat: make([]float64, ns*np),
+		tmat: make([]float64, ns*ns),
+	}
+	for q, pr := range pairs {
+		if pr.A <= 0 || pr.A >= nw.nodes || pr.B <= 0 || pr.B >= nw.nodes || pr.A == pr.B {
+			return nil, fmt.Errorf("circuit: probe pair (%d,%d) invalid", pr.A, pr.B)
+		}
+		sk.pa[q], sk.pb[q] = pr.A-1, pr.B-1
+	}
+	for s, nd := range singles {
+		if nd <= 0 || nd >= nw.nodes {
+			return nil, fmt.Errorf("circuit: single probe node %d out of range", nd)
+		}
+		sk.si[s] = nd - 1
+	}
+	if t := ctel.Load(); t != nil {
+		t.sketchFactors.Inc()
+		t.sketchProbes.Add(int64(ns + np))
+	}
+	limit := opt.DenseLimit
+	if limit <= 0 {
+		limit = defaultSketchDenseLimit
+	}
+	// idx: node -> unknown. Only ground is eliminated, so the map is i-1.
+	idx := make([]int, nw.nodes)
+	idx[Ground] = -1
+	for i := 1; i < nw.nodes; i++ {
+		idx[i] = i - 1
+	}
+	vfixed := make([]float64, nw.nodes) // ground at 0; no other fixed nodes
+	if n <= limit {
+		if err := sk.buildDense(nw, idx, vfixed, opt); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := sk.buildCG(nw, idx, vfixed, opt); err != nil {
+			return nil, err
+		}
+	}
+	return sk, nil
+}
+
+// buildDense assembles the dense conductance system, factors it (Cholesky,
+// LU fallback) and streams the probe panel through it in fixed-width
+// chunks. Panel columns solve with per-column-independent recurrences, so
+// every table entry is a pure function of the network — independent of
+// chunking and of which other probes are requested.
+func (sk *ProbeSketch) buildDense(nw *Network, idx []int, vfixed []float64, opt SketchOptions) error {
+	n := sk.n
+	g := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Add(i, i, Gmin)
+	}
+	bdump := make([]float64, n) // stays zero: only ground (0 V) is fixed
+	for _, r := range nw.edges {
+		stampDense(g, bdump, idx, vfixed, r)
+	}
+	chol := linalg.NewCholesky(n)
+	var lu *linalg.LU
+	if err := chol.Factor(g); err != nil {
+		chol = nil
+		var luErr error
+		lu, luErr = linalg.Factor(g)
+		if luErr != nil {
+			return fmt.Errorf("circuit: factoring sketch system: %w", luErr)
+		}
+	}
+	batch := opt.BatchRHS
+	if batch <= 0 {
+		batch = defaultSketchBatch
+	}
+	total := sk.ns + sk.np
+	panel := make([]float64, n*batch)
+	for lo := 0; lo < total; lo += batch {
+		k := batch
+		if lo+k > total {
+			k = total - lo
+		}
+		sub := panel[:n*k]
+		for i := range sub {
+			sub[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			if q := lo + c; q < sk.ns {
+				sub[sk.si[q]*k+c] = 1
+			} else {
+				j := q - sk.ns
+				sub[sk.pa[j]*k+c] = 1
+				sub[sk.pb[j]*k+c] = -1
+			}
+		}
+		var err error
+		if chol != nil {
+			err = chol.SolveBatchInto(sub, sub, k)
+		} else {
+			err = lu.SolveBatchInto(sub, sub, k)
+		}
+		if err != nil {
+			return err
+		}
+		for c := 0; c < k; c++ {
+			sk.extractColumn(lo+c, sub, k, c)
+		}
+	}
+	return nil
+}
+
+// buildCG assembles the sparse CSR system and answers each probe with a
+// warm-started Jacobi-CG solve — the large-device backend, trading the
+// dense factor's O(n^3) time and O(n^2) memory for O(nnz) per iteration.
+func (sk *ProbeSketch) buildCG(nw *Network, idx []int, vfixed []float64, opt SketchOptions) error {
+	n := sk.n
+	bdump := make([]float64, n)
+	coords := make([]linalg.Coord, 0, len(nw.edges)*4+n)
+	for i := 0; i < n; i++ {
+		coords = append(coords, linalg.Coord{Row: i, Col: i, Val: Gmin})
+	}
+	for _, r := range nw.edges {
+		coords = stampSparse(coords, bdump, idx, vfixed, r)
+	}
+	m := linalg.NewCSR(n, coords)
+	tol := opt.CGTol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	rhs := make([]float64, n)
+	var prev []float64
+	for q := 0; q < sk.ns+sk.np; q++ {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		if q < sk.ns {
+			rhs[sk.si[q]] = 1
+		} else {
+			rhs[sk.pa[q-sk.ns]] = 1
+			rhs[sk.pb[q-sk.ns]] = -1
+		}
+		x, res, err := linalg.SolveCG(m, rhs, linalg.CGOptions{MaxIter: 50 * n, Tol: tol, X0: prev})
+		if err != nil {
+			return fmt.Errorf("circuit: sketch CG probe %d: %w", q, err)
+		}
+		if !res.Converged {
+			return fmt.Errorf("circuit: sketch CG probe %d did not converge (residual %g after %d iters)", q, res.Residual, res.Iterations)
+		}
+		prev = x
+		sk.extractColumn(q, x, 1, 0)
+	}
+	return nil
+}
+
+// extractColumn scatters solved probe column q (column c of an n x k
+// row-major panel y) into the Green tables.
+func (sk *ProbeSketch) extractColumn(q int, y []float64, k, c int) {
+	if q < sk.ns {
+		for t := 0; t < sk.ns; t++ {
+			sk.tmat[q*sk.ns+t] = y[sk.si[t]*k+c]
+		}
+		return
+	}
+	j := q - sk.ns
+	for i := 0; i < sk.np; i++ {
+		sk.w[i*sk.np+j] = y[sk.pa[i]*k+c] - y[sk.pb[i]*k+c]
+	}
+	for s := 0; s < sk.ns; s++ {
+		sk.cmat[s*sk.np+j] = y[sk.si[s]*k+c]
+	}
+}
+
+// NumPairs returns the number of probe pairs in the sketch.
+func (sk *ProbeSketch) NumPairs() int { return sk.np }
+
+// NumSingles returns the number of single-node probes in the sketch.
+func (sk *ProbeSketch) NumSingles() int { return sk.ns }
+
+// PinnedSketch is one operating point of a ProbeSketch: a set of single
+// probes pinned to fixed voltages. It precomputes the M^-1-projected probe
+// columns so BaseDiff and Quad are O(k) per call. Immutable once built and
+// safe for concurrent readers.
+type PinnedSketch struct {
+	sk *ProbeSketch
+	k  int
+	cf []float64 // k x np: cf[a*np+j] = C[fixed_a][j]
+	mc []float64 // k x np: column j is M^-1 * C[.][j]
+	bd []float64 // np: u_j^T x_base
+}
+
+// Pin applies fixed voltages volts to the probe singles at positions fixed
+// (indices into the singles list given to FactorSketch) and returns the
+// constrained operating point.
+func (sk *ProbeSketch) Pin(fixed []int, volts []float64) (*PinnedSketch, error) {
+	k := len(fixed)
+	if k == 0 || k != len(volts) {
+		return nil, fmt.Errorf("circuit: Pin needs matching fixed/volt lists, got %d/%d", k, len(volts))
+	}
+	for a, f := range fixed {
+		if f < 0 || f >= sk.ns {
+			return nil, fmt.Errorf("circuit: pinned single %d out of range [0,%d)", f, sk.ns)
+		}
+		for b := 0; b < a; b++ {
+			if fixed[b] == f {
+				return nil, fmt.Errorf("circuit: single %d pinned twice", f)
+			}
+		}
+	}
+	// M = E^T G^-1 E is the pinned slice of T.
+	m := linalg.NewDense(k, k)
+	for a, fa := range fixed {
+		for b, fb := range fixed {
+			m.Add(a, b, sk.tmat[fa*sk.ns+fb])
+		}
+	}
+	lu, err := linalg.Factor(m)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: Pin constraint system singular: %w", err)
+	}
+	lam := make([]float64, k)
+	if err := lu.SolveInto(lam, volts); err != nil {
+		return nil, err
+	}
+	p := &PinnedSketch{
+		sk: sk, k: k,
+		cf: make([]float64, k*sk.np),
+		mc: make([]float64, k*sk.np),
+		bd: make([]float64, sk.np),
+	}
+	for a, fa := range fixed {
+		copy(p.cf[a*sk.np:(a+1)*sk.np], sk.cmat[fa*sk.np:(fa+1)*sk.np])
+	}
+	tmp := make([]float64, k)
+	out := make([]float64, k)
+	for j := 0; j < sk.np; j++ {
+		for a := 0; a < k; a++ {
+			tmp[a] = p.cf[a*sk.np+j]
+		}
+		if err := lu.SolveInto(out, tmp); err != nil {
+			return nil, err
+		}
+		for a := 0; a < k; a++ {
+			p.mc[a*sk.np+j] = out[a]
+		}
+	}
+	// Base drops: u_j^T x = u_j^T G^-1 E lam = C[.][j] . lam.
+	for j := 0; j < sk.np; j++ {
+		s := 0.0
+		for a := 0; a < k; a++ {
+			s += p.cf[a*sk.np+j] * lam[a]
+		}
+		p.bd[j] = s
+	}
+	return p, nil
+}
+
+// BaseDiff returns the base operating-point voltage difference across probe
+// pair j (V(A) - V(B)).
+func (p *PinnedSketch) BaseDiff(j int) float64 { return p.bd[j] }
+
+// Quad returns u_i^T H u_j, the constrained-inverse quadratic form between
+// probe pairs i and j — the Sherman–Morrison coupling of an edge
+// perturbation on pair j's edge to the voltage observed across pair i.
+func (p *PinnedSketch) Quad(i, j int) float64 {
+	np := p.sk.np
+	s := p.sk.w[i*np+j]
+	for a := 0; a < p.k; a++ {
+		s -= p.cf[a*np+i] * p.mc[a*np+j]
+	}
+	return s
+}
+
+// PerturbScale returns the Sherman–Morrison scale for a conductance change
+// of dg siemens on the edge spanning pair j: the perturbed difference
+// across pair i is BaseDiff(i) - scale*Quad(i, j). Mirrors the scale term
+// of Factored.SolveEdgePerturbed with H in place of the factored inverse.
+func (p *PinnedSketch) PerturbScale(j int, dg float64) (float64, error) {
+	denom := 1 + dg*p.Quad(j, j)
+	if denom == 0 {
+		return 0, fmt.Errorf("circuit: singular rank-1 update on probe pair %d", j)
+	}
+	return dg * p.bd[j] / denom, nil
+}

@@ -17,6 +17,8 @@ type circuitTel struct {
 	factorSystems  *telemetry.Counter // full base factorizations (Sherman-Morrison root)
 	denseRefactors *telemetry.Counter // workspace dense solves (Cholesky refactor per call)
 	sparseSolves   *telemetry.Counter // workspace sparse solves (CSR template reuse + CG)
+	sketchFactors  *telemetry.Counter // once-per-device Green-table factorizations (FactorSketch)
+	sketchProbes   *telemetry.Counter // probe columns solved while building sketches
 }
 
 var ctel atomic.Pointer[circuitTel]
@@ -32,5 +34,7 @@ func SetTelemetry(reg *telemetry.Registry) {
 		factorSystems:  reg.Counter("circuit.factor_systems"),
 		denseRefactors: reg.Counter("circuit.ws.dense_refactors"),
 		sparseSolves:   reg.Counter("circuit.ws.sparse_solves"),
+		sketchFactors:  reg.Counter("circuit.sketch.factors"),
+		sketchProbes:   reg.Counter("circuit.sketch.probe_solves"),
 	})
 }

@@ -122,6 +122,27 @@ type Block struct {
 	xbs       []*xbar.Crossbar
 	cals      []*xbar.Calibration
 	encrypted bool
+	scratch   cryptScratch
+}
+
+// cryptScratch is the block's reusable crypt fan-out state. crypt runs under
+// the block's shard lock, so at most one fan-out is live per block and the
+// buffers can be flat fields instead of per-call allocations (the dominant
+// allocation source on the sharded read path). tasks are built once in
+// NewBlock and capture only (block, index); the per-call parameters live in
+// the struct, published to claimants by the claimed[i].Store(false) /
+// CompareAndSwap pair. A task left in the pool queue from a previous call
+// either loses the CAS (slot already claimed or call finished with claimed
+// all true) or legitimately helps the call in progress — indistinguishable
+// from a freshly submitted task, because the closures are identical.
+type cryptScratch struct {
+	key     prng.Key
+	tweak   uint64
+	decrypt bool
+	errs    []error
+	claimed []atomic.Bool
+	tasks   []func()
+	wg      sync.WaitGroup
 }
 
 // NewBlock fabricates the crossbars of one block. seed individualizes the
@@ -143,6 +164,16 @@ func (e *Engine) NewBlock(seed int64) (*Block, error) {
 		if b.cals[i], err = xbar.CalibrationFor(xb); err != nil {
 			return nil, err
 		}
+	}
+	b.scratch.errs = make([]error, n)
+	b.scratch.claimed = make([]atomic.Bool, n)
+	b.scratch.tasks = make([]func(), n)
+	for i := range b.scratch.tasks {
+		i := i
+		// claimed starts false; mark every slot consumed so a task cannot
+		// run crypt work before the first crypt call arms the scratch.
+		b.scratch.claimed[i].Store(true)
+		b.scratch.tasks[i] = func() { b.runCryptTask(i) }
 	}
 	return b, nil
 }
@@ -246,6 +277,18 @@ func (b *Block) cryptXbar(i int, key prng.Key, tweak uint64, decrypt bool) error
 	return nil
 }
 
+// runCryptTask claims and runs crypt subtask i of the call in progress, if
+// no other goroutine got there first. Safe to invoke at any time — outside a
+// call every slot is claimed, so a stale pool task falls through the CAS.
+func (b *Block) runCryptTask(i int) {
+	sc := &b.scratch
+	if !sc.claimed[i].CompareAndSwap(false, true) {
+		return
+	}
+	sc.errs[i] = b.cryptXbar(i, sc.key, sc.tweak, sc.decrypt)
+	sc.wg.Done()
+}
+
 // crypt drives all crossbars of the block through cryptXbar. With a pool it
 // fans the crossbars out to workers (Section 6.2.1: the four 8x8 crossbars
 // of a 64-byte block pulse in parallel in hardware); subtasks that find the
@@ -269,28 +312,26 @@ func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool) erro
 		// submitter claims and runs whatever no worker has started. Every
 		// subtask is therefore claimed by a goroutine that is actively
 		// running it before wg.Wait begins, so a pool saturated with
-		// block-level tasks can never deadlock on its own subtasks.
+		// block-level tasks can never deadlock on its own subtasks. All
+		// fan-out state is the block's reusable scratch: parameters are
+		// stored before the claimed slots reset, so the atomic claim that
+		// admits a task also publishes them.
 		n := len(b.xbs)
-		errs := make([]error, n)
-		claimed := make([]atomic.Bool, n)
-		var wg sync.WaitGroup
-		wg.Add(n)
-		run := func(i int) {
-			if !claimed[i].CompareAndSwap(false, true) {
-				return
-			}
-			errs[i] = b.cryptXbar(i, key, tweak, decrypt)
-			wg.Done()
+		sc := &b.scratch
+		sc.key, sc.tweak, sc.decrypt = key, tweak, decrypt
+		sc.wg.Add(n)
+		for i := 0; i < n; i++ {
+			sc.errs[i] = nil
+			sc.claimed[i].Store(false)
 		}
 		for i := 0; i < n; i++ {
-			i := i
-			pool.TrySubmit(func() { run(i) })
+			pool.TrySubmit(sc.tasks[i])
 		}
 		for i := 0; i < n; i++ {
-			run(i)
+			b.runCryptTask(i)
 		}
-		wg.Wait()
-		if err := errors.Join(errs...); err != nil {
+		sc.wg.Wait()
+		if err := errors.Join(sc.errs...); err != nil {
 			return err
 		}
 	}

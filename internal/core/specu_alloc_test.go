@@ -1,0 +1,37 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestShardedReadAllocRegression pins the allocation budget of a served
+// Parallel-mode read — the hot path of the sharded pipeline. The crypt
+// fan-out used to allocate its claim state (errs, claimed, five closures)
+// twice per read (decrypt + re-encrypt), which put the path at ~57 allocs;
+// the per-block reusable scratch brings it down to ~41. The ceiling leaves
+// slack for scheduling jitter but fails if the per-call allocations return.
+func TestShardedReadAllocRegression(t *testing.T) {
+	s, addrs := benchSPECU(t, 16)
+	if err := s.Serve(context.Background(), 2, 64); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Warm every block so steady-state reads never fabricate or grow maps.
+	for _, a := range addrs {
+		if _, err := s.Read(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := s.Read(addrs[i%len(addrs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	const ceiling = 44
+	if avg > ceiling {
+		t.Errorf("sharded read allocates %.1f/op, ceiling %d", avg, ceiling)
+	}
+}

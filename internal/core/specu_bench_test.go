@@ -10,7 +10,7 @@ import (
 
 // benchSPECU builds a SPECU pre-populated with blocks spread across the
 // shards, ready for read benchmarking.
-func benchSPECU(b *testing.B, numBlocks int) (*SPECU, []uint64) {
+func benchSPECU(b testing.TB, numBlocks int) (*SPECU, []uint64) {
 	b.Helper()
 	eng, err := sharedEngine()
 	if err != nil {

@@ -135,6 +135,12 @@ func SolveContext(ctx context.Context, spec Spec) (*Result, error) {
 	p.Cons = append(p.Cons, ilp.Constraint{Terms: total, Sense: ilp.GE, RHS: float64(n + spec.S)})
 
 	inc := greedyIncumbent(n, cov, coveredBy, maxCover, spec.S)
+	if inc == nil && spec.Shape == nil {
+		// The greedy jams on larger arrays (it saturates cells until no
+		// candidate fits under the cap while slack is still owed); for the
+		// paper cross the staggered lattice is a drop-in feasible start.
+		inc = latticeIncumbent(spec.Cfg, cov, maxCover, spec.S)
+	}
 	sol, err := ilp.SolveILPContext(ctx, p, ilp.ILPOptions{
 		MaxNodes:          spec.MaxNodes,
 		Incumbent:         inc,

@@ -1,0 +1,144 @@
+package poe
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"snvmm/internal/xbar"
+)
+
+// Golden scaled placements: the staggered-lattice solutions of the 24x24
+// and 32x32 Table 1 programs at the slack ScaledSpec derives (138 and 248).
+// They were produced by latticePlacement and polished offline through the
+// branch-and-bound solver, which kept the lattice as incumbent (proven lower
+// bound 68 PoEs at 24x24 vs the lattice's 72). Cheap feasibility checks pin
+// them in tier-1; the full rederivation runs only under
+// SNVMM_REDERIVE_PLACEMENTS=1 (the 24x24 root LP alone costs ~11 s, the
+// 32x32 one ~70 s).
+
+// 24x24, S=138, 72 PoEs (linear cell indices).
+var goldenScaled24 = []int{
+	24, 240, 456, 49, 265, 481, 74, 290, 506, 99, 315, 531, 28, 244, 460, 53,
+	269, 485, 78, 294, 510, 103, 319, 535, 32, 248, 464, 57, 273, 489, 82, 298,
+	514, 107, 323, 539, 36, 252, 468, 61, 277, 493, 86, 302, 518, 111, 327, 543,
+	40, 256, 472, 65, 281, 497, 90, 306, 522, 115, 331, 547, 44, 260, 476, 69,
+	285, 501, 94, 310, 526, 119, 335, 551,
+}
+
+// 32x32, S=248, 128 PoEs.
+var goldenScaled32 = []int{
+	0, 288, 576, 864, 33, 321, 609, 897, 66, 354, 642, 930, 99, 387, 675, 963,
+	132, 420, 708, 996, 5, 293, 581, 869, 38, 326, 614, 902, 71, 359, 647, 935,
+	104, 392, 680, 968, 137, 425, 713, 1001, 10, 298, 586, 874, 43, 331, 619, 907,
+	76, 364, 652, 940, 109, 397, 685, 973, 142, 430, 718, 1006, 15, 303, 591, 879,
+	48, 336, 624, 912, 81, 369, 657, 945, 114, 402, 690, 978, 147, 435, 723, 1011,
+	20, 308, 596, 884, 53, 341, 629, 917, 86, 374, 662, 950, 119, 407, 695, 983,
+	152, 440, 728, 1016, 25, 313, 601, 889, 58, 346, 634, 922, 91, 379, 667, 955,
+	124, 412, 700, 988, 157, 445, 733, 1021, 30, 318, 606, 894, 63, 351, 639, 927,
+}
+
+var scaledGoldens = []struct {
+	rows, cols, slack int
+	idx               []int
+}{
+	{24, 24, 138, goldenScaled24},
+	{32, 32, 248, goldenScaled32},
+}
+
+// TestScaledPlacementGoldens verifies the pinned placements the cheap way:
+// the spec generator still derives the pinned slack, the deterministic
+// construction still reproduces the golden cells, and the placement
+// satisfies every Table 1 constraint at that slack.
+func TestScaledPlacementGoldens(t *testing.T) {
+	for _, g := range scaledGoldens {
+		spec, err := ScaledSpec(g.rows, g.cols)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", g.rows, g.cols, err)
+		}
+		if spec.S != g.slack {
+			t.Errorf("%dx%d: ScaledSpec slack %d, golden %d", g.rows, g.cols, spec.S, g.slack)
+		}
+		idx := latticePlacement(spec.Cfg)
+		if len(idx) != len(g.idx) {
+			t.Fatalf("%dx%d: construction has %d PoEs, golden %d", g.rows, g.cols, len(idx), len(g.idx))
+		}
+		poes := make([]xbar.Cell, len(idx))
+		seen := map[int]bool{}
+		for i, m := range idx {
+			if m != g.idx[i] {
+				t.Fatalf("%dx%d: construction diverged from golden at %d: %d vs %d", g.rows, g.cols, i, m, g.idx[i])
+			}
+			if seen[m] {
+				t.Fatalf("%dx%d: duplicate PoE %d", g.rows, g.cols, m)
+			}
+			seen[m] = true
+			poes[i] = spec.Cfg.CellAt(m)
+			if !spec.Cfg.InBounds(poes[i]) {
+				t.Fatalf("%dx%d: PoE %d out of bounds", g.rows, g.cols, m)
+			}
+		}
+		total := 0
+		for m, c := range CoverageOf(spec.Cfg, spec.Cfg.PaperShape, poes) {
+			if c < 1 || c > 2 {
+				t.Errorf("%dx%d: cell %d coverage %d outside [1,2]", g.rows, g.cols, m, c)
+			}
+			total += c
+		}
+		if want := spec.Cfg.Cells() + g.slack; total != want {
+			t.Errorf("%dx%d: total coverage %d, want exactly %d", g.rows, g.cols, total, want)
+		}
+	}
+}
+
+// TestScaledSpecGeometry covers the generator's edge behavior: the paper's
+// own 8x8 admits the two-offset construction, and a geometry with no stagger
+// room is rejected rather than silently producing an infeasible spec.
+func TestScaledSpecGeometry(t *testing.T) {
+	spec, err := ScaledSpec(8, 8)
+	if err != nil {
+		t.Fatalf("8x8: %v", err)
+	}
+	if spec.S < 0 {
+		t.Fatalf("8x8: negative slack %d", spec.S)
+	}
+	if _, err := ScaledSpec(1, 1); err == nil {
+		t.Error("1x1: expected geometry rejection")
+	}
+}
+
+// TestRederiveScaledPlacements re-solves the scaled Table 1 programs from
+// scratch — set SNVMM_REDERIVE_PLACEMENTS=1 to run (minutes of LP time).
+// The solver must return a feasible placement no larger than the golden
+// (its incumbent starts at the lattice, so it can only hold or improve).
+func TestRederiveScaledPlacements(t *testing.T) {
+	if os.Getenv("SNVMM_REDERIVE_PLACEMENTS") == "" {
+		t.Skip("set SNVMM_REDERIVE_PLACEMENTS=1 to re-run the scaled ILPs")
+	}
+	for _, g := range scaledGoldens {
+		spec, err := ScaledSpec(g.rows, g.cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.MaxNodes = 50
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		res, err := SolveContext(ctx, spec)
+		cancel()
+		if err != nil {
+			t.Fatalf("%dx%d: %v", g.rows, g.cols, err)
+		}
+		if len(res.PoEs) > len(g.idx) {
+			t.Errorf("%dx%d: solver returned %d PoEs, worse than the %d-PoE incumbent",
+				g.rows, g.cols, len(res.PoEs), len(g.idx))
+		}
+		for m, c := range CoverageOf(spec.Cfg, spec.Cfg.PaperShape, res.PoEs) {
+			if c < 1 || c > 2 {
+				t.Errorf("%dx%d: cell %d coverage %d", g.rows, g.cols, m, c)
+			}
+		}
+		st := StatsOf(spec.Cfg, spec.Cfg.PaperShape, res.PoEs)
+		t.Logf("%dx%d S=%d: %d PoEs optimal=%v bound=%.1f nodes=%d stats=%+v",
+			g.rows, g.cols, spec.S, len(res.PoEs), res.Optimal, res.BestBound, res.Nodes, st)
+	}
+}

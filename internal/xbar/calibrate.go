@@ -47,6 +47,8 @@ type Calibration struct {
 	xb  *Crossbar // reference crossbar used for solves (nominal state)
 
 	poes []poeCal // per PoE (linear cell index)
+
+	sk calSketch // shared device sketch (sketch path only), built lazily
 }
 
 // poeCal is the lazily built calibration record of one PoE.
@@ -131,8 +133,37 @@ func (c *Calibration) ensure(poe Cell) error {
 	return pc.err
 }
 
-// build does the actual per-PoE characterization work.
+// build does the actual per-PoE characterization work, dispatching between
+// the legacy dense path (one factorization per PoE; bit-for-bit stable, it
+// backs the 8x8 golden vectors) and the shared-sketch path that makes
+// 32x32+ devices tractable (see calibrate_sparse.go).
 func (c *Calibration) build(poe Cell, pc *poeCal) error {
+	if c.useSketch() {
+		return c.buildSketch(poe, pc)
+	}
+	return c.buildDense(poe, pc)
+}
+
+// sparseCutoff is the cell count above which CharAuto selects the sketch
+// path: 64 keeps the paper's 8x8 device — and its golden vectors — on the
+// legacy dense path.
+const sparseCutoff = 64
+
+func (c *Calibration) useSketch() bool {
+	switch c.cfg.Characterization {
+	case CharDense:
+		return false
+	case CharSparse:
+		return true
+	default:
+		return c.cfg.Cells() > sparseCutoff
+	}
+}
+
+// buildDense is the legacy characterization: factor the driven network of
+// this PoE and answer every complement-cell perturbation with the batched
+// probe-form Sherman–Morrison pass.
+func (c *Calibration) buildDense(poe Cell, pc *poeCal) error {
 	pi := c.cfg.Index(poe)
 	cells := c.cfg.Cells()
 	shape, err := c.xb.Shape(poe)
@@ -213,34 +244,7 @@ func (c *Calibration) build(poe Cell, pc *poeCal) error {
 			wdense[k][m] = wq
 		}
 	}
-	// Flatten: complement cells that at least one shape cell is sensitive
-	// to, in ascending order, plus per-shape-cell weight rows aligned with
-	// that list.
-	compPos := make([]int32, cells)
-	for i := range compPos {
-		compPos[i] = -1
-	}
-	var compIdx []int32
-	for m := 0; m < cells; m++ {
-		if inShape[m] {
-			continue
-		}
-		for k := range wdense {
-			if wdense[k][m] != 0 {
-				compPos[m] = int32(len(compIdx))
-				compIdx = append(compIdx, int32(m))
-				break
-			}
-		}
-	}
-	wflat := make([][]int64, len(shape))
-	for k := range wflat {
-		row := make([]int64, len(compIdx))
-		for j, m := range compIdx {
-			row[j] = wdense[k][m]
-		}
-		wflat[k] = row
-	}
+	compIdx, compPos, wflat := flattenSensitivities(cells, inShape, wdense)
 	// Place band edges so the three strength classes are balanced over
 	// random data. The sampling is seeded from the reference crossbar's
 	// seed so the calibration is a pure function of the fabrication
@@ -274,6 +278,40 @@ func (c *Calibration) build(poe Cell, pc *poeCal) error {
 	pc.wflat = wflat
 	pc.edges = edges
 	return nil
+}
+
+// flattenSensitivities compacts a dense per-shape-cell weight table into
+// the calibration's sparse layout: complement cells that at least one shape
+// cell is sensitive to, in ascending order (compIdx), the inverse map
+// (compPos, -1 where absent), and per-shape-cell weight rows aligned with
+// compIdx. Shared by both build paths so the record layout is identical
+// regardless of how the weights were computed.
+func flattenSensitivities(cells int, inShape []bool, wdense [][]int64) (compIdx, compPos []int32, wflat [][]int64) {
+	compPos = make([]int32, cells)
+	for i := range compPos {
+		compPos[i] = -1
+	}
+	for m := 0; m < cells; m++ {
+		if inShape[m] {
+			continue
+		}
+		for k := range wdense {
+			if wdense[k][m] != 0 {
+				compPos[m] = int32(len(compIdx))
+				compIdx = append(compIdx, int32(m))
+				break
+			}
+		}
+	}
+	wflat = make([][]int64, len(wdense))
+	for k := range wflat {
+		row := make([]int64, len(compIdx))
+		for j, m := range compIdx {
+			row[j] = wdense[k][m]
+		}
+		wflat[k] = row
+	}
+	return compIdx, compPos, wflat
 }
 
 // Shape returns the calibrated polyomino for a PoE.

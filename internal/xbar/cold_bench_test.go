@@ -35,3 +35,8 @@ func BenchmarkColdCharacterize16x16(b *testing.B) { benchCold(b, 16, 16, 1) }
 
 // The parallel variant is what Precharacterize actually runs at power-on.
 func BenchmarkColdCharacterize16x16Parallel(b *testing.B) { benchCold(b, 16, 16, 0) }
+
+// The size-wall target: 32x32 (1024 PoEs, ~2100 unknowns) through the
+// locality-truncated sketch path, serial and as the WarmAll power-on path.
+func BenchmarkColdCharacterize32x32(b *testing.B)        { benchCold(b, 32, 32, 1) }
+func BenchmarkColdCharacterize32x32WarmAll(b *testing.B) { benchCold(b, 32, 32, 0) }

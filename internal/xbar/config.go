@@ -47,6 +47,20 @@ const (
 	ShapeVoltage
 )
 
+// CharMode selects the calibration build path (see DESIGN.md,
+// "Locality-truncated characterization").
+type CharMode int
+
+const (
+	// CharAuto picks the dense per-PoE path for small devices (<= 64
+	// cells, the paper's 8x8) and the sketch path above that.
+	CharAuto CharMode = iota
+	// CharDense forces the legacy per-PoE dense factorization at any size.
+	CharDense
+	// CharSparse forces the shared-sketch path at any size.
+	CharSparse
+)
+
 // Config describes a crossbar instance.
 type Config struct {
 	Rows, Cols int
@@ -75,6 +89,25 @@ type Config struct {
 	// VertReach/HorizReach control the ShapePaper footprint.
 	VertReach  int
 	HorizReach int
+
+	// Characterization selects the calibration build path. The default
+	// (CharAuto) preserves the paper's 8x8 golden vectors bit-for-bit via
+	// the dense path while larger devices take the sketch path.
+	Characterization CharMode
+
+	// TruncationTol bounds the sketch path's adaptive sensitivity sweep:
+	// the Chebyshev-ring sweep around each PoE stops once a completed ring
+	// beyond the polyomino has max |dV/dx| below this (volts per unit cell
+	// state). Zero selects the bit-exactness default, half the 2^-40
+	// fixed-point weight quantum — a dropped cell's weight would have
+	// quantized to zero anyway, so deviations are unchanged bit for bit.
+	// The dense path always sweeps the full array and ignores this.
+	TruncationTol float64
+
+	// TruncationRadius, when positive, caps the swept Chebyshev radius
+	// regardless of tolerance. Zero means adaptive only (up to the whole
+	// array). Like TruncationTol it only affects the sketch path.
+	TruncationRadius int
 }
 
 // DefaultConfig returns the 8x8 crossbar used throughout the paper.
@@ -112,6 +145,17 @@ func (c Config) Validate() error {
 	}
 	if c.Shape == ShapePaper && (c.VertReach < 0 || c.HorizReach < 0) {
 		return fmt.Errorf("xbar: negative reach")
+	}
+	switch c.Characterization {
+	case CharAuto, CharDense, CharSparse:
+	default:
+		return fmt.Errorf("xbar: unknown characterization mode %d", c.Characterization)
+	}
+	if c.TruncationTol < 0 {
+		return fmt.Errorf("xbar: negative truncation tolerance %g", c.TruncationTol)
+	}
+	if c.TruncationRadius < 0 {
+		return fmt.Errorf("xbar: negative truncation radius %d", c.TruncationRadius)
 	}
 	return nil
 }

@@ -165,6 +165,62 @@ func (x *Crossbar) buildNetwork(poe Cell, cellR []float64, vDrive float64) (*cir
 	if !cfg.InBounds(poe) {
 		return nil, 0, fmt.Errorf("xbar: PoE %+v out of bounds", poe)
 	}
+	nw, cellEdgeStart, err := x.assembleSneakCore(cellR)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Drives and keepers.
+	for r := 0; r < cfg.Rows; r++ {
+		if r == poe.Row {
+			if err := nw.FixVoltage(x.rowTerm(r), vDrive); err != nil {
+				return nil, 0, err
+			}
+		} else if err := nw.AddResistor(x.rowTerm(r), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		if c == poe.Col {
+			if err := nw.FixVoltage(x.colTerm(c), -vDrive); err != nil {
+				return nil, 0, err
+			}
+		} else if err := nw.AddResistor(x.colTerm(c), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nw, cellEdgeStart, nil
+}
+
+// buildFloatingNetwork assembles the sneak network with every terminal held
+// through its keeper and nothing driven — the shared operating structure the
+// probe-sketch characterization factors once per device. Per-PoE pulse
+// drives are applied afterwards as rank-2 boundary constraints
+// (circuit.ProbeSketch.Pin), which is what lets one factorization serve
+// every PoE.
+func (x *Crossbar) buildFloatingNetwork(cellR []float64) (*circuit.Network, int, error) {
+	cfg := x.Cfg
+	nw, cellEdgeStart, err := x.assembleSneakCore(cellR)
+	if err != nil {
+		return nil, 0, err
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		if err := nw.AddResistor(x.rowTerm(r), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		if err := nw.AddResistor(x.colTerm(c), circuit.Ground, cfg.RKeeper); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nw, cellEdgeStart, nil
+}
+
+// assembleSneakCore builds the drive-independent part of the sneak network:
+// wire segments and cell edges, in the fixed edge order setSneakResistances
+// and the calibration rely on.
+func (x *Crossbar) assembleSneakCore(cellR []float64) (*circuit.Network, int, error) {
+	cfg := x.Cfg
 	if cellR == nil {
 		cellR = make([]float64, cfg.Cells())
 		for i := range cellR {
@@ -205,25 +261,6 @@ func (x *Crossbar) buildNetwork(poe Cell, cellR []float64, vDrive float64) (*cir
 			if err := nw.AddResistor(x.rowNode(r, j), x.colNode(r, j), cellR[i]+cfg.RAccess); err != nil {
 				return nil, 0, err
 			}
-		}
-	}
-	// Drives and keepers.
-	for r := 0; r < cfg.Rows; r++ {
-		if r == poe.Row {
-			if err := nw.FixVoltage(x.rowTerm(r), vDrive); err != nil {
-				return nil, 0, err
-			}
-		} else if err := nw.AddResistor(x.rowTerm(r), circuit.Ground, cfg.RKeeper); err != nil {
-			return nil, 0, err
-		}
-	}
-	for c := 0; c < cfg.Cols; c++ {
-		if c == poe.Col {
-			if err := nw.FixVoltage(x.colTerm(c), -vDrive); err != nil {
-				return nil, 0, err
-			}
-		} else if err := nw.AddResistor(x.colTerm(c), circuit.Ground, cfg.RKeeper); err != nil {
-			return nil, 0, err
 		}
 	}
 	return nw, cellEdgeStart, nil

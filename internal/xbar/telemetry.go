@@ -22,6 +22,11 @@ type xbarTel struct {
 	sfWaits     *telemetry.Counter // ensure() blocked on another goroutine's build
 	warmPoes    *telemetry.Counter // PoEs swept by WarmAll workers
 
+	// Sketch-path truncation accounting: complement cells whose sensitivity
+	// was computed vs cells dropped by the adaptive ring sweep.
+	cellsVisited *telemetry.Counter
+	cellsSkipped *telemetry.Counter
+
 	scope *telemetry.Scope
 }
 
@@ -37,12 +42,14 @@ func SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	xtel.Store(&xbarTel{
-		reg:         reg,
-		cacheHits:   reg.Counter("xbar.cal.cache_hits"),
-		cacheMisses: reg.Counter("xbar.cal.cache_misses"),
-		builds:      reg.Counter("xbar.cal.builds"),
-		sfWaits:     reg.Counter("xbar.cal.singleflight_waits"),
-		warmPoes:    reg.Counter("xbar.cal.warm_poes"),
-		scope:       reg.Recorder().Scope("xbar"),
+		reg:          reg,
+		cacheHits:    reg.Counter("xbar.cal.cache_hits"),
+		cacheMisses:  reg.Counter("xbar.cal.cache_misses"),
+		builds:       reg.Counter("xbar.cal.builds"),
+		sfWaits:      reg.Counter("xbar.cal.singleflight_waits"),
+		warmPoes:     reg.Counter("xbar.cal.warm_poes"),
+		cellsVisited: reg.Counter("xbar.cal.cells_visited"),
+		cellsSkipped: reg.Counter("xbar.cal.cells_skipped"),
+		scope:        reg.Recorder().Scope("xbar"),
 	})
 }

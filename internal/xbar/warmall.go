@@ -40,6 +40,33 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 	if t != nil {
 		sp = t.scope.Start(metaWarmAll)
 	}
+	// One effective worker means the goroutine fan-out is pure overhead —
+	// dispatch, atomic claims and WaitGroup parking bought nothing on a
+	// GOMAXPROCS=1 host (the parallel 16x16 cold bench used to run slower
+	// than serial). Sweep inline instead.
+	if workers == 1 {
+		var firstErr error
+		for i := 0; i < cells; i++ {
+			if firstErr = ctx.Err(); firstErr != nil {
+				break
+			}
+			if firstErr = c.ensure(c.cfg.CellAt(i)); firstErr != nil {
+				break
+			}
+			if t != nil {
+				t.warmPoes.Inc()
+				swept.Add(1)
+			}
+		}
+		if t != nil {
+			failed := int64(0)
+			if firstErr != nil {
+				failed = 1
+			}
+			sp.End(swept.Load(), failed)
+		}
+		return firstErr
+	}
 	var (
 		next     atomic.Int64
 		mu       sync.Mutex
