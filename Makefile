@@ -47,7 +47,7 @@ bench:
 	@cat BENCH_ilp.json
 	( $(GO) test ./internal/linalg -run xxx -bench 'BenchmarkCholesky' -benchtime 10x -benchmem ; \
 	  $(GO) test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize' -benchtime 3x -benchmem ) \
-		| $(GO) run ./cmd/benchjson -require 8 -o BENCH_linalg.json
+		| $(GO) run ./cmd/benchjson -require 10 -o BENCH_linalg.json
 	@cat BENCH_linalg.json
 
 ci:

@@ -19,8 +19,8 @@ go test ./internal/core -run xxx -bench 'BenchmarkBlock' -benchtime 1x -benchmem
 go test ./internal/poe -run xxx -bench 'BenchmarkPlacement8x8' -benchtime 1x -benchmem \
 	| go run ./cmd/benchjson -require 1 -o /dev/null
 ( go test ./internal/linalg -run xxx -bench 'BenchmarkCholeskyFactor' -benchtime 1x -benchmem ; \
-  go test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize8x8' -benchtime 1x -benchmem ) \
-	| go run ./cmd/benchjson -require 2 -o /dev/null
+  go test ./internal/xbar -run xxx -bench 'BenchmarkColdCharacterize(8x8|64x64)$' -benchtime 1x -benchmem ) \
+	| go run ./cmd/benchjson -require 3 -o /dev/null
 go test ./internal/redteam -run xxx -bench . -benchtime 1x -benchmem \
 	| go run ./cmd/benchjson -require 4 -o /dev/null
 
@@ -31,11 +31,25 @@ simpid=
 trap 'kill $simpid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/spe-sim" ./cmd/spe-sim
 
-# Size-wall smoke: a full 24x24 precharacterization must finish inside a
-# CI-sane wall clock. Before the locality-truncated sketch path this size
+# Size-wall smoke: a full 32x32 precharacterization must finish inside a
+# CI-sane wall clock. Before the locality-truncated sketch path even 24x24
 # was unreachable (the dense path needed ~7 s for 16x16 alone and scaled
-# as cells^4); the budget fails CI if the size wall ever comes back.
-timeout 300 "$tmpdir/spe-sim" -exp sizewall -rows 24 -cols 24 -precharacterize
+# as cells^4), and before the hierarchical backend 32x32 took ~3.2 s per
+# pass; the budget fails CI if the size wall ever comes back. The JSON
+# check also pins the machine-readable report shape and that 32x32 really
+# resolves to the hierarchical backend with a bounded Green-table fill.
+timeout 300 "$tmpdir/spe-sim" -exp sizewall -rows 32 -cols 32 -json >"$tmpdir/sizewall.json"
+python3 -c '
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["rows"] == rep["cols"] == 32 and rep["path"] == "sketch", rep
+assert rep["scaled_slack"] == 248, rep
+runs = {r["label"]: r for r in rep["runs"]}
+full = runs["full precharacterize"]
+assert full["backend"] == "hier", full
+assert 0 < full["table_entries"] < full["table_entries_dense"], full
+assert full["peak_heap_bytes"] > 0 and full["cells_visited"] > 0, full
+' "$tmpdir/sizewall.json"
 
 # Red-team smoke: the adversarial harness must exit 0 with a clean verdict —
 # the power-balanced driver statistically silent, the leaky raw driver

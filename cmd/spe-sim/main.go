@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -21,6 +22,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"snvmm/internal/attacks"
@@ -56,6 +58,7 @@ var (
 	rtScript    = flag.String("redteam-script", "", "workload script driving the redteam exposure measurement (default: built-in crash schedule)")
 	rowsFlag    = flag.Int("rows", 24, "crossbar rows for the sizewall experiment")
 	colsFlag    = flag.Int("cols", 24, "crossbar cols for the sizewall experiment")
+	jsonFlag    = flag.Bool("json", false, "emit the sizewall results as one JSON object on stdout (machine-comparable across runs)")
 )
 
 // telReg is non-nil when -telemetry-addr is set; a nil registry is inert,
@@ -665,41 +668,131 @@ func concurrency() error {
 	return nil
 }
 
+// heapWatcher samples runtime.MemStats in the background and records the
+// HeapAlloc high-water mark, so size-wall runs report peak working-set
+// growth (the transient factor + Green-table build) rather than the
+// post-GC steady state.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func watchHeap() *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			old := w.peak.Load()
+			if ms.HeapAlloc <= old || w.peak.CompareAndSwap(old, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	sample()
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sample()
+			case <-w.stop:
+				sample()
+				return
+			}
+		}
+	}()
+	return w
+}
+
+// Peak stops the watcher and returns the observed HeapAlloc high-water mark.
+func (w *heapWatcher) Peak() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak.Load()
+}
+
+// sizewallRun is one cold-characterization measurement of the sizewall
+// experiment, serialized under -json.
+type sizewallRun struct {
+	Label            string  `json:"label"`
+	TruncationRadius int     `json:"truncation_radius,omitempty"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+	MSPerPoE         float64 `json:"ms_per_poe"`
+	CellsVisited     int64   `json:"cells_visited"`
+	CellsSkipped     int64   `json:"cells_skipped"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	Backend          string  `json:"backend"`
+	NDDepth          int64   `json:"nd_depth,omitempty"`
+	TableEntries     int64   `json:"table_entries,omitempty"`
+	TableDense       int64   `json:"table_entries_dense,omitempty"`
+}
+
+// sizewallReport is the -json document of the sizewall experiment.
+type sizewallReport struct {
+	Rows         int           `json:"rows"`
+	Cols         int           `json:"cols"`
+	Cells        int           `json:"cells"`
+	Path         string        `json:"path"`
+	ScaledSlack  int           `json:"scaled_slack,omitempty"`
+	SlackDensity float64       `json:"slack_density,omitempty"`
+	ScaledErr    string        `json:"scaled_error,omitempty"`
+	Runs         []sizewallRun `json:"runs"`
+}
+
 // sizewall demonstrates that characterization and placement now scale past
 // the paper's 8x8: it derives the scaled Table 1 problem at -rows x -cols,
 // then cold-characterizes the full device through whichever path CharAuto
-// selects — the locality-truncated sketch above 64 cells — and reports the
-// truncation telemetry, including a radius-capped re-run to show the knob.
+// selects — the locality-truncated sketch above 64 cells, hierarchical
+// above ~1024 unknowns — and reports the truncation telemetry plus the
+// heap high-water mark, including a radius-capped re-run to show the knob.
+// With -json the same numbers come out as one machine-comparable object.
 func sizewall() error {
 	cfg := xbar.DefaultConfig()
 	cfg.Rows, cfg.Cols = *rowsFlag, *colsFlag
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	rep := sizewallReport{Rows: cfg.Rows, Cols: cfg.Cols, Cells: cfg.Cells(), Path: "dense"}
 	mode := "dense (legacy per-PoE factorization)"
 	if cfg.Cells() > 64 {
+		rep.Path = "sketch"
 		mode = "sketch (one shared factorization + Green tables per device)"
 	}
-	fmt.Printf("%dx%d crossbar (%d cells, %d PoEs to characterize); path: %s\n",
-		cfg.Rows, cfg.Cols, cfg.Cells(), cfg.Cells(), mode)
+	human := !*jsonFlag
+	if human {
+		fmt.Printf("%dx%d crossbar (%d cells, %d PoEs to characterize); path: %s\n",
+			cfg.Rows, cfg.Cols, cfg.Cells(), cfg.Cells(), mode)
+	}
 
 	spec, err := poe.ScaledSpec(cfg.Rows, cfg.Cols)
 	if err != nil {
-		fmt.Printf("scaled Table 1: %v\n", err)
+		rep.ScaledErr = err.Error()
+		if human {
+			fmt.Printf("scaled Table 1: %v\n", err)
+		}
 	} else {
-		slackDensity := float64(spec.S) / float64(cfg.Cells())
-		fmt.Printf("scaled Table 1: slack S=%d (%.1f%% of cells double-covered by the\n"+
-			"lattice construction; the paper's 87.5%% at 8x8 is a boundary-clipping artifact)\n",
-			spec.S, 100*slackDensity)
+		rep.ScaledSlack = spec.S
+		rep.SlackDensity = float64(spec.S) / float64(cfg.Cells())
+		if human {
+			fmt.Printf("scaled Table 1: slack S=%d (%.1f%% of cells double-covered by the\n"+
+				"lattice construction; the paper's 87.5%% at 8x8 is a boundary-clipping artifact)\n",
+				spec.S, 100*rep.SlackDensity)
+		}
 	}
 
 	// Attach a local registry when none is being served, so the truncation
-	// counters are readable either way.
+	// counters and backend-selection telemetry are readable either way.
 	reg := telReg
 	if reg == nil {
 		reg = telemetry.New()
 		xbar.SetTelemetry(reg)
+		circuit.SetTelemetry(reg)
 		defer xbar.SetTelemetry(nil)
+		defer circuit.SetTelemetry(nil)
 	}
 	warm := func(c xbar.Config, label string) error {
 		xb, err := xbar.New(c)
@@ -708,16 +801,50 @@ func sizewall() error {
 		}
 		visited0 := reg.Counter("xbar.cal.cells_visited").Load()
 		skipped0 := reg.Counter("xbar.cal.cells_skipped").Load()
+		dense0 := reg.Counter("circuit.sketch.backend_dense").Load()
+		cg0 := reg.Counter("circuit.sketch.backend_cg").Load()
+		hier0 := reg.Counter("circuit.sketch.backend_hier").Load()
+		runtime.GC()
+		hw := watchHeap()
 		start := time.Now()
 		if err := xbar.Calibrate(xb).WarmAll(context.Background(), *workerFlag); err != nil {
 			return err
 		}
 		el := time.Since(start)
-		visited := reg.Counter("xbar.cal.cells_visited").Load() - visited0
-		skipped := reg.Counter("xbar.cal.cells_skipped").Load() - skipped0
-		fmt.Printf("%-22s %10v  (%.2f ms/PoE; sweep visited %d cells, skipped %d)\n",
-			label, el.Round(time.Millisecond), float64(el.Milliseconds())/float64(c.Cells()),
-			visited, skipped)
+		run := sizewallRun{
+			Label:            label,
+			TruncationRadius: c.TruncationRadius,
+			ElapsedNS:        el.Nanoseconds(),
+			MSPerPoE:         float64(el.Nanoseconds()) / 1e6 / float64(c.Cells()),
+			CellsVisited:     reg.Counter("xbar.cal.cells_visited").Load() - visited0,
+			CellsSkipped:     reg.Counter("xbar.cal.cells_skipped").Load() - skipped0,
+			PeakHeapBytes:    hw.Peak(),
+			Backend:          "dense-per-poe",
+		}
+		switch {
+		case reg.Counter("circuit.sketch.backend_hier").Load() > hier0:
+			run.Backend = "hier"
+			run.NDDepth = reg.Gauge("circuit.sketch.nd_depth").Load()
+			run.TableEntries = reg.Gauge("circuit.sketch.table_entries").Load()
+			run.TableDense = reg.Gauge("circuit.sketch.table_entries_dense").Load()
+		case reg.Counter("circuit.sketch.backend_cg").Load() > cg0:
+			run.Backend = "cg"
+		case reg.Counter("circuit.sketch.backend_dense").Load() > dense0:
+			run.Backend = "dense"
+		}
+		rep.Runs = append(rep.Runs, run)
+		if human {
+			fmt.Printf("%-22s %10v  (%.2f ms/PoE; sweep visited %d cells, skipped %d;\n"+
+				"%22s backend %s, peak heap %.1f MB)\n",
+				label, el.Round(time.Millisecond), run.MSPerPoE,
+				run.CellsVisited, run.CellsSkipped, "", run.Backend,
+				float64(run.PeakHeapBytes)/(1<<20))
+			if run.Backend == "hier" {
+				fmt.Printf("%22s nd depth %d, Green-table fill %d/%d entries (%.1f%% of dense)\n",
+					"", run.NDDepth, run.TableEntries, run.TableDense,
+					100*float64(run.TableEntries)/float64(max(run.TableDense, 1)))
+			}
+		}
 		return nil
 	}
 	if err := warm(cfg, "full precharacterize"); err != nil {
@@ -729,8 +856,15 @@ func sizewall() error {
 		if err := warm(capped, "radius-capped (R=5)"); err != nil {
 			return err
 		}
-		fmt.Println("(radius cap trades unmeasured far-field weights for sweep time; the")
-		fmt.Println("default tolerance keeps fixed-point deviations bit-identical instead)")
+		if human {
+			fmt.Println("(radius cap trades unmeasured far-field weights for sweep time; the")
+			fmt.Println("default tolerance keeps fixed-point deviations bit-identical instead)")
+		}
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	return nil
 }

@@ -49,26 +49,105 @@ type ProbeSketch struct {
 	pa, pb []int // pair endpoints in unknown space
 	si     []int // singles in unknown space
 
+	backend SketchBackend // resolved backend (never SketchAuto)
+
+	// Dense tables (SketchDense / SketchCG backends).
 	w    []float64 // np x np, W[i*np+j]
 	cmat []float64 // ns x np, C[s*np+j]
-	tmat []float64 // ns x ns, T[s*ns+t]
+	tmat []float64 // ns x ns, T[s*ns+t] (all backends)
+
+	// Block-sparse tables (SketchHier backend): CSR-style rows over pair
+	// ids, patterns fixed by SketchOptions.Sparsity. Entries outside the
+	// pattern are never materialized.
+	wptr, wcol []int32
+	wval       []float64
+	cptr, ccol []int32
+	cval       []float64
+
+	ndDepth int   // nested-dissection (supernodal etree) depth, hier only
+	fillNNZ int64 // factor fill, hier only
+}
+
+// SketchBackend selects how FactorSketch factors the network and stores the
+// Green tables.
+type SketchBackend int
+
+const (
+	// SketchAuto picks by unknown count: hierarchical above HierLimit when
+	// an ordering and a sparsity pattern are supplied, else dense up to
+	// DenseLimit, else CG.
+	SketchAuto SketchBackend = iota
+	// SketchDense factors densely (Cholesky, LU fallback) and stores full
+	// W/C/T tables.
+	SketchDense
+	// SketchCG answers each probe with a warm-started Jacobi-CG solve and
+	// stores full tables — the legacy large-device fallback; explicit
+	// selection only under Auto unless no ordering is available.
+	SketchCG
+	// SketchHier runs the nested-dissection supernodal sparse Cholesky
+	// (linalg.FactorSparse) under the caller-supplied elimination order and
+	// materializes only the table entries named by SketchOptions.Sparsity.
+	// Requires Order and Sparsity.
+	SketchHier
+)
+
+// String names the backend for telemetry and logs.
+func (b SketchBackend) String() string {
+	switch b {
+	case SketchDense:
+		return "dense"
+	case SketchCG:
+		return "cg"
+	case SketchHier:
+		return "hierarchical"
+	default:
+		return "auto"
+	}
+}
+
+// SketchSparsity names which Green-table entries a hierarchical sketch
+// materializes. Row lists are pair ids, strictly ascending. PairRows must be
+// symmetric (j in PairRows[i] iff i in PairRows[j]) and self-inclusive;
+// FactorSketch validates and takes ownership of the slices.
+type SketchSparsity struct {
+	// PairRows[i] lists the pairs j for which W[i][j] is stored.
+	PairRows [][]int32
+	// SingleRows[s] lists the pairs j for which C[s][j] is stored.
+	SingleRows [][]int32
 }
 
 // SketchOptions tunes FactorSketch. The zero value selects the defaults.
 type SketchOptions struct {
+	// Backend forces a backend; SketchAuto (the zero value) selects by
+	// unknown count as documented on the constants.
+	Backend SketchBackend
 	// DenseLimit is the unknown count above which the sketch switches from
 	// the dense Cholesky backend to sparse CG. 0 means 6000 (a 32x32
 	// crossbar has ~2100 unknowns and stays dense; 64x64 crosses over).
 	DenseLimit int
+	// HierLimit is the unknown count above which SketchAuto prefers the
+	// hierarchical backend when Order and Sparsity are supplied. 0 means
+	// 1024 — a 16x16 crossbar (544 unknowns) stays on the bit-stable dense
+	// backend, 24x24 (1200) and up go hierarchical.
+	HierLimit int
 	// BatchRHS is the multi-RHS panel width of the dense backend. 0 means 64.
 	BatchRHS int
 	// CGTol is the relative residual tolerance of the CG backend. 0 means
 	// 1e-12.
 	CGTol float64
+	// Order is the elimination order for the hierarchical backend:
+	// Order[k] is the unknown (node-1) eliminated at position k. Any
+	// permutation is numerically correct; a nested-dissection order keeps
+	// fill near-linear.
+	Order []int
+	// Sparsity restricts which table entries the hierarchical backend
+	// materializes. Required with SketchHier.
+	Sparsity *SketchSparsity
 }
 
 const (
 	defaultSketchDenseLimit = 6000
+	defaultSketchHierLimit  = 1024
 	defaultSketchBatch      = 64
 )
 
@@ -95,8 +174,6 @@ func (nw *Network) FactorSketch(pairs []ProbePair, singles []int, opt SketchOpti
 		n: n, np: np, ns: ns,
 		pa: make([]int, np), pb: make([]int, np),
 		si:   make([]int, ns),
-		w:    make([]float64, np*np),
-		cmat: make([]float64, ns*np),
 		tmat: make([]float64, ns*ns),
 	}
 	for q, pr := range pairs {
@@ -119,6 +196,22 @@ func (nw *Network) FactorSketch(pairs []ProbePair, singles []int, opt SketchOpti
 	if limit <= 0 {
 		limit = defaultSketchDenseLimit
 	}
+	hierLimit := opt.HierLimit
+	if hierLimit <= 0 {
+		hierLimit = defaultSketchHierLimit
+	}
+	backend := opt.Backend
+	if backend == SketchAuto {
+		switch {
+		case n > hierLimit && opt.Order != nil && opt.Sparsity != nil:
+			backend = SketchHier
+		case n <= limit:
+			backend = SketchDense
+		default:
+			backend = SketchCG
+		}
+	}
+	sk.backend = backend
 	// idx: node -> unknown. Only ground is eliminated, so the map is i-1.
 	idx := make([]int, nw.nodes)
 	idx[Ground] = -1
@@ -126,16 +219,67 @@ func (nw *Network) FactorSketch(pairs []ProbePair, singles []int, opt SketchOpti
 		idx[i] = i - 1
 	}
 	vfixed := make([]float64, nw.nodes) // ground at 0; no other fixed nodes
-	if n <= limit {
-		if err := sk.buildDense(nw, idx, vfixed, opt); err != nil {
-			return nil, err
+	var err error
+	switch backend {
+	case SketchDense:
+		sk.w = make([]float64, np*np)
+		sk.cmat = make([]float64, ns*np)
+		err = sk.buildDense(nw, idx, vfixed, opt)
+	case SketchCG:
+		sk.w = make([]float64, np*np)
+		sk.cmat = make([]float64, ns*np)
+		err = sk.buildCG(nw, idx, vfixed, opt)
+	case SketchHier:
+		err = sk.buildHier(nw, idx, vfixed, opt)
+	default:
+		err = fmt.Errorf("circuit: unknown sketch backend %d", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if t := ctel.Load(); t != nil {
+		switch backend {
+		case SketchDense:
+			t.sketchDense.Inc()
+		case SketchCG:
+			t.sketchCG.Inc()
+		case SketchHier:
+			t.sketchHier.Inc()
 		}
-	} else {
-		if err := sk.buildCG(nw, idx, vfixed, opt); err != nil {
-			return nil, err
-		}
+		t.sketchDepth.Set(int64(sk.ndDepth))
+		t.sketchTableFill.Set(sk.TableEntries())
+		t.sketchTableDense.Set(int64(np)*int64(np) + int64(ns)*int64(np) + int64(ns)*int64(ns))
+		t.sketchFactorFill.Set(sk.fillNNZ)
 	}
 	return sk, nil
+}
+
+// Backend reports which backend FactorSketch resolved to.
+func (sk *ProbeSketch) Backend() SketchBackend { return sk.backend }
+
+// NDDepth returns the nested-dissection depth of the hierarchical factor
+// (0 for the dense and CG backends).
+func (sk *ProbeSketch) NDDepth() int { return sk.ndDepth }
+
+// TableEntries returns the number of Green-table entries materialized
+// (W + C + T). For the hierarchical backend this is the block-sparse fill;
+// for the others the full dense count.
+func (sk *ProbeSketch) TableEntries() int64 {
+	if sk.backend == SketchHier {
+		return int64(len(sk.wval)) + int64(len(sk.cval)) + int64(len(sk.tmat))
+	}
+	return int64(len(sk.w)) + int64(len(sk.cmat)) + int64(len(sk.tmat))
+}
+
+// TableBytes returns the resident size of the Green tables in bytes,
+// including sparse-index overhead — the quantity the truncation radius is
+// supposed to bound independently of device size.
+func (sk *ProbeSketch) TableBytes() int64 {
+	if sk.backend == SketchHier {
+		return int64(len(sk.wval)+len(sk.cval)+len(sk.tmat))*8 +
+			int64(len(sk.wptr)+len(sk.wcol)+len(sk.cptr)+len(sk.ccol))*4
+	}
+	return int64(len(sk.w)+len(sk.cmat)+len(sk.tmat)) * 8
 }
 
 // buildDense assembles the dense conductance system, factors it (Cholesky,
@@ -274,18 +418,36 @@ func (sk *ProbeSketch) NumSingles() int { return sk.ns }
 // probes pinned to fixed voltages. It precomputes the M^-1-projected probe
 // columns so BaseDiff and Quad are O(k) per call. Immutable once built and
 // safe for concurrent readers.
+//
+// A pin built through PinWindow restricts its arrays to the window's pairs:
+// methods keep their pair-id signatures and translate by binary search.
+// Querying a pair outside the window — or, on a hierarchical sketch, a W
+// entry outside the truncation sparsity — panics: the window is constructed
+// by the same caller that sweeps it, so a miss is a caller bug, never data.
 type PinnedSketch struct {
-	sk *ProbeSketch
-	k  int
-	cf []float64 // k x np: cf[a*np+j] = C[fixed_a][j]
-	mc []float64 // k x np: column j is M^-1 * C[.][j]
-	bd []float64 // np: u_j^T x_base
+	sk  *ProbeSketch
+	k   int
+	win []int32   // nil: full (dense tables); else sorted pair ids
+	nw  int       // row width of cf/mc (np, or len(win))
+	cf  []float64 // k x nw: cf[a*nw+p] = C[fixed_a][win[p]]
+	mc  []float64 // k x nw: column p is M^-1 * C[.][win[p]]
+	bd  []float64 // nw: u^T x_base per window pair
 }
 
 // Pin applies fixed voltages volts to the probe singles at positions fixed
 // (indices into the singles list given to FactorSketch) and returns the
-// constrained operating point.
+// constrained operating point over all pairs. Hierarchical sketches must
+// use PinWindow: their C tables only exist inside the truncation sparsity.
 func (sk *ProbeSketch) Pin(fixed []int, volts []float64) (*PinnedSketch, error) {
+	return sk.PinWindow(fixed, volts, nil)
+}
+
+// PinWindow is Pin restricted to a query window: a strictly ascending list
+// of pair ids the caller will actually sweep. The per-pin arrays are sized
+// by the window instead of by the device, which is what keeps per-PoE cost
+// neighbourhood-bound on large devices. A nil window means all pairs (dense
+// and CG backends only).
+func (sk *ProbeSketch) PinWindow(fixed []int, volts []float64, window []int32) (*PinnedSketch, error) {
 	k := len(fixed)
 	if k == 0 || k != len(volts) {
 		return nil, fmt.Errorf("circuit: Pin needs matching fixed/volt lists, got %d/%d", k, len(volts))
@@ -298,6 +460,17 @@ func (sk *ProbeSketch) Pin(fixed []int, volts []float64) (*PinnedSketch, error) 
 			if fixed[b] == f {
 				return nil, fmt.Errorf("circuit: single %d pinned twice", f)
 			}
+		}
+	}
+	if window == nil && sk.backend == SketchHier {
+		return nil, fmt.Errorf("circuit: hierarchical sketch needs a pin window (tables are truncation-sparse)")
+	}
+	for p := range window {
+		if window[p] < 0 || int(window[p]) >= sk.np {
+			return nil, fmt.Errorf("circuit: pin window pair %d out of range [0,%d)", window[p], sk.np)
+		}
+		if p > 0 && window[p] <= window[p-1] {
+			return nil, fmt.Errorf("circuit: pin window not strictly ascending at %d", p)
 		}
 	}
 	// M = E^T G^-1 E is the pinned slice of T.
@@ -315,51 +488,91 @@ func (sk *ProbeSketch) Pin(fixed []int, volts []float64) (*PinnedSketch, error) 
 	if err := lu.SolveInto(lam, volts); err != nil {
 		return nil, err
 	}
+	nw := sk.np
+	if window != nil {
+		nw = len(window)
+	}
 	p := &PinnedSketch{
-		sk: sk, k: k,
-		cf: make([]float64, k*sk.np),
-		mc: make([]float64, k*sk.np),
-		bd: make([]float64, sk.np),
+		sk: sk, k: k, win: window, nw: nw,
+		cf: make([]float64, k*nw),
+		mc: make([]float64, k*nw),
+		bd: make([]float64, nw),
 	}
 	for a, fa := range fixed {
-		copy(p.cf[a*sk.np:(a+1)*sk.np], sk.cmat[fa*sk.np:(fa+1)*sk.np])
+		row := p.cf[a*nw : (a+1)*nw]
+		if window == nil {
+			copy(row, sk.cmat[fa*sk.np:(fa+1)*sk.np])
+			continue
+		}
+		for x, j := range window {
+			v, ok := sk.cAt(fa, int(j))
+			if !ok {
+				return nil, fmt.Errorf("circuit: pin window pair %d outside C sparsity of single %d", j, fa)
+			}
+			row[x] = v
+		}
 	}
 	tmp := make([]float64, k)
 	out := make([]float64, k)
-	for j := 0; j < sk.np; j++ {
+	for j := 0; j < nw; j++ {
 		for a := 0; a < k; a++ {
-			tmp[a] = p.cf[a*sk.np+j]
+			tmp[a] = p.cf[a*nw+j]
 		}
 		if err := lu.SolveInto(out, tmp); err != nil {
 			return nil, err
 		}
 		for a := 0; a < k; a++ {
-			p.mc[a*sk.np+j] = out[a]
+			p.mc[a*nw+j] = out[a]
 		}
 	}
 	// Base drops: u_j^T x = u_j^T G^-1 E lam = C[.][j] . lam.
-	for j := 0; j < sk.np; j++ {
+	for j := 0; j < nw; j++ {
 		s := 0.0
 		for a := 0; a < k; a++ {
-			s += p.cf[a*sk.np+j] * lam[a]
+			s += p.cf[a*nw+j] * lam[a]
 		}
 		p.bd[j] = s
 	}
 	return p, nil
 }
 
+// pos translates a pair id to its window position (identity when unwindowed).
+func (p *PinnedSketch) pos(j int) int {
+	if p.win == nil {
+		return j
+	}
+	lo, hi := 0, len(p.win)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(p.win[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(p.win) || int(p.win[lo]) != j {
+		panic(fmt.Sprintf("circuit: pair %d outside pin window", j))
+	}
+	return lo
+}
+
 // BaseDiff returns the base operating-point voltage difference across probe
 // pair j (V(A) - V(B)).
-func (p *PinnedSketch) BaseDiff(j int) float64 { return p.bd[j] }
+func (p *PinnedSketch) BaseDiff(j int) float64 { return p.bd[p.pos(j)] }
 
 // Quad returns u_i^T H u_j, the constrained-inverse quadratic form between
 // probe pairs i and j — the Sherman–Morrison coupling of an edge
 // perturbation on pair j's edge to the voltage observed across pair i.
 func (p *PinnedSketch) Quad(i, j int) float64 {
-	np := p.sk.np
-	s := p.sk.w[i*np+j]
+	var s float64
+	if p.sk.backend == SketchHier {
+		s = p.sk.wAt(i, j)
+	} else {
+		s = p.sk.w[i*p.sk.np+j]
+	}
+	pi, pj := p.pos(i), p.pos(j)
 	for a := 0; a < p.k; a++ {
-		s -= p.cf[a*np+i] * p.mc[a*np+j]
+		s -= p.cf[a*p.nw+pi] * p.mc[a*p.nw+pj]
 	}
 	return s
 }
@@ -373,5 +586,5 @@ func (p *PinnedSketch) PerturbScale(j int, dg float64) (float64, error) {
 	if denom == 0 {
 		return 0, fmt.Errorf("circuit: singular rank-1 update on probe pair %d", j)
 	}
-	return dg * p.bd[j] / denom, nil
+	return dg * p.bd[p.pos(j)] / denom, nil
 }

@@ -1,0 +1,210 @@
+package circuit
+
+import (
+	"fmt"
+
+	"snvmm/internal/linalg"
+)
+
+// The hierarchical sketch backend. The dense backend's factor is O(n^2)
+// memory and its Green tables O(np^2) — at 64x64 (8320 unknowns, 4096
+// pairs) that is a 550 MB factor and a 134 MB W table before a single PoE
+// is characterized. This backend replaces both ends:
+//
+//   - the factorization is the supernodal sparse Cholesky of
+//     linalg.FactorSparse under a caller-supplied nested-dissection order
+//     (the crossbar grid makes separators analytic; see
+//     xbar.dissectionOrder), keeping factor fill near-linear in n;
+//   - each probe column is solved only on its supernodal support
+//     (linalg.ForwardProbe) — the etree ancestor path of its seed nodes —
+//     so a table entry u_i^T G^-1 u_j is a merged dot product of two short
+//     probe vectors;
+//   - the W and C tables are materialized only inside the caller's
+//     SketchSparsity (the truncation ring of the calibration sweep plus
+//     the polyomino margin), so table memory scales with neighbourhood
+//     size, not device size.
+//
+// Loop orders are fixed and the factorization is deterministic, so every
+// materialized entry is a pure function of the network, the ordering and
+// the sparsity — independent of which other entries are requested.
+
+// validateSparsity checks shape, ordering, range and W symmetry.
+func (sk *ProbeSketch) validateSparsity(sp *SketchSparsity) error {
+	if sp == nil {
+		return fmt.Errorf("circuit: hierarchical sketch needs SketchOptions.Sparsity")
+	}
+	if len(sp.PairRows) != sk.np || len(sp.SingleRows) != sk.ns {
+		return fmt.Errorf("circuit: sparsity shape %dx%d, want %dx%d pairs/singles",
+			len(sp.PairRows), len(sp.SingleRows), sk.np, sk.ns)
+	}
+	checkRow := func(row []int32, what string, i int) error {
+		for x, j := range row {
+			if j < 0 || int(j) >= sk.np {
+				return fmt.Errorf("circuit: sparsity %s row %d: pair %d out of range", what, i, j)
+			}
+			if x > 0 && j <= row[x-1] {
+				return fmt.Errorf("circuit: sparsity %s row %d not strictly ascending at %d", what, i, x)
+			}
+		}
+		return nil
+	}
+	for i, row := range sp.PairRows {
+		if err := checkRow(row, "pair", i); err != nil {
+			return err
+		}
+		if findInt32(row, int32(i)) < 0 {
+			return fmt.Errorf("circuit: sparsity pair row %d misses its own diagonal", i)
+		}
+	}
+	for s, row := range sp.SingleRows {
+		if err := checkRow(row, "single", s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findInt32 binary-searches a sorted row for v, returning its index or -1.
+func findInt32(row []int32, v int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(row) && row[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// wAt looks up W[i][j] in the block-sparse table, panicking outside the
+// sparsity — the sweep window and the table pattern are built from the same
+// radius, so a miss is a programming error upstream.
+func (sk *ProbeSketch) wAt(i, j int) float64 {
+	row := sk.wcol[sk.wptr[i]:sk.wptr[i+1]]
+	x := findInt32(row, int32(j))
+	if x < 0 {
+		panic(fmt.Sprintf("circuit: W[%d][%d] outside truncation sparsity", i, j))
+	}
+	return sk.wval[int(sk.wptr[i])+x]
+}
+
+// cAt looks up C[s][j]; works on every backend (dense table or sparse row).
+func (sk *ProbeSketch) cAt(s, j int) (float64, bool) {
+	if sk.backend != SketchHier {
+		return sk.cmat[s*sk.np+j], true
+	}
+	row := sk.ccol[sk.cptr[s]:sk.cptr[s+1]]
+	x := findInt32(row, int32(j))
+	if x < 0 {
+		return 0, false
+	}
+	return sk.cval[int(sk.cptr[s])+x], true
+}
+
+// buildHier factors the network hierarchically and fills the block-sparse
+// Green tables.
+func (sk *ProbeSketch) buildHier(nw *Network, idx []int, vfixed []float64, opt SketchOptions) error {
+	if len(opt.Order) != sk.n {
+		return fmt.Errorf("circuit: hierarchical sketch order length %d != unknowns %d", len(opt.Order), sk.n)
+	}
+	if err := sk.validateSparsity(opt.Sparsity); err != nil {
+		return err
+	}
+	sp := opt.Sparsity
+	n := sk.n
+	bdump := make([]float64, n)
+	coords := make([]linalg.Coord, 0, len(nw.edges)*4+n)
+	for i := 0; i < n; i++ {
+		coords = append(coords, linalg.Coord{Row: i, Col: i, Val: Gmin})
+	}
+	for _, r := range nw.edges {
+		coords = stampSparse(coords, bdump, idx, vfixed, r)
+	}
+	m := linalg.NewCSR(n, coords)
+	chol, err := linalg.FactorSparse(m, opt.Order)
+	if err != nil {
+		return fmt.Errorf("circuit: hierarchical sketch factorization: %w", err)
+	}
+	sk.ndDepth = chol.Depth()
+	sk.fillNNZ = chol.FillNNZ()
+	// Probe solves, restricted to supernodal supports. Orders match the
+	// dense backend's probe numbering (singles first) for determinism.
+	ws := chol.NewProbeWorkspace()
+	svec := make([]linalg.ProbeVec, sk.ns)
+	pvec := make([]linalg.ProbeVec, sk.np)
+	sidx := [2]int{}
+	scoef := [2]float64{}
+	for s := 0; s < sk.ns; s++ {
+		sidx[0], scoef[0] = sk.si[s], 1
+		svec[s], err = chol.ForwardProbe(ws, sidx[:1], scoef[:1])
+		if err != nil {
+			return err
+		}
+	}
+	for j := 0; j < sk.np; j++ {
+		sidx[0], sidx[1] = sk.pa[j], sk.pb[j]
+		scoef[0], scoef[1] = 1, -1
+		pvec[j], err = chol.ForwardProbe(ws, sidx[:2], scoef[:2])
+		if err != nil {
+			return err
+		}
+	}
+	// T is always full: ns^2 is terminal-count squared, negligible.
+	for s := 0; s < sk.ns; s++ {
+		for t := 0; t < sk.ns; t++ {
+			sk.tmat[s*sk.ns+t] = linalg.ProbeDot(svec[s], svec[t])
+		}
+	}
+	// C inside the single sparsity.
+	sk.cptr = make([]int32, sk.ns+1)
+	total := 0
+	for s, row := range sp.SingleRows {
+		total += len(row)
+		sk.cptr[s+1] = int32(total)
+	}
+	sk.ccol = make([]int32, 0, total)
+	sk.cval = make([]float64, total)
+	for s, row := range sp.SingleRows {
+		sk.ccol = append(sk.ccol, row...)
+		base := int(sk.cptr[s])
+		for x, j := range row {
+			sk.cval[base+x] = linalg.ProbeDot(svec[s], pvec[j])
+		}
+	}
+	// W inside the (symmetric) pair sparsity: compute i <= j once, mirror.
+	sk.wptr = make([]int32, sk.np+1)
+	total = 0
+	for i, row := range sp.PairRows {
+		total += len(row)
+		sk.wptr[i+1] = int32(total)
+	}
+	sk.wcol = make([]int32, 0, total)
+	for _, row := range sp.PairRows {
+		sk.wcol = append(sk.wcol, row...)
+	}
+	sk.wval = make([]float64, total)
+	for i, row := range sp.PairRows {
+		base := int(sk.wptr[i])
+		for x, j := range row {
+			if int(j) < i {
+				continue
+			}
+			v := linalg.ProbeDot(pvec[i], pvec[int(j)])
+			sk.wval[base+x] = v
+			if int(j) != i {
+				mrow := sp.PairRows[j]
+				mx := findInt32(mrow, int32(i))
+				if mx < 0 {
+					return fmt.Errorf("circuit: sparsity pair rows not symmetric: %d in row %d but not vice versa", j, i)
+				}
+				sk.wval[int(sk.wptr[j])+mx] = v
+			}
+		}
+	}
+	return nil
+}

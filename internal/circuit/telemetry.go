@@ -19,6 +19,19 @@ type circuitTel struct {
 	sparseSolves   *telemetry.Counter // workspace sparse solves (CSR template reuse + CG)
 	sketchFactors  *telemetry.Counter // once-per-device Green-table factorizations (FactorSketch)
 	sketchProbes   *telemetry.Counter // probe columns solved while building sketches
+
+	// Sketch backend selection and hierarchical-factorization shape: which
+	// backend FactorSketch resolved to, the nested-dissection depth of the
+	// last hierarchical factor, and how many Green-table entries were
+	// actually materialized versus the dense np^2+ns*np+ns^2 equivalent
+	// (the block-sparse fill of the truncation-radius tables).
+	sketchDense      *telemetry.Counter
+	sketchCG         *telemetry.Counter
+	sketchHier       *telemetry.Counter
+	sketchDepth      *telemetry.Gauge
+	sketchTableFill  *telemetry.Gauge
+	sketchTableDense *telemetry.Gauge
+	sketchFactorFill *telemetry.Gauge
 }
 
 var ctel atomic.Pointer[circuitTel]
@@ -36,5 +49,13 @@ func SetTelemetry(reg *telemetry.Registry) {
 		sparseSolves:   reg.Counter("circuit.ws.sparse_solves"),
 		sketchFactors:  reg.Counter("circuit.sketch.factors"),
 		sketchProbes:   reg.Counter("circuit.sketch.probe_solves"),
+
+		sketchDense:      reg.Counter("circuit.sketch.backend_dense"),
+		sketchCG:         reg.Counter("circuit.sketch.backend_cg"),
+		sketchHier:       reg.Counter("circuit.sketch.backend_hier"),
+		sketchDepth:      reg.Gauge("circuit.sketch.nd_depth"),
+		sketchTableFill:  reg.Gauge("circuit.sketch.table_entries"),
+		sketchTableDense: reg.Gauge("circuit.sketch.table_entries_dense"),
+		sketchFactorFill: reg.Gauge("circuit.sketch.factor_nnz"),
 	})
 }

@@ -29,7 +29,7 @@ type Workspace struct {
 	nw      *Network
 	nedges  int
 	nfixed  int
-	idx     []int     // node -> unknown index or -1
+	idx     []int // node -> unknown index or -1
 	unknown int
 	v       []float64 // full node voltages (solution buffer)
 	b       []float64

@@ -1,0 +1,541 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Supernodal sparse Cholesky for fill-reducing (nested-dissection) orderings.
+//
+// The dense Cholesky above stops being viable around a few thousand unknowns:
+// the factor alone is O(n^2) memory and O(n^3) time. The conductance systems
+// the crossbar characterization factors are planar-grid graphs, where a
+// nested-dissection ordering bounds fill at O(n log n) and factor work at
+// O(n^1.5). FactorSparse takes such an ordering (the caller computes it —
+// for the crossbar the grid structure makes separators analytic, see
+// xbar.dissectionOrder; any permutation is numerically correct, only fill
+// varies), runs the standard symbolic analysis (Liu's elimination tree,
+// column patterns by child merging, fundamental supernodes), and factors the
+// permuted system with a left-looking supernodal sweep built from the same
+// register-blocked kernels as the dense path (factorDiagBlock, trsmRightLT,
+// syrkSubLower, gemmSub). Every loop order is fixed, so the factor — and
+// everything solved through it — is a pure function of the matrix and the
+// ordering, independent of hardware and previous calls.
+//
+// Supernode s owns a run of consecutive permuted columns [c0, c1) sharing
+// one row structure; its factor block is stored as a dense row-major panel
+// of len(rows) x (c1-c0), rows sorted ascending with the supernode's own
+// columns first. Probe solves (ForwardProbe) exploit that a sparse
+// right-hand side stays supported on the etree ancestor paths of its seed
+// supernodes: the result is returned restricted to that support, so a
+// Green-table entry u^T A^-1 v costs two short forward solves and a merged
+// supernode-wise dot product instead of two full triangular sweeps.
+type SparseCholesky struct {
+	n     int
+	order []int32 // elimination position -> original index
+	iord  []int32 // original index -> elimination position
+
+	snStart  []int32   // supernode s spans permuted columns [snStart[s], snStart[s+1])
+	snodeOf  []int32   // permuted column -> supernode
+	snRows   [][]int32 // permuted row structure; first width(s) entries are s's own columns
+	snPanel  [][]float64
+	snParent []int32 // supernodal etree parent, -1 at a root
+
+	depth int   // height of the supernodal etree (1 = single level)
+	nnz   int64 // stored factor entries (panel cells)
+}
+
+// FactorSparse factors the SPD matrix a (both triangles stored, as NewCSR
+// produces from symmetric stamps) under the given elimination order:
+// order[k] is the original index eliminated at position k. Returns ErrNotSPD
+// if a pivot fails, like the dense path.
+func FactorSparse(a *CSR, order []int) (*SparseCholesky, error) {
+	n := a.N
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: FactorSparse needs a non-empty matrix")
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("linalg: FactorSparse order length %d != n %d", len(order), n)
+	}
+	c := &SparseCholesky{n: n, order: make([]int32, n), iord: make([]int32, n)}
+	for k := range c.iord {
+		c.iord[k] = -1
+	}
+	for k, o := range order {
+		if o < 0 || o >= n || c.iord[o] != -1 {
+			return nil, fmt.Errorf("linalg: FactorSparse order is not a permutation at position %d", k)
+		}
+		c.order[k] = int32(o)
+		c.iord[o] = int32(k)
+	}
+	if err := c.symbolic(a); err != nil {
+		return nil, err
+	}
+	return c, c.numeric(a)
+}
+
+// symbolic runs the elimination-tree / column-pattern / supernode analysis
+// on the permuted sparsity pattern.
+func (c *SparseCholesky) symbolic(a *CSR) error {
+	n := c.n
+	// Permuted adjacency (both triangles; diagonal dropped).
+	adjPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		pi := c.iord[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] != i {
+				adjPtr[pi+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		adjPtr[k+1] += adjPtr[k]
+	}
+	adjIdx := make([]int32, adjPtr[n])
+	fill := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pi := c.iord[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if j := a.ColIdx[p]; j != i {
+				adjIdx[adjPtr[pi]+fill[pi]] = c.iord[j]
+				fill[pi]++
+			}
+		}
+	}
+	// Liu's elimination tree with path compression.
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for j := 0; j < n; j++ {
+		parent[j], ancestor[j] = -1, -1
+		for p := adjPtr[j]; p < adjPtr[j+1]; p++ {
+			r := adjIdx[p]
+			for r != -1 && r != int32(j) {
+				next := ancestor[r]
+				ancestor[r] = int32(j)
+				if next == -1 {
+					parent[r] = int32(j)
+				}
+				r = next
+			}
+		}
+	}
+	// Column patterns by child merging: pat[j] = {j} ∪ {adj > j} ∪ children's
+	// patterns (minus the child column itself). Rows of a child are ancestors
+	// of the child, so everything merged in is > j except j itself.
+	childHead := make([]int32, n)
+	childNext := make([]int32, n)
+	for j := range childHead {
+		childHead[j] = -1
+	}
+	for j := n - 1; j >= 0; j-- {
+		if p := parent[j]; p != -1 {
+			childNext[j] = childHead[p]
+			childHead[p] = int32(j)
+		}
+	}
+	pat := make([][]int32, n)
+	mark := make([]int32, n)
+	for j := range mark {
+		mark[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		row := []int32{int32(j)}
+		mark[j] = int32(j)
+		for p := adjPtr[j]; p < adjPtr[j+1]; p++ {
+			if r := adjIdx[p]; r > int32(j) && mark[r] != int32(j) {
+				mark[r] = int32(j)
+				row = append(row, r)
+			}
+		}
+		for ch := childHead[j]; ch != -1; ch = childNext[ch] {
+			for _, r := range pat[ch][1:] {
+				if r != int32(j) && mark[r] != int32(j) {
+					mark[r] = int32(j)
+					row = append(row, r)
+				}
+			}
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		pat[j] = row
+	}
+	// Fundamental supernodes: extend the current run while column j is the
+	// etree parent of j-1 and loses exactly the one row.
+	snodeOf := make([]int32, n)
+	var snStart []int32
+	for j := 0; j < n; j++ {
+		if j == 0 || parent[j-1] != int32(j) || len(pat[j-1]) != len(pat[j])+1 {
+			snStart = append(snStart, int32(j))
+		}
+		snodeOf[j] = int32(len(snStart) - 1)
+	}
+	snStart = append(snStart, int32(n))
+	ns := len(snStart) - 1
+	c.snStart, c.snodeOf = snStart, snodeOf
+	c.snRows = make([][]int32, ns)
+	c.snPanel = make([][]float64, ns)
+	c.snParent = make([]int32, ns)
+	for s := 0; s < ns; s++ {
+		c0, c1 := int(snStart[s]), int(snStart[s+1])
+		rows := pat[c0]
+		for x := c0; x < c1; x++ {
+			if rows[x-c0] != int32(x) {
+				return fmt.Errorf("linalg: FactorSparse supernode %d row structure broken", s)
+			}
+		}
+		c.snRows[s] = rows
+		c.snPanel[s] = make([]float64, len(rows)*(c1-c0))
+		c.nnz += int64(len(rows) * (c1 - c0))
+		if len(rows) > c1-c0 {
+			c.snParent[s] = snodeOf[rows[c1-c0]]
+		} else {
+			c.snParent[s] = -1
+		}
+	}
+	// Supernodal etree height: parents have larger ids, so a descending
+	// sweep sees every parent's depth before its children.
+	c.depth = 0
+	depth := make([]int32, ns)
+	for s := ns - 1; s >= 0; s-- {
+		if p := c.snParent[s]; p != -1 {
+			depth[s] = depth[p] + 1
+		} else {
+			depth[s] = 1
+		}
+		if int(depth[s]) > c.depth {
+			c.depth = int(depth[s])
+		}
+	}
+	return nil
+}
+
+// numeric runs the left-looking supernodal factorization.
+func (c *SparseCholesky) numeric(a *CSR) error {
+	n := c.n
+	ns := len(c.snStart) - 1
+	// Permuted lower-triangle columns of A, grouped by permuted column.
+	colPtr := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		pi := c.iord[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if pj := c.iord[a.ColIdx[p]]; pi >= pj {
+				colPtr[pj+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		colPtr[k+1] += colPtr[k]
+	}
+	colRow := make([]int32, colPtr[n])
+	colVal := make([]float64, colPtr[n])
+	cfill := make([]int32, n)
+	for i := 0; i < n; i++ {
+		pi := c.iord[i]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if pj := c.iord[a.ColIdx[p]]; pi >= pj {
+				at := colPtr[pj] + cfill[pj]
+				colRow[at] = pi
+				colVal[at] = a.Val[p]
+				cfill[pj]++
+			}
+		}
+	}
+	maxRows, maxW := 0, 0
+	for s := 0; s < ns; s++ {
+		if r := len(c.snRows[s]); r > maxRows {
+			maxRows = r
+		}
+		if w := int(c.snStart[s+1] - c.snStart[s]); w > maxW {
+			maxW = w
+		}
+	}
+	rowpos := make([]int32, n)
+	updW := make([]float64, maxRows*maxW)
+	updT := make([]float64, maxW*maxW)
+	btScratch := make([]float64, denseBlock*maxW)
+	// Per-supernode descendant worklists: listHead[s] chains (via listNext)
+	// the factored supernodes whose next unconsumed row lands in s.
+	listHead := make([]int32, ns)
+	listNext := make([]int32, ns)
+	ptr := make([]int32, ns)
+	for s := range listHead {
+		listHead[s] = -1
+	}
+	for s := 0; s < ns; s++ {
+		c0, c1 := int(c.snStart[s]), int(c.snStart[s+1])
+		w := c1 - c0
+		rows := c.snRows[s]
+		f := c.snPanel[s]
+		for x, r := range rows {
+			rowpos[r] = int32(x)
+		}
+		// Assemble A's columns of this supernode.
+		for j := c0; j < c1; j++ {
+			x := j - c0
+			for p := colPtr[j]; p < colPtr[j+1]; p++ {
+				f[int(rowpos[colRow[p]])*w+x] += colVal[p]
+			}
+		}
+		// Apply descendant updates: F -= P_d[ptr:] * P_d[ptr:ptr+t]^T for
+		// every descendant whose next rows land in [c0, c1).
+		for d := listHead[s]; d != -1; {
+			nextd := listNext[d]
+			drows := c.snRows[d]
+			wd := int(c.snStart[d+1] - c.snStart[d])
+			p := int(ptr[d])
+			t := 0
+			for p+t < len(drows) && drows[p+t] < int32(c1) {
+				t++
+			}
+			m := len(drows) - p
+			pd := c.snPanel[d][p*wd:]
+			// updT = transpose of the first t update rows (wd x t), so the
+			// slab multiply runs with contiguous kernel rows.
+			for q := 0; q < wd; q++ {
+				for x := 0; x < t; x++ {
+					updT[q*t+x] = pd[x*wd+q]
+				}
+			}
+			slab := updW[:m*t]
+			for i := range slab {
+				slab[i] = 0
+			}
+			gemmSub(slab, t, pd, wd, updT, t, m, wd, t)
+			// Scatter-subtract into the panel. Rows above the diagonal block
+			// of s land in its strict upper triangle, which the panel
+			// factorization never reads.
+			for i := 0; i < m; i++ {
+				fi := int(rowpos[drows[p+i]]) * w
+				si := i * t
+				for x := 0; x < t; x++ {
+					f[fi+int(drows[p+x])-c0] += slab[si+x]
+				}
+			}
+			ptr[d] = int32(p + t)
+			if p+t < len(drows) {
+				tgt := c.snodeOf[drows[p+t]]
+				listNext[d] = listHead[tgt]
+				listHead[tgt] = d
+			}
+			d = nextd
+		}
+		if err := factorPanel(f, len(rows), w, btScratch); err != nil {
+			return err
+		}
+		ptr[s] = int32(w)
+		if len(rows) > w {
+			tgt := c.snodeOf[rows[w]]
+			listNext[s] = listHead[tgt]
+			listHead[tgt] = int32(s)
+		}
+	}
+	return nil
+}
+
+// factorPanel runs the blocked Cholesky recurrence on a supernode panel:
+// rows x w row-major, the leading w rows forming the (lower-triangular)
+// diagonal block. bt is a denseBlock*w transpose scratch.
+func factorPanel(f []float64, rows, w int, bt []float64) error {
+	for kb := 0; kb < w; kb += denseBlock {
+		bs := denseBlock
+		if kb+bs > w {
+			bs = w - kb
+		}
+		if err := factorDiagBlock(f[kb*w+kb:], w, bs); err != nil {
+			return err
+		}
+		if below := rows - kb - bs; below > 0 {
+			trsmRightLT(f[(kb+bs)*w+kb:], w, f[kb*w+kb:], w, below, bs)
+		}
+		rest := w - kb - bs
+		if rest == 0 {
+			continue
+		}
+		// Trailing update inside the panel: the triangular part below the
+		// diagonal block via the rank-k kernel, the rectangle of below-rows
+		// via gemm against a small transpose of the just-solved rows.
+		syrkSubLower(f[(kb+bs)*w+(kb+bs):], w, f[(kb+bs)*w+kb:], w, rest, bs)
+		if m2 := rows - w; m2 > 0 {
+			for q := 0; q < bs; q++ {
+				for x := 0; x < rest; x++ {
+					bt[q*rest+x] = f[(kb+bs+x)*w+kb+q]
+				}
+			}
+			gemmSub(f[w*w+kb+bs:], w, f[w*w+kb:], w, bt[:bs*rest], rest, m2, bs, rest)
+		}
+	}
+	return nil
+}
+
+// N returns the system dimension.
+func (c *SparseCholesky) N() int { return c.n }
+
+// Supernodes returns the supernode count of the factorization.
+func (c *SparseCholesky) Supernodes() int { return len(c.snStart) - 1 }
+
+// Depth returns the height of the supernodal elimination tree — for a
+// nested-dissection ordering this is (up to leaf granularity) the dissection
+// recursion depth.
+func (c *SparseCholesky) Depth() int { return c.depth }
+
+// FillNNZ returns the number of stored factor entries (supernode panel
+// cells, diagonal blocks included).
+func (c *SparseCholesky) FillNNZ() int64 { return c.nnz }
+
+// ProbeVec is a forward-solve result y = L^-1 b restricted to its supernodal
+// support: Sn lists the active supernodes ascending, Val holds their column
+// ranges concatenated, Off[x] is the offset of Sn[x]'s range in Val.
+type ProbeVec struct {
+	Sn  []int32
+	Off []int32
+	Val []float64
+}
+
+// ProbeDot returns the inner product of two probe vectors — b_a^T A^-1 b_b
+// for the right-hand sides that produced them — by merging their supports.
+func ProbeDot(a, b ProbeVec) float64 {
+	s := 0.0
+	i, j := 0, 0
+	for i < len(a.Sn) && j < len(b.Sn) {
+		switch {
+		case a.Sn[i] < b.Sn[j]:
+			i++
+		case a.Sn[i] > b.Sn[j]:
+			j++
+		default:
+			s += dotPanel(a.Val[a.Off[i]:a.Off[i+1]], b.Val[b.Off[j]:b.Off[j+1]])
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// ProbeWorkspace holds the reusable scratch of ForwardProbe calls. Not safe
+// for concurrent use; allocate one per goroutine.
+type ProbeWorkspace struct {
+	y    []float64
+	mark []int32
+	sns  []int32
+	tick int32
+}
+
+// NewProbeWorkspace allocates probe scratch for this factorization.
+func (c *SparseCholesky) NewProbeWorkspace() *ProbeWorkspace {
+	return &ProbeWorkspace{
+		y:    make([]float64, c.n),
+		mark: make([]int32, len(c.snStart)-1),
+		tick: 0,
+	}
+}
+
+// ForwardProbe solves L y = b for the sparse right-hand side
+// b = sum coef[t] * e_idx[t] (idx in original index space) and returns y
+// restricted to its supernodal support — the union of the etree ancestor
+// paths of the seed supernodes. The returned vector is freshly allocated at
+// exactly the support size; ws is reused across calls.
+func (c *SparseCholesky) ForwardProbe(ws *ProbeWorkspace, idx []int, coef []float64) (ProbeVec, error) {
+	if len(idx) != len(coef) || len(idx) == 0 {
+		return ProbeVec{}, fmt.Errorf("linalg: ForwardProbe needs matching non-empty idx/coef, got %d/%d", len(idx), len(coef))
+	}
+	ws.tick++
+	ws.sns = ws.sns[:0]
+	for _, o := range idx {
+		if o < 0 || o >= c.n {
+			return ProbeVec{}, fmt.Errorf("linalg: ForwardProbe index %d out of range [0,%d)", o, c.n)
+		}
+		for s := c.snodeOf[c.iord[o]]; s != -1 && ws.mark[s] != ws.tick; s = c.snParent[s] {
+			ws.mark[s] = ws.tick
+			ws.sns = append(ws.sns, s)
+		}
+	}
+	sort.Slice(ws.sns, func(a, b int) bool { return ws.sns[a] < ws.sns[b] })
+	for t, o := range idx {
+		ws.y[c.iord[o]] += coef[t]
+	}
+	total := 0
+	for _, s := range ws.sns {
+		total += int(c.snStart[s+1] - c.snStart[s])
+	}
+	pv := ProbeVec{
+		Sn:  append([]int32(nil), ws.sns...),
+		Off: make([]int32, len(ws.sns)+1),
+		Val: make([]float64, total),
+	}
+	y := ws.y
+	off := 0
+	for x, s := range ws.sns {
+		c0, c1 := int(c.snStart[s]), int(c.snStart[s+1])
+		w := c1 - c0
+		rows := c.snRows[s]
+		f := c.snPanel[s]
+		for i := 0; i < w; i++ {
+			v := y[c0+i] - dotPanel(f[i*w:i*w+i], y[c0:c0+i])
+			y[c0+i] = v / f[i*w+i]
+		}
+		for r := w; r < len(rows); r++ {
+			y[rows[r]] -= dotPanel(f[r*w:r*w+w], y[c0:c0+w])
+		}
+		pv.Off[x] = int32(off)
+		copy(pv.Val[off:off+w], y[c0:c1])
+		off += w
+	}
+	pv.Off[len(ws.sns)] = int32(off)
+	// Reset the touched region: every below-row of an active supernode
+	// belongs to an ancestor, which is itself active, so zeroing the active
+	// column ranges restores y to all-zero.
+	for _, s := range ws.sns {
+		c0, c1 := int(c.snStart[s]), int(c.snStart[s+1])
+		for i := c0; i < c1; i++ {
+			y[i] = 0
+		}
+	}
+	return pv, nil
+}
+
+// SolveInto solves A x = b through the factorization (full dense sweep, both
+// triangular passes); x and b may alias. Used by tests and small callers —
+// probe workloads should prefer ForwardProbe.
+func (c *SparseCholesky) SolveInto(x, b []float64) error {
+	n := c.n
+	if len(x) != n || len(b) != n {
+		return fmt.Errorf("linalg: SparseCholesky SolveInto lengths %d/%d != %d", len(x), len(b), n)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[c.order[i]]
+	}
+	ns := len(c.snStart) - 1
+	for s := 0; s < ns; s++ {
+		c0, c1 := int(c.snStart[s]), int(c.snStart[s+1])
+		w := c1 - c0
+		rows := c.snRows[s]
+		f := c.snPanel[s]
+		for i := 0; i < w; i++ {
+			v := y[c0+i] - dotPanel(f[i*w:i*w+i], y[c0:c0+i])
+			y[c0+i] = v / f[i*w+i]
+		}
+		for r := w; r < len(rows); r++ {
+			y[rows[r]] -= dotPanel(f[r*w:r*w+w], y[c0:c0+w])
+		}
+	}
+	for s := ns - 1; s >= 0; s-- {
+		c0, c1 := int(c.snStart[s]), int(c.snStart[s+1])
+		w := c1 - c0
+		rows := c.snRows[s]
+		f := c.snPanel[s]
+		for r := len(rows) - 1; r >= w; r-- {
+			subMulRow(y[c0:c1], f[r*w:r*w+w], y[rows[r]])
+		}
+		for i := w - 1; i >= 0; i-- {
+			v := y[c0+i]
+			for t := i + 1; t < w; t++ {
+				v -= f[t*w+i] * y[c0+t]
+			}
+			y[c0+i] = v / f[i*w+i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[c.order[i]] = y[i]
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// laplacianSystem builds a conductance-style SPD system on a random graph:
+// a weighted graph Laplacian plus a small diagonal leak (the Gmin of the
+// circuit stamps), returned both as CSR coords and as a Dense for the
+// reference factorization.
+func laplacianSystem(t *testing.T, n int, extraEdges int, seed int64) (*CSR, *Dense) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var coords []Coord
+	dense := NewDense(n, n)
+	add := func(i, j int, g float64) {
+		coords = append(coords,
+			Coord{Row: i, Col: i, Val: g}, Coord{Row: j, Col: j, Val: g},
+			Coord{Row: i, Col: j, Val: -g}, Coord{Row: j, Col: i, Val: -g})
+		dense.Add(i, i, g)
+		dense.Add(j, j, g)
+		dense.Add(i, j, -g)
+		dense.Add(j, i, -g)
+	}
+	// Path backbone keeps the graph connected; extra random chords create
+	// irregular fill.
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1, 0.5+rng.Float64())
+	}
+	for e := 0; e < extraEdges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			add(i, j, 0.1+rng.Float64())
+		}
+	}
+	// A leak large enough to keep the test about factorization algebra, not
+	// about near-singular conditioning (the realistically conditioned
+	// systems are cross-validated at the xbar level).
+	for i := 0; i < n; i++ {
+		coords = append(coords, Coord{Row: i, Col: i, Val: 1e-6})
+		dense.Add(i, i, 1e-6)
+	}
+	return NewCSR(n, coords), dense
+}
+
+func testOrders(n int, seed int64) map[string][]int {
+	id := make([]int, n)
+	rev := make([]int, n)
+	shuf := make([]int, n)
+	for i := 0; i < n; i++ {
+		id[i], rev[i], shuf[i] = i, n-1-i, i
+	}
+	rand.New(rand.NewSource(seed)).Shuffle(n, func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+	return map[string][]int{"identity": id, "reverse": rev, "shuffled": shuf}
+}
+
+// TestSparseCholeskyMatchesDense checks the full solve against the dense
+// Cholesky on random conductance systems under several orderings — any
+// permutation must be numerically correct, only fill varies.
+func TestSparseCholeskyMatchesDense(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 60, 153} {
+		m, dense := laplacianSystem(t, n, n/2, int64(1000+n))
+		ref, err := FactorCholesky(dense)
+		if err != nil {
+			t.Fatalf("n=%d: dense factor: %v", n, err)
+		}
+		for name, ord := range testOrders(n, int64(n)) {
+			sc, err := FactorSparse(m, ord)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			rng := rand.New(rand.NewSource(int64(7 * n)))
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n)
+			got := make([]float64, n)
+			if err := ref.SolveInto(want, b); err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.SolveInto(got, b); err != nil {
+				t.Fatal(err)
+			}
+			// The leak-regularized Laplacian conditions like the real
+			// conductance systems (~1e9), so different summation orders
+			// legitimately differ at ~1e-7 relative.
+			norm := 1.0
+			for i := range want {
+				if a := math.Abs(want[i]); a > norm {
+					norm = a
+				}
+			}
+			for i := range want {
+				if d := math.Abs(got[i] - want[i]); d > 1e-6*norm {
+					t.Fatalf("n=%d %s: x[%d] = %g, dense %g (diff %g)", n, name, i, got[i], want[i], d)
+				}
+			}
+			if sc.Depth() < 1 || sc.Supernodes() < 1 || sc.FillNNZ() < int64(n) {
+				t.Fatalf("n=%d %s: implausible stats depth=%d sn=%d nnz=%d",
+					n, name, sc.Depth(), sc.Supernodes(), sc.FillNNZ())
+			}
+		}
+	}
+}
+
+// TestForwardProbeDots checks that probe solves restricted to their
+// supernodal support reproduce the dense bilinear forms u^T A^-1 v for
+// sparse u, v — the exact quantity the Green tables are built from.
+func TestForwardProbeDots(t *testing.T) {
+	const n = 120
+	m, dense := laplacianSystem(t, n, 40, 42)
+	ref, err := FactorCholesky(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ord := range testOrders(n, 5) {
+		sc, err := FactorSparse(m, ord)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ws := sc.NewProbeWorkspace()
+		rng := rand.New(rand.NewSource(99))
+		type probe struct {
+			idx  []int
+			coef []float64
+		}
+		probes := make([]probe, 24)
+		vecs := make([]ProbeVec, len(probes))
+		for q := range probes {
+			switch q % 3 {
+			case 0: // single
+				probes[q] = probe{[]int{rng.Intn(n)}, []float64{1}}
+			case 1: // pair difference
+				a, b := rng.Intn(n), rng.Intn(n)
+				for b == a {
+					b = rng.Intn(n)
+				}
+				probes[q] = probe{[]int{a, b}, []float64{1, -1}}
+			default: // weighted triple
+				probes[q] = probe{
+					[]int{rng.Intn(n), rng.Intn(n), rng.Intn(n)},
+					[]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+				}
+			}
+			pv, err := sc.ForwardProbe(ws, probes[q].idx, probes[q].coef)
+			if err != nil {
+				t.Fatalf("%s: probe %d: %v", name, q, err)
+			}
+			vecs[q] = pv
+		}
+		rhs := make([]float64, n)
+		sol := make([]float64, n)
+		for a := range probes {
+			for i := range rhs {
+				rhs[i] = 0
+			}
+			for x, o := range probes[a].idx {
+				rhs[o] += probes[a].coef[x]
+			}
+			if err := ref.SolveInto(sol, rhs); err != nil {
+				t.Fatal(err)
+			}
+			for b := a; b < len(probes); b++ {
+				want := 0.0
+				for x, o := range probes[b].idx {
+					want += probes[b].coef[x] * sol[o]
+				}
+				got := ProbeDot(vecs[a], vecs[b])
+				scale := math.Abs(want) + 1e-6
+				if d := math.Abs(got - want); d > 1e-6*scale {
+					t.Fatalf("%s: dot(%d,%d) = %g, dense %g", name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardProbeWorkspaceReuse: consecutive probes through one workspace
+// must not contaminate each other (the scratch vector is reset by support).
+func TestForwardProbeWorkspaceReuse(t *testing.T) {
+	const n = 80
+	m, _ := laplacianSystem(t, n, 30, 7)
+	ord := testOrders(n, 3)["shuffled"]
+	sc, err := FactorSparse(m, ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws1 := sc.NewProbeWorkspace()
+	ws2 := sc.NewProbeWorkspace()
+	first, err := sc.ForwardProbe(ws1, []int{3, 70}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave unrelated probes through ws1, then repeat the first probe:
+	// fresh-workspace and reused-workspace results must agree bit for bit.
+	for q := 0; q < 5; q++ {
+		if _, err := sc.ForwardProbe(ws1, []int{q * 7}, []float64{2.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := sc.ForwardProbe(ws1, []int{3, 70}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sc.ForwardProbe(ws2, []int{3, 70}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []ProbeVec{again, fresh} {
+		if len(other.Val) != len(first.Val) {
+			t.Fatalf("support changed: %d vs %d", len(other.Val), len(first.Val))
+		}
+		for i := range first.Val {
+			if other.Val[i] != first.Val[i] {
+				t.Fatalf("probe not deterministic at %d: %g vs %g", i, other.Val[i], first.Val[i])
+			}
+		}
+	}
+}
+
+// TestFactorSparseErrors pins the error paths: bad orders and indefinite
+// matrices must fail loudly, not corrupt memory.
+func TestFactorSparseErrors(t *testing.T) {
+	m, _ := laplacianSystem(t, 10, 3, 1)
+	if _, err := FactorSparse(m, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := []int{0, 0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := FactorSparse(m, bad); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	// An indefinite matrix: off-diagonal dominates.
+	var coords []Coord
+	coords = append(coords,
+		Coord{Row: 0, Col: 0, Val: 1}, Coord{Row: 1, Col: 1, Val: 1},
+		Coord{Row: 0, Col: 1, Val: -5}, Coord{Row: 1, Col: 0, Val: -5})
+	ind := NewCSR(2, coords)
+	if _, err := FactorSparse(ind, []int{0, 1}); err == nil {
+		t.Error("indefinite matrix factored without error")
+	}
+}

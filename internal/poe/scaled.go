@@ -22,45 +22,68 @@ import (
 // keeping scaled specs feasible by construction while still forcing the
 // solver to prove (or improve on) a dense-overlap placement.
 
+// staggerOffsets returns the contiguous range of bar offsets that cover a
+// rows-long column with bars of half-height v placed every spacing rows:
+// the top bar covers row 0 when o <= v, and the bottom row is covered when
+// the last in-range bar (at rows-1 - (rows-1-o) mod spacing) reaches it.
+// Both constraints together give o in [t0-v, t0] ∩ [0, v] with
+// t0 = (rows-1) mod spacing.
+func staggerOffsets(rows, v, spacing int) (lo, hi int) {
+	t0 := (rows - 1) % spacing
+	lo, hi = t0-v, t0
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > v {
+		hi = v
+	}
+	return lo, hi
+}
+
 // latticePlacement returns the staggered-lattice placement for the config's
 // paper cross shape as linear cell indices, or nil when the geometry does
 // not admit the construction (e.g. vertical reach too large for the row
 // count, or horizontal arms long enough to defeat the stagger — callers
 // always re-validate coverage).
+//
+// Bars spaced L = 2*VertReach+1 apart tile a column exactly once, and any
+// two distinct offsets below L put adjacent columns' bar rows out of phase,
+// so no cell ever collects two horizontal arms. When the row count leaves
+// fewer than two exact-tiling offsets (e.g. 64 = 7*9+1 rows admits only
+// offset 0), the construction falls back to a brick tiling at spacing L-1:
+// consecutive bars overlap in exactly one row, and the offset window the
+// bottom-coverage constraint leaves (width <= VertReach+1 < L-1) keeps
+// those double-covered rows clear of every neighbouring column's bar
+// centers, so coverage still never exceeds two.
 func latticePlacement(cfg xbar.Config) []int {
 	L := 2*cfg.VertReach + 1
-	if cfg.Rows < L-cfg.VertReach || L <= 0 {
+	if cfg.Rows < L-cfg.VertReach || L <= 1 {
 		return nil
 	}
-	// Bars at rows r0+k*L tile a column exactly once when consecutive bars
-	// abut: r0 <= VertReach keeps row 0 covered, and the last bar must reach
-	// the bottom row.
-	k := (cfg.Rows + L - 1) / L
-	lo := cfg.Rows - 1 - cfg.VertReach - (k-1)*L
-	if lo < 0 {
-		lo = 0
-	}
-	hi := cfg.VertReach
-	m := hi - lo + 1
-	if m < 2 {
-		return nil // no stagger room: adjacent columns would share bar rows
-	}
-	// Column c's bar offset. With three or more distinct offsets a simple
-	// c mod m stagger keeps columns c-1 and c+1 on different rows; with two,
-	// the paired pattern a,a,b,b does.
-	offset := func(c int) int {
-		if m >= 3 {
-			return lo + c%m
+	for _, spacing := range []int{L, L - 1} {
+		lo, hi := staggerOffsets(cfg.Rows, cfg.VertReach, spacing)
+		m := hi - lo + 1
+		if m < 2 {
+			continue // no stagger room: adjacent columns would share bar rows
 		}
-		return lo + (c/2)%2
-	}
-	var idx []int
-	for c := 0; c < cfg.Cols; c++ {
-		for r := offset(c); r < cfg.Rows; r += L {
-			idx = append(idx, r*cfg.Cols+c)
+		// Column c's bar offset. With three or more distinct offsets a simple
+		// c mod m stagger keeps columns c-1 and c+1 on different rows; with
+		// two, the paired pattern a,a,b,b does.
+		offset := func(c int) int {
+			if m >= 3 {
+				return lo + c%m
+			}
+			return lo + (c/2)%2
 		}
+		var idx []int
+		for c := 0; c < cfg.Cols; c++ {
+			for r := offset(c); r < cfg.Rows; r += spacing {
+				idx = append(idx, r*cfg.Cols+c)
+			}
+		}
+		return idx
 	}
-	return idx
+	return nil
 }
 
 // latticeIncumbent renders the lattice placement as a branch-and-bound

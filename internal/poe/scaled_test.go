@@ -39,12 +39,67 @@ var goldenScaled32 = []int{
 	124, 412, 700, 988, 157, 445, 733, 1021, 30, 318, 606, 894, 63, 351, 639, 927,
 }
 
+// 48x48, S=564, 288 PoEs (exact-tiling stagger, offsets {0,1,2}).
+var goldenScaled48 = []int{
+	0, 432, 864, 1296, 1728, 2160, 49, 481, 913, 1345, 1777, 2209, 98, 530, 962, 1394, 1826, 2258,
+	3, 435, 867, 1299, 1731, 2163, 52, 484, 916, 1348, 1780, 2212, 101, 533, 965, 1397, 1829, 2261,
+	6, 438, 870, 1302, 1734, 2166, 55, 487, 919, 1351, 1783, 2215, 104, 536, 968, 1400, 1832, 2264,
+	9, 441, 873, 1305, 1737, 2169, 58, 490, 922, 1354, 1786, 2218, 107, 539, 971, 1403, 1835, 2267,
+	12, 444, 876, 1308, 1740, 2172, 61, 493, 925, 1357, 1789, 2221, 110, 542, 974, 1406, 1838, 2270,
+	15, 447, 879, 1311, 1743, 2175, 64, 496, 928, 1360, 1792, 2224, 113, 545, 977, 1409, 1841, 2273,
+	18, 450, 882, 1314, 1746, 2178, 67, 499, 931, 1363, 1795, 2227, 116, 548, 980, 1412, 1844, 2276,
+	21, 453, 885, 1317, 1749, 2181, 70, 502, 934, 1366, 1798, 2230, 119, 551, 983, 1415, 1847, 2279,
+	24, 456, 888, 1320, 1752, 2184, 73, 505, 937, 1369, 1801, 2233, 122, 554, 986, 1418, 1850, 2282,
+	27, 459, 891, 1323, 1755, 2187, 76, 508, 940, 1372, 1804, 2236, 125, 557, 989, 1421, 1853, 2285,
+	30, 462, 894, 1326, 1758, 2190, 79, 511, 943, 1375, 1807, 2239, 128, 560, 992, 1424, 1856, 2288,
+	33, 465, 897, 1329, 1761, 2193, 82, 514, 946, 1378, 1810, 2242, 131, 563, 995, 1427, 1859, 2291,
+	36, 468, 900, 1332, 1764, 2196, 85, 517, 949, 1381, 1813, 2245, 134, 566, 998, 1430, 1862, 2294,
+	39, 471, 903, 1335, 1767, 2199, 88, 520, 952, 1384, 1816, 2248, 137, 569, 1001, 1433, 1865, 2297,
+	42, 474, 906, 1338, 1770, 2202, 91, 523, 955, 1387, 1819, 2251, 140, 572, 1004, 1436, 1868, 2300,
+	45, 477, 909, 1341, 1773, 2205, 94, 526, 958, 1390, 1822, 2254, 143, 575, 1007, 1439, 1871, 2303,
+}
+
+// 64x64, S=1456, 512 PoEs (brick tiling at spacing 8, paired offsets {3,4}).
+var goldenScaled64 = []int{
+	192, 704, 1216, 1728, 2240, 2752, 3264, 3776, 193, 705, 1217, 1729, 2241, 2753, 3265, 3777, 258, 770,
+	1282, 1794, 2306, 2818, 3330, 3842, 259, 771, 1283, 1795, 2307, 2819, 3331, 3843, 196, 708, 1220, 1732,
+	2244, 2756, 3268, 3780, 197, 709, 1221, 1733, 2245, 2757, 3269, 3781, 262, 774, 1286, 1798, 2310, 2822,
+	3334, 3846, 263, 775, 1287, 1799, 2311, 2823, 3335, 3847, 200, 712, 1224, 1736, 2248, 2760, 3272, 3784,
+	201, 713, 1225, 1737, 2249, 2761, 3273, 3785, 266, 778, 1290, 1802, 2314, 2826, 3338, 3850, 267, 779,
+	1291, 1803, 2315, 2827, 3339, 3851, 204, 716, 1228, 1740, 2252, 2764, 3276, 3788, 205, 717, 1229, 1741,
+	2253, 2765, 3277, 3789, 270, 782, 1294, 1806, 2318, 2830, 3342, 3854, 271, 783, 1295, 1807, 2319, 2831,
+	3343, 3855, 208, 720, 1232, 1744, 2256, 2768, 3280, 3792, 209, 721, 1233, 1745, 2257, 2769, 3281, 3793,
+	274, 786, 1298, 1810, 2322, 2834, 3346, 3858, 275, 787, 1299, 1811, 2323, 2835, 3347, 3859, 212, 724,
+	1236, 1748, 2260, 2772, 3284, 3796, 213, 725, 1237, 1749, 2261, 2773, 3285, 3797, 278, 790, 1302, 1814,
+	2326, 2838, 3350, 3862, 279, 791, 1303, 1815, 2327, 2839, 3351, 3863, 216, 728, 1240, 1752, 2264, 2776,
+	3288, 3800, 217, 729, 1241, 1753, 2265, 2777, 3289, 3801, 282, 794, 1306, 1818, 2330, 2842, 3354, 3866,
+	283, 795, 1307, 1819, 2331, 2843, 3355, 3867, 220, 732, 1244, 1756, 2268, 2780, 3292, 3804, 221, 733,
+	1245, 1757, 2269, 2781, 3293, 3805, 286, 798, 1310, 1822, 2334, 2846, 3358, 3870, 287, 799, 1311, 1823,
+	2335, 2847, 3359, 3871, 224, 736, 1248, 1760, 2272, 2784, 3296, 3808, 225, 737, 1249, 1761, 2273, 2785,
+	3297, 3809, 290, 802, 1314, 1826, 2338, 2850, 3362, 3874, 291, 803, 1315, 1827, 2339, 2851, 3363, 3875,
+	228, 740, 1252, 1764, 2276, 2788, 3300, 3812, 229, 741, 1253, 1765, 2277, 2789, 3301, 3813, 294, 806,
+	1318, 1830, 2342, 2854, 3366, 3878, 295, 807, 1319, 1831, 2343, 2855, 3367, 3879, 232, 744, 1256, 1768,
+	2280, 2792, 3304, 3816, 233, 745, 1257, 1769, 2281, 2793, 3305, 3817, 298, 810, 1322, 1834, 2346, 2858,
+	3370, 3882, 299, 811, 1323, 1835, 2347, 2859, 3371, 3883, 236, 748, 1260, 1772, 2284, 2796, 3308, 3820,
+	237, 749, 1261, 1773, 2285, 2797, 3309, 3821, 302, 814, 1326, 1838, 2350, 2862, 3374, 3886, 303, 815,
+	1327, 1839, 2351, 2863, 3375, 3887, 240, 752, 1264, 1776, 2288, 2800, 3312, 3824, 241, 753, 1265, 1777,
+	2289, 2801, 3313, 3825, 306, 818, 1330, 1842, 2354, 2866, 3378, 3890, 307, 819, 1331, 1843, 2355, 2867,
+	3379, 3891, 244, 756, 1268, 1780, 2292, 2804, 3316, 3828, 245, 757, 1269, 1781, 2293, 2805, 3317, 3829,
+	310, 822, 1334, 1846, 2358, 2870, 3382, 3894, 311, 823, 1335, 1847, 2359, 2871, 3383, 3895, 248, 760,
+	1272, 1784, 2296, 2808, 3320, 3832, 249, 761, 1273, 1785, 2297, 2809, 3321, 3833, 314, 826, 1338, 1850,
+	2362, 2874, 3386, 3898, 315, 827, 1339, 1851, 2363, 2875, 3387, 3899, 252, 764, 1276, 1788, 2300, 2812,
+	3324, 3836, 253, 765, 1277, 1789, 2301, 2813, 3325, 3837, 318, 830, 1342, 1854, 2366, 2878, 3390, 3902,
+	319, 831, 1343, 1855, 2367, 2879, 3391, 3903,
+}
+
 var scaledGoldens = []struct {
 	rows, cols, slack int
 	idx               []int
 }{
 	{24, 24, 138, goldenScaled24},
 	{32, 32, 248, goldenScaled32},
+	{48, 48, 564, goldenScaled48},
+	{64, 64, 1456, goldenScaled64},
 }
 
 // TestScaledPlacementGoldens verifies the pinned placements the cheap way:

@@ -153,7 +153,7 @@ func (c *Calibration) useSketch() bool {
 	switch c.cfg.Characterization {
 	case CharDense:
 		return false
-	case CharSparse:
+	case CharSparse, CharHier:
 		return true
 	default:
 		return c.cfg.Cells() > sparseCutoff

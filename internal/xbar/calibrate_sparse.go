@@ -37,6 +37,9 @@ type calSketch struct {
 	// dg is the per-cell edge conductance delta of the +sensDelta state
 	// perturbation used by the finite-difference sweep.
 	dg []float64
+	// scratch pools *hierScratch per-PoE sweep transients across the
+	// device's cells builds (hierarchical backend only).
+	scratch sync.Pool
 }
 
 // sketch builds (once) and returns the shared device sketch.
@@ -68,7 +71,23 @@ func (c *Calibration) buildDeviceSketch() error {
 	for col := 0; col < cfg.Cols; col++ {
 		singles[cfg.Rows+col] = c.xb.colTerm(col)
 	}
-	sk, err := nw.FactorSketch(pairs, singles, circuit.SketchOptions{})
+	// Supply nested-dissection ordering and truncation-sparsity hints when
+	// the hierarchical backend is forced or in reach of the auto selection.
+	// ShapeVoltage shapes have no analytic reach, so they stay on the
+	// dense/CG backends (CharHier+ShapeVoltage is rejected by Validate).
+	opt := circuit.SketchOptions{HierLimit: hierUnknownCutoff}
+	hierForced := cfg.Characterization == CharHier
+	if hierForced && cfg.Shape != ShapePaper {
+		return fmt.Errorf("xbar: CharHier needs ShapePaper")
+	}
+	if hierForced || (cfg.Shape == ShapePaper && c.xb.totalNodes()-1 > hierUnknownCutoff) {
+		opt.Order = c.xb.dissectionOrder()
+		opt.Sparsity = c.buildHierSparsity()
+		if hierForced {
+			opt.Backend = circuit.SketchHier
+		}
+	}
+	sk, err := nw.FactorSketch(pairs, singles, opt)
 	if err != nil {
 		return err
 	}
@@ -165,18 +184,6 @@ func (c *Calibration) buildSketch(poe Cell, pc *poeCal) error {
 	if err != nil {
 		return err
 	}
-	// Pin the pulse drive: this PoE's row terminal at +VDrive, column
-	// terminal at -VDrive (singles are laid out rows first).
-	pin, err := sk.Pin([]int{poe.Row, cfg.Rows + poe.Col}, []float64{cfg.VDrive, -cfg.VDrive})
-	if err != nil {
-		return err
-	}
-	base := make([]float64, len(shape))
-	sidx := make([]int, len(shape))
-	for k, cell := range shape {
-		sidx[k] = cfg.Index(cell)
-		base[k] = abs(pin.BaseDiff(sidx[k]))
-	}
 	tol := cfg.TruncationTol
 	if tol <= 0 {
 		tol = defaultTruncationTol
@@ -186,10 +193,50 @@ func (c *Calibration) buildSketch(poe Cell, pc *poeCal) error {
 	if cfg.TruncationRadius > 0 && cfg.TruncationRadius < maxRad {
 		maxRad = cfg.TruncationRadius
 	}
+	// Pin the pulse drive: this PoE's row terminal at +VDrive, column
+	// terminal at -VDrive (singles are laid out rows first). On the
+	// hierarchical backend the sweep radius is capped — its Green tables
+	// only exist inside the truncation sparsity — and the pin is windowed
+	// to the swept ball plus the polyomino, so per-PoE transient state is
+	// O(window), not O(cells).
+	hier := sk.Backend() == circuit.SketchHier
+	var pin *circuit.PinnedSketch
+	var window, winPos []int32
+	var scr *hierScratch
+	width := cells
+	if hier {
+		if rt := c.hierTruncRadius(); rt < maxRad {
+			maxRad = rt
+		}
+		scr, _ = c.sk.scratch.Get().(*hierScratch)
+		if scr == nil {
+			scr = &hierScratch{}
+		}
+		defer c.sk.scratch.Put(scr)
+		window, winPos = hierWindow(scr, cfg, poe, inShape, maxRad)
+		width = len(window)
+		pin, err = sk.PinWindow([]int{poe.Row, cfg.Rows + poe.Col}, []float64{cfg.VDrive, -cfg.VDrive}, window)
+	} else {
+		pin, err = sk.Pin([]int{poe.Row, cfg.Rows + poe.Col}, []float64{cfg.VDrive, -cfg.VDrive})
+	}
+	if err != nil {
+		return err
+	}
+	base := make([]float64, len(shape))
+	sidx := make([]int, len(shape))
+	for k, cell := range shape {
+		sidx[k] = cfg.Index(cell)
+		base[k] = abs(pin.BaseDiff(sidx[k]))
+	}
 	maxW := int64((uint64(1)<<53 - 1) / uint64(3*cells))
-	wdense := make([][]int64, len(shape))
-	for k := range wdense {
-		wdense[k] = make([]int64, cells)
+	var wdense [][]int64
+	if hier {
+		wdense = scr.weightSlab(len(shape), width)
+	} else {
+		wdense = make([][]int64, len(shape))
+		for k := range wdense {
+			wdense[k] = make([]int64, width)
+		}
 	}
 	visited := 0
 	var buildErr error
@@ -202,6 +249,10 @@ func (c *Calibration) buildSketch(poe Cell, pc *poeCal) error {
 			}
 			swept = true
 			visited++
+			col := m
+			if hier {
+				col = int(winPos[m])
+			}
 			scale, perr := pin.PerturbScale(m, dg[m])
 			if perr != nil {
 				buildErr = perr
@@ -218,7 +269,7 @@ func (c *Calibration) buildSketch(poe Cell, pc *poeCal) error {
 					buildErr = fmt.Errorf("xbar: PoE %+v sensitivity %g overflows the fixed-point weight grid", poe, w)
 					return false
 				}
-				wdense[k][m] = wq
+				wdense[k][col] = wq
 			}
 			return true
 		})
@@ -233,7 +284,13 @@ func (c *Calibration) buildSketch(poe Cell, pc *poeCal) error {
 		t.cellsVisited.Add(int64(visited))
 		t.cellsSkipped.Add(int64(cells - len(shape) - visited))
 	}
-	compIdx, compPos, wflat := flattenSensitivities(cells, inShape, wdense)
+	var compIdx, compPos []int32
+	var wflat [][]int64
+	if hier {
+		compIdx, compPos, wflat = flattenSensitivitiesWindowed(cells, inShape, window, wdense)
+	} else {
+		compIdx, compPos, wflat = flattenSensitivities(cells, inShape, wdense)
+	}
 	// Band edges from the CLT instead of the legacy 512-sample Monte Carlo:
 	// over uniform random data the deviation accumulator is a sum of
 	// independent w*q terms with q uniform on {-3,-1,1,3} (zero mean,

@@ -40,3 +40,10 @@ func BenchmarkColdCharacterize16x16Parallel(b *testing.B) { benchCold(b, 16, 16,
 // locality-truncated sketch path, serial and as the WarmAll power-on path.
 func BenchmarkColdCharacterize32x32(b *testing.B)        { benchCold(b, 32, 32, 1) }
 func BenchmarkColdCharacterize32x32WarmAll(b *testing.B) { benchCold(b, 32, 32, 0) }
+
+// Main-memory scale through the hierarchical nested-dissection backend:
+// 48x48 (2304 PoEs, ~4700 unknowns) and 64x64 (4096 PoEs, ~8300 unknowns),
+// sizes the dense-table sketch could not hold (a 64x64 dense factor alone
+// is ~550 MB).
+func BenchmarkColdCharacterize48x48(b *testing.B) { benchCold(b, 48, 48, 1) }
+func BenchmarkColdCharacterize64x64(b *testing.B) { benchCold(b, 64, 64, 1) }

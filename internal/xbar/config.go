@@ -59,6 +59,12 @@ const (
 	CharDense
 	// CharSparse forces the shared-sketch path at any size.
 	CharSparse
+	// CharHier forces the sketch path with the hierarchical (nested-
+	// dissection, block-sparse Green table) backend at any size. Requires
+	// ShapePaper: the truncation sparsity is derived from the analytic
+	// polyomino reach. Under CharAuto and CharSparse the hierarchical
+	// backend is selected automatically above ~1024 unknowns (24x24+).
+	CharHier
 )
 
 // Config describes a crossbar instance.
@@ -148,6 +154,10 @@ func (c Config) Validate() error {
 	}
 	switch c.Characterization {
 	case CharAuto, CharDense, CharSparse:
+	case CharHier:
+		if c.Shape != ShapePaper {
+			return fmt.Errorf("xbar: CharHier needs ShapePaper (the truncation sparsity is derived from the analytic polyomino reach)")
+		}
 	default:
 		return fmt.Errorf("xbar: unknown characterization mode %d", c.Characterization)
 	}
