@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -84,6 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: parsed %d benchmark results, need at least %d\n", len(rep.Results), *require)
 		os.Exit(1)
 	}
+	deriveSpeedups(rep.Results)
 	enc, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -97,6 +99,41 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+var workersRe = regexp.MustCompile(`workers=(\d+)`)
+
+// deriveSpeedups adds a "speedup_vs_w1" Extra metric to every result whose
+// name carries a workers=N>1 sub-benchmark label and whose workers=1
+// sibling (same name with the label substituted, including the same -cpu
+// suffix) is present in the batch: the throughput ratio the CI bench
+// matrix asserts on multi-core runners. Results without a sibling are left
+// untouched.
+func deriveSpeedups(results []Result) {
+	base := make(map[string]float64, len(results))
+	for _, r := range results {
+		if m := workersRe.FindStringSubmatch(r.Name); m != nil && m[1] == "1" && r.NsPerOp > 0 {
+			base[r.Name] = r.NsPerOp
+		}
+	}
+	if len(base) == 0 {
+		return
+	}
+	for i := range results {
+		r := &results[i]
+		m := workersRe.FindStringSubmatch(r.Name)
+		if m == nil || m[1] == "1" || r.NsPerOp <= 0 {
+			continue
+		}
+		w1, ok := base[workersRe.ReplaceAllString(r.Name, "workers=1")]
+		if !ok {
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		r.Extra["speedup_vs_w1"] = w1 / r.NsPerOp
 	}
 }
 

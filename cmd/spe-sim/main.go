@@ -13,6 +13,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -41,7 +42,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency | sizewall | redteam)")
+	expFlag     = flag.String("exp", "list", "experiment to run (list | all | fig2 | fig4 | fig5 | fig6 | montecarlo | table1 | table2 | bruteforce | coldboot | fig7 | fig8 | table3 | poesweep | timersweep | wearlevel | nvcache | concurrency | batchsweep | sizewall | redteam)")
 	fullFlag    = flag.Bool("full", false, "run at paper scale (slow)")
 	instFlag    = flag.Int64("insts", 1_000_000, "instructions per workload for fig7/fig8/table3")
 	seqsFlag    = flag.Int("seqs", 10, "sequences per data set for table2")
@@ -58,7 +59,8 @@ var (
 	rtScript    = flag.String("redteam-script", "", "workload script driving the redteam exposure measurement (default: built-in crash schedule)")
 	rowsFlag    = flag.Int("rows", 24, "crossbar rows for the sizewall experiment")
 	colsFlag    = flag.Int("cols", 24, "crossbar cols for the sizewall experiment")
-	jsonFlag    = flag.Bool("json", false, "emit the sizewall results as one JSON object on stdout (machine-comparable across runs)")
+	batchFlag   = flag.Int("batch-size", 64, "ops per batch for the batchsweep experiment")
+	jsonFlag    = flag.Bool("json", false, "emit the sizewall/batchsweep results as one JSON object on stdout (machine-comparable across runs)")
 )
 
 // telReg is non-nil when -telemetry-addr is set; a nil registry is inert,
@@ -135,6 +137,7 @@ func main() {
 		{"wearlevel", "extension: start-gap defense against endurance attacks", wearlevelExp},
 		{"nvcache", "future work: SPE-protected non-volatile cache sweep", nvcacheExp},
 		{"concurrency", "sharded SPECU pipeline: sequential vs pooled throughput + shadow verification", concurrency},
+		{"batchsweep", "adaptive batch scheduler: batch ops/s at workers 1/2/4/8 and -batch-size", batchsweep},
 		{"sizewall", "scaled-array characterization: full precharacterization + scaled Table 1 at -rows x -cols", sizewall},
 		{"redteam", "adversarial harness: side-channel distinguisher + crash injection (JSON verdict)", func() error { return runRedteam("all", *rtScript) }},
 	}
@@ -859,6 +862,135 @@ func sizewall() error {
 		if human {
 			fmt.Println("(radius cap trades unmeasured far-field weights for sweep time; the")
 			fmt.Println("default tolerance keeps fixed-point deviations bit-identical instead)")
+		}
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return nil
+}
+
+// batchsweepRun is one worker-count measurement of the batchsweep
+// experiment, serialized under -json.
+type batchsweepRun struct {
+	Workers      int     `json:"workers"`
+	WriteOpsPerS float64 `json:"write_ops_per_s"`
+	ReadOpsPerS  float64 `json:"read_ops_per_s"`
+	CryptOpsPerS float64 `json:"crypt_ops_per_s"`
+	// SpeedupVsW1 is the read-path throughput ratio against the workers=1
+	// run of the same sweep; 0 on the workers=1 row itself.
+	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
+}
+
+// batchsweepReport is the -json document of the batchsweep experiment —
+// the soak-run feed for the future spe-serve SLO dashboard.
+type batchsweepReport struct {
+	BatchSize  int             `json:"batch_size"`
+	Passes     int             `json:"passes"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Runs       []batchsweepRun `json:"runs"`
+}
+
+// batchsweep measures the shard-coalesced batch scheduler end to end:
+// steady-state WriteBatch, ReadBatch and DecryptBatch+EncryptBatch
+// throughput over a -batch-size working set at 1, 2, 4 and 8 workers.
+// Parallel mode keeps every phase in its encrypted steady state (reads
+// decrypt and re-encrypt, overwrites reprogram ciphertext), so ops/s is
+// comparable across phases and worker counts. On a GOMAXPROCS=1 host the
+// pool clamps to one worker and every row measures the inline path — run
+// on a multi-core host for real scaling numbers.
+func batchsweep() error {
+	eng, err := engine()
+	if err != nil {
+		return err
+	}
+	batch := *batchFlag
+	if batch < 1 {
+		return fmt.Errorf("batchsweep: -batch-size must be >= 1 (got %d)", batch)
+	}
+	const passes = 6
+	g := prng.NewGen(uint64(*seedFlag) * 0x9E3779B9)
+	key := prng.NewKey(g.Uint64(), g.Uint64())
+	payload := make([]byte, core.BlockSize)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	addrs := make([]uint64, batch)
+	ops := make([]core.WriteOp, batch)
+	for i := range addrs {
+		addrs[i] = uint64(i) * core.BlockSize
+		ops[i] = core.WriteOp{Addr: addrs[i], Data: payload}
+	}
+
+	rep := batchsweepReport{BatchSize: batch, Passes: passes, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	human := !*jsonFlag
+	if human {
+		fmt.Printf("GOMAXPROCS=%d; batch of %d blocks, %d timed passes per phase\n",
+			rep.GOMAXPROCS, batch, passes)
+		fmt.Printf("%-10s %14s %14s %14s %10s\n", "workers", "write ops/s", "read ops/s", "crypt ops/s", "read x")
+	}
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 8} {
+		s := core.NewSPECU(eng, core.Parallel)
+		if err := s.PowerOn(key); err != nil {
+			return err
+		}
+		if err := s.Serve(ctx, w, 2*batch); err != nil {
+			return err
+		}
+		// Untimed warm pass fabricates the working set.
+		for _, e := range s.WriteBatch(ctx, ops) {
+			if e != nil {
+				s.Close()
+				return e
+			}
+		}
+		phase := func(f func() error) (float64, error) {
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				if err := f(); err != nil {
+					return 0, err
+				}
+			}
+			return float64(passes*batch) / time.Since(start).Seconds(), nil
+		}
+		run := batchsweepRun{Workers: w}
+		if run.WriteOpsPerS, err = phase(func() error {
+			return errors.Join(s.WriteBatch(ctx, ops)...)
+		}); err == nil {
+			if run.ReadOpsPerS, err = phase(func() error {
+				for _, r := range s.ReadBatch(ctx, addrs) {
+					if r.Err != nil {
+						return r.Err
+					}
+				}
+				return nil
+			}); err == nil {
+				run.CryptOpsPerS, err = phase(func() error {
+					if e := errors.Join(s.DecryptBatch(ctx, addrs)...); e != nil {
+						return e
+					}
+					return errors.Join(s.EncryptBatch(ctx, addrs)...)
+				})
+			}
+		}
+		s.Close()
+		if err != nil {
+			return err
+		}
+		if w > 1 && len(rep.Runs) > 0 && rep.Runs[0].ReadOpsPerS > 0 {
+			run.SpeedupVsW1 = run.ReadOpsPerS / rep.Runs[0].ReadOpsPerS
+		}
+		rep.Runs = append(rep.Runs, run)
+		if human {
+			x := "-"
+			if run.SpeedupVsW1 > 0 {
+				x = fmt.Sprintf("%.2fx", run.SpeedupVsW1)
+			}
+			fmt.Printf("%-10d %14.1f %14.1f %14.1f %10s\n",
+				w, run.WriteOpsPerS, run.ReadOpsPerS, run.CryptOpsPerS, x)
 		}
 	}
 	if *jsonFlag {

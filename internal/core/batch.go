@@ -2,17 +2,22 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"snvmm/internal/prng"
 )
 
 // The batched service layer: a SPECU fronting main memory must service
 // many outstanding L2 misses at once. Serve attaches a bounded worker pool
-// to the SPECU; the *Batch methods then queue independent block operations
-// behind it (one task per block, fanning each block's crossbars out as
-// subtasks), with context-based cancellation. Without Serve the batch
-// methods degrade gracefully to the sequential path, so callers need not
-// care which mode the unit is in.
+// to the SPECU; the *Batch methods then dispatch through a shard-coalescing
+// scheduler — ops are grouped by shard and submitted as ONE pool task per
+// touched shard, so a run of same-shard ops pays the key snapshot and shard
+// lock once instead of once per op, and two runs never contend on the same
+// shard lock. Small batches and workers==1 pools take an inline sequential
+// path so dispatch overhead can never lose to the plain sequential loop.
+// Without Serve the batch methods degrade to that same inline path, so
+// callers need not care which mode the unit is in.
 
 // WriteOp is one element of a WriteBatch: store Data (BlockSize bytes) at
 // Addr.
@@ -28,12 +33,20 @@ type ReadResult struct {
 	Err  error
 }
 
-// Serve starts the SPECU's worker pool: workers goroutines behind a
-// request queue of the given depth (<= 0 selects defaults; see NewPool).
-// Cancelling ctx shuts the pool down as if Close had been called. Serve
-// fails with ErrServing if a pool is already attached.
+// inlineBatchMax is the largest batch that always dispatches inline. A
+// handful of ops cannot amortize task submission plus a worker wake-up
+// (each op is microseconds of pulse work, a channel handoff is a similar
+// order once scheduling latency is counted), so batches at or under this
+// size run the caller's goroutine straight through the sequential path.
+const inlineBatchMax = 8
+
+// Serve starts the SPECU's worker pool: an adaptive pool whose live worker
+// set floats between 1 and workers goroutines behind a request queue of the
+// given depth (<= 0 selects defaults; see NewAdaptivePool). Cancelling ctx
+// shuts the pool down as if Close had been called. Serve fails with
+// ErrServing if a pool is already attached.
 func (s *SPECU) Serve(ctx context.Context, workers, depth int) error {
-	p := NewPool(workers, depth)
+	p := NewAdaptivePool(1, workers, depth)
 	// Wire instruments before publishing the pool so any task the pool runs
 	// observes a fully attached telemetry set (happens-before via the CAS).
 	if t := s.tel.Load(); t != nil {
@@ -69,52 +82,164 @@ func (s *SPECU) Close() {
 	}
 }
 
-// forEach runs op(i) for i in [0, n), through the pool when one is
-// attached and inline otherwise, and returns per-index submission errors
-// (context cancellation, pool closure; nil where op actually ran). op(i)
-// records its own outcome in a result slot it owns exclusively; the final
-// WaitGroup/loop completion publishes those writes to the caller.
-func (s *SPECU) forEach(ctx context.Context, n int, op func(i int)) []error {
-	subErrs := make([]error, n)
+// batchOps describes one batch to the scheduler. Each op owns result slot i
+// exclusively; the scheduler's final WaitGroup (or the inline loop's
+// completion) publishes those writes to the caller.
+type batchOps struct {
+	n    int
+	addr func(i int) uint64
+	// inline runs op i on the caller's goroutine, taking its own locks
+	// (the sequential path).
+	inline func(i int)
+	// locked runs op i inside a coalesced shard run: the run holds keyMu
+	// (shared) and shard si's lock (exclusive) for its whole duration.
+	locked func(i, si int, sh *shard, key prng.Key, pool *Pool)
+	// fail records err for an op the scheduler never ran (cancellation,
+	// missing key discovered at run start).
+	fail func(i int, err error)
+}
+
+// runBatch dispatches a batch: inline when no pool is attached, the pool
+// cannot run anything in parallel anyway (Workers()==1), or the batch is
+// too small to amortize dispatch; coalesced through the pool otherwise.
+func (s *SPECU) runBatch(ctx context.Context, ops *batchOps) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	p := s.pool.Load()
-	if p == nil {
-		for i := 0; i < n; i++ {
+	if p == nil || p.Workers() == 1 || ops.n <= inlineBatchMax {
+		for i := 0; i < ops.n; i++ {
 			if err := ctx.Err(); err != nil {
-				subErrs[i] = err
+				ops.fail(i, err)
 				continue
 			}
-			op(i)
+			ops.inline(i)
 		}
-		return subErrs
+		return
 	}
-	var wg sync.WaitGroup
+	s.runCoalesced(ctx, p, ops)
+}
+
+// runCoalesced groups the batch's ops by shard with a counting sort (two
+// slice allocations, no comparison sort) and executes one run per touched
+// shard. Runs are offered to the pool with TrySubmit and claimed with a
+// CAS; the caller then claims whatever the workers have not picked up and
+// executes it itself. Every run has exactly one claimant, the caller never
+// blocks on a full queue (it helps instead), and a nested submission can
+// never deadlock. Within a run, ops execute in input order (the counting
+// sort is stable), so per-slot results are deterministic for any worker
+// count.
+func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps) {
+	n := ops.n
+	sis := make([]uint8, n)
+	var counts [NumShards + 1]int32
 	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		if err := p.Submit(ctx, func() {
-			defer wg.Done()
-			op(i)
-		}); err != nil {
-			subErrs[i] = err
-			wg.Done()
+		si := shardIndex(ops.addr(i))
+		sis[i] = uint8(si)
+		counts[si+1]++
+	}
+	for si := 1; si <= NumShards; si++ {
+		counts[si] += counts[si-1]
+	}
+	// counts[si] is now the start offset of shard si's run in order.
+	var next [NumShards]int32
+	for si := 0; si < NumShards; si++ {
+		next[si] = counts[si]
+	}
+	order := make([]int32, n)
+	for i := 0; i < n; i++ {
+		si := sis[i]
+		order[next[si]] = int32(i)
+		next[si]++
+	}
+
+	var claimed [NumShards]atomic.Bool
+	var wg sync.WaitGroup
+	for si := 0; si < NumShards; si++ {
+		lo, hi := counts[si], counts[si+1]
+		if lo == hi {
+			continue
 		}
+		wg.Add(1)
+		si, run := si, order[lo:hi]
+		// A task that loses the claim exits without Done: exactly one
+		// claimant per run executes it and balances the WaitGroup, so a
+		// task still queued after the caller helped is a cheap no-op.
+		p.TrySubmit(func() {
+			if claimed[si].CompareAndSwap(false, true) {
+				s.runShard(ctx, si, run, ops)
+				wg.Done()
+			}
+		})
+	}
+	for si := 0; si < NumShards; si++ {
+		if counts[si] == counts[si+1] || !claimed[si].CompareAndSwap(false, true) {
+			continue
+		}
+		s.runShard(ctx, si, order[counts[si]:counts[si+1]], ops)
+		wg.Done()
 	}
 	wg.Wait()
-	return subErrs
+}
+
+// runShard executes one coalesced run: every batch op that hashed to shard
+// si, in input order, under a single keyMu (shared) + shard lock
+// acquisition. Cancellation is checked between ops; the remainder of a
+// cancelled run fails with ctx.Err() without touching the shard further.
+// Holding keyMu for the run's duration widens the PowerOff barrier to run
+// granularity: a power-off concurrent with a batch waits for in-flight
+// runs and the rest of the batch's runs complete under the old key or fail
+// with ErrNoKey, never a mix within one run.
+func (s *SPECU) runShard(ctx context.Context, si int, run []int32, ops *batchOps) {
+	if err := ctx.Err(); err != nil {
+		for _, i := range run {
+			ops.fail(int(i), err)
+		}
+		return
+	}
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	key, err := s.snapshotKey()
+	if err != nil {
+		for _, i := range run {
+			ops.fail(int(i), err)
+		}
+		return
+	}
+	pool := s.cryptPool()
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for k, i := range run {
+		if err := ctx.Err(); err != nil {
+			for _, j := range run[k:] {
+				ops.fail(int(j), err)
+			}
+			return
+		}
+		ops.locked(int(i), si, sh, key, pool)
+	}
 }
 
 // WriteBatch stores every op's block, returning one error slot per op
-// (nil on success). Independent blocks are encrypted concurrently when the
-// SPECU is serving.
+// (nil on success). Ops are coalesced into one task per touched shard when
+// the SPECU is serving, so distinct shards encrypt concurrently.
 func (s *SPECU) WriteBatch(ctx context.Context, ops []WriteOp) []error {
 	errs := make([]error, len(ops))
-	sub := s.forEach(ctx, len(ops), func(i int) {
-		errs[i] = s.Write(ops[i].Addr, ops[i].Data)
+	s.runBatch(ctx, &batchOps{
+		n:    len(ops),
+		addr: func(i int) uint64 { return ops[i].Addr },
+		inline: func(i int) {
+			errs[i] = s.Write(ops[i].Addr, ops[i].Data)
+		},
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+			t := s.tel.Load()
+			start := t.now()
+			errs[i] = s.writeLocked(si, sh, key, pool, ops[i].Addr, ops[i].Data)
+			t.observeWrite(si, start)
+		},
+		fail: func(i int, err error) { errs[i] = err },
 	})
-	mergeErrs(errs, sub)
 	return errs
 }
 
@@ -123,15 +248,24 @@ func (s *SPECU) WriteBatch(ctx context.Context, ops []WriteOp) []error {
 // SPECU is serving.
 func (s *SPECU) ReadBatch(ctx context.Context, addrs []uint64) []ReadResult {
 	res := make([]ReadResult, len(addrs))
-	sub := s.forEach(ctx, len(addrs), func(i int) {
-		data, err := s.Read(addrs[i])
-		res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
-	})
-	for i, err := range sub {
-		if err != nil {
+	s.runBatch(ctx, &batchOps{
+		n:    len(addrs),
+		addr: func(i int) uint64 { return addrs[i] },
+		inline: func(i int) {
+			data, err := s.Read(addrs[i])
+			res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
+		},
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+			t := s.tel.Load()
+			start := t.now()
+			data, err := s.readLocked(si, sh, key, pool, addrs[i])
+			t.observeRead(si, start)
+			res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
+		},
+		fail: func(i int, err error) {
 			res[i] = ReadResult{Addr: addrs[i], Err: err}
-		}
-	}
+		},
+	})
 	return res
 }
 
@@ -143,34 +277,30 @@ func (s *SPECU) EncryptBatch(ctx context.Context, addrs []uint64) []error {
 	if addrs == nil {
 		addrs = s.plaintextAddrs()
 	}
-	errs := make([]error, len(addrs))
-	sub := s.forEach(ctx, len(addrs), func(i int) {
-		errs[i] = s.cryptAt(addrs[i], false)
-	})
-	mergeErrs(errs, sub)
-	return errs
+	return s.cryptBatch(ctx, addrs, false)
 }
 
 // DecryptBatch decrypts the blocks at addrs in place, leaving them
 // plaintext-resident — the bulk read-ahead primitive for Serial mode (a
 // burst of upcoming reads pays the pulse latency once, up front).
 func (s *SPECU) DecryptBatch(ctx context.Context, addrs []uint64) []error {
-	errs := make([]error, len(addrs))
-	sub := s.forEach(ctx, len(addrs), func(i int) {
-		errs[i] = s.cryptAt(addrs[i], true)
-	})
-	mergeErrs(errs, sub)
-	return errs
+	return s.cryptBatch(ctx, addrs, true)
 }
 
-// mergeErrs fills nil slots of dst with the corresponding submission
-// errors (a slot's op either ran and reported, or never ran).
-func mergeErrs(dst, sub []error) {
-	for i, err := range sub {
-		if err != nil && dst[i] == nil {
-			dst[i] = err
-		}
-	}
+func (s *SPECU) cryptBatch(ctx context.Context, addrs []uint64, decrypt bool) []error {
+	errs := make([]error, len(addrs))
+	s.runBatch(ctx, &batchOps{
+		n:    len(addrs),
+		addr: func(i int) uint64 { return addrs[i] },
+		inline: func(i int) {
+			errs[i] = s.cryptAt(addrs[i], decrypt)
+		},
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+			errs[i] = s.cryptLocked(si, sh, key, pool, addrs[i], decrypt)
+		},
+		fail: func(i int, err error) { errs[i] = err },
+	})
+	return errs
 }
 
 // cryptAt encrypts (decrypt=false) or decrypts (decrypt=true) the resident
@@ -183,14 +313,19 @@ func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
 	if err != nil {
 		return err
 	}
-	pool := s.pool.Load()
+	pool := s.cryptPool()
 	si := shardIndex(addr)
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.cryptLocked(si, sh, key, pool, addr, decrypt)
+}
+
+// cryptLocked is the cryptAt body. Same locking contract as writeLocked.
+func (s *SPECU) cryptLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, decrypt bool) error {
 	b, ok := sh.blocks[addr]
 	if !ok {
-		return fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
+		return errNoBlockAt(addr)
 	}
 	if b.Encrypted() != decrypt {
 		return nil // already in the requested state

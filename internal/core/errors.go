@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed errors for the SPECU service layer. Callers match them with
 // errors.Is; wrapped variants carry the address or count that triggered
@@ -36,3 +39,8 @@ var (
 	// running for this SPECU.
 	ErrServing = errors.New("core: SPECU already serving")
 )
+
+// errNoBlockAt wraps ErrNoBlock with the offending address.
+func errNoBlockAt(addr uint64) error {
+	return fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
+}

@@ -2,83 +2,177 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"snvmm/internal/sched"
 	"snvmm/internal/telemetry"
 )
 
-// Pool is a bounded worker pool: a fixed set of goroutines draining a
-// fixed-depth request queue. The SPECU uses one pool at two granularities —
-// independent blocks of a batch are queued as whole tasks, and each block's
+// Pool is a bounded worker pool: a set of goroutines draining a fixed-depth
+// request queue. The SPECU uses one pool at two granularities — a batch's
+// ops are coalesced into one task per touched shard, and each block's
 // crossbars are fanned out as subtasks (falling back to inline execution
 // when the queue is saturated, so nested submission can never deadlock).
+//
+// A pool can be fixed-size (NewPool: all workers live for the pool's
+// lifetime) or adaptive (NewAdaptivePool: the live worker set floats
+// between a floor and a cap, sized by observed queue pressure). Serve
+// attaches an adaptive pool, so idle SPECUs do not burn schedulable
+// parallelism parking worker goroutines that have nothing to drain.
 type Pool struct {
-	mu     sync.RWMutex // guards closed; held (R) across every enqueue
+	mu     sync.RWMutex // guards closed; held (R) across every enqueue/spawn
 	closed bool
 
 	tasks   chan func()
 	quit    chan struct{}
 	wg      sync.WaitGroup
-	workers int
+	workers int // cap on live workers
+	min     int // adaptive floor; == workers for fixed pools
+
+	// Scheduler accounting, maintained unconditionally (padded-free plain
+	// atomics): the adaptive policy reads these even when telemetry is
+	// detached, and the telemetry gauges mirror them when attached.
+	running  atomic.Int64 // live worker goroutines
+	busy     atomic.Int64 // workers currently executing a task
+	depth    atomic.Int64 // tasks enqueued but not yet dequeued
+	pressure atomic.Int64 // consecutive enqueues that found every worker busy
 
 	// tel, when non-nil, holds the pool-health instruments (SetTelemetry).
 	tel atomic.Pointer[poolTel]
 }
 
+// Adaptive sizing policy knobs. Growth is driven by sustained submission
+// pressure — growPressure consecutive enqueues that found every live worker
+// busy with a backlog queued — so a single burst does not immediately spawn
+// the full cap; shrink is driven by idleness — a worker that drains nothing
+// for idleShrink retires, down to the pool's floor. The constants trade
+// reaction latency against thrash: at growPressure=2 a coalesced 64-op batch
+// reaches the cap within its first few shard-run submissions, while
+// idleShrink is long enough that back-to-back batches never see a cold pool.
+const (
+	growPressure = 2
+	idleShrink   = 2 * time.Millisecond
+)
+
 // poolTel is the resolved pool instrument set.
 type poolTel struct {
-	queueDepth  *telemetry.Gauge
-	busyWorkers *telemetry.Gauge
-	tasksDone   *telemetry.Counter
+	queueDepth    *telemetry.Gauge
+	busyWorkers   *telemetry.Gauge
+	activeWorkers *telemetry.Gauge
+	tasksDone     *telemetry.Counter
+	grows         *telemetry.Counter
+	shrinks       *telemetry.Counter
+	scope         *telemetry.Scope
 }
 
-// SetTelemetry attaches queue-depth and worker-utilization instruments.
-// Safe to call while the pool is serving; the gauges track transitions from
-// the moment of attachment (a queue backlog present at attach time shows up
-// as the depth going negative-relative, so attach before heavy submission
-// for exact depths). Passing all nils detaches.
-func (p *Pool) SetTelemetry(queueDepth, busyWorkers *telemetry.Gauge, tasksDone *telemetry.Counter) {
-	if queueDepth == nil && busyWorkers == nil && tasksDone == nil {
+// Adaptive decision-trail events: A0 is the live worker count after the
+// decision, A1 the queue depth that triggered it.
+var (
+	metaPoolGrow   = &telemetry.EventMeta{Subsystem: "pool", Name: "grow"}
+	metaPoolShrink = &telemetry.EventMeta{Subsystem: "pool", Name: "shrink"}
+)
+
+// SetTelemetry attaches the pool-health instruments under the "specu.pool."
+// prefix: queue-depth/busy-worker/active-worker gauges, tasks-done and
+// grow/shrink decision counters, plus one "pool.grow"/"pool.shrink" event
+// per adaptive sizing decision. Safe to call while the pool is serving; the
+// gauges track transitions from the moment of attachment (attach before
+// heavy submission for exact depths). Passing nil detaches.
+func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
 		p.tel.Store(nil)
 		return
 	}
-	p.tel.Store(&poolTel{queueDepth: queueDepth, busyWorkers: busyWorkers, tasksDone: tasksDone})
+	t := &poolTel{
+		queueDepth:    reg.Gauge("specu.pool.queue_depth"),
+		busyWorkers:   reg.Gauge("specu.pool.busy_workers"),
+		activeWorkers: reg.Gauge("specu.pool.active_workers"),
+		tasksDone:     reg.Counter("specu.pool.tasks_done"),
+		grows:         reg.Counter("specu.pool.grows"),
+		shrinks:       reg.Counter("specu.pool.shrinks"),
+		scope:         reg.Recorder().Scope("pool"),
+	}
+	t.activeWorkers.Set(p.running.Load())
+	p.tel.Store(t)
 }
 
-// NewPool starts workers goroutines behind a queue of the given depth.
-// workers <= 0 selects GOMAXPROCS; larger requests are clamped to
-// GOMAXPROCS, because the pool's tasks are pure CPU — goroutines beyond the
-// schedulable parallelism only add context-switch and queue contention
-// overhead (BENCH_specu.json measured workers=8 sharded reads at 160 µs vs
-// 117 µs sequential on a 1-vCPU host before this clamp). depth <= 0 selects
-// 4x workers.
+// NewPool starts a fixed-size pool: workers goroutines behind a queue of
+// the given depth (both <= 0 select defaults). The worker count is resolved
+// by sched.Workers — requests beyond GOMAXPROCS are clamped, because the
+// pool's tasks are pure CPU and goroutines beyond the schedulable
+// parallelism only add context-switch and queue contention overhead.
 func NewPool(workers, depth int) *Pool {
-	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
-		workers = maxp
+	w := sched.Workers(workers)
+	return newPool(w, w, depth)
+}
+
+// NewAdaptivePool starts a pool whose live worker set floats between min
+// and max (<= 0 select 1 and GOMAXPROCS; both are clamped by sched.Workers):
+// min workers start immediately, sustained queue pressure spawns more up to
+// max, and workers idle for idleShrink retire back down to min. Workers()
+// reports the cap; ActiveWorkers() the live count.
+func NewAdaptivePool(min, max, depth int) *Pool {
+	max = sched.Workers(max)
+	if min <= 0 {
+		min = 1
 	}
+	if min > max {
+		min = max
+	}
+	return newPool(min, max, depth)
+}
+
+func newPool(min, max, depth int) *Pool {
 	if depth <= 0 {
-		depth = 4 * workers
+		depth = 4 * max
 	}
 	p := &Pool{
 		tasks:   make(chan func(), depth),
 		quit:    make(chan struct{}),
-		workers: workers,
+		workers: max,
+		min:     min,
 	}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.run()
+	p.running.Store(int64(min))
+	p.wg.Add(min)
+	adaptive := min < max
+	for i := 0; i < min; i++ {
+		go p.run(adaptive)
 	}
 	return p
 }
 
-func (p *Pool) run() {
+// run is one worker's drain loop. Adaptive workers carry an idle timer and
+// retire (exit, decrementing the live count) when they drain nothing for
+// idleShrink while the pool is above its floor.
+func (p *Pool) run(adaptive bool) {
 	defer p.wg.Done()
+	var idle *time.Timer
+	var idleC <-chan time.Time
+	if adaptive {
+		idle = time.NewTimer(idleShrink)
+		defer idle.Stop()
+		idleC = idle.C
+	}
 	for {
 		select {
 		case f := <-p.tasks:
 			p.runTask(f)
+			if adaptive {
+				if !idle.Stop() {
+					select {
+					case <-idle.C:
+					default:
+					}
+				}
+				idle.Reset(idleShrink)
+			}
+		case <-idleC:
+			if p.retire() {
+				return
+			}
+			idle.Reset(idleShrink)
 		case <-p.quit:
 			// Drain: every task enqueued before Close flipped closed is
 			// already in the channel (the enqueue happens under mu.RLock),
@@ -96,22 +190,99 @@ func (p *Pool) run() {
 	}
 }
 
-// runTask executes one dequeued task with gauge maintenance.
+// runTask executes one dequeued task with accounting and gauge maintenance.
 func (p *Pool) runTask(f func()) {
+	p.depth.Add(-1)
+	p.busy.Add(1)
 	t := p.tel.Load()
-	if t == nil {
-		f()
-		return
+	if t != nil {
+		t.queueDepth.Add(-1)
+		t.busyWorkers.Add(1)
 	}
-	t.queueDepth.Add(-1)
-	t.busyWorkers.Add(1)
 	f()
-	t.busyWorkers.Add(-1)
-	t.tasksDone.Inc()
+	p.busy.Add(-1)
+	if t != nil {
+		t.busyWorkers.Add(-1)
+		t.tasksDone.Inc()
+	}
 }
 
-// Workers returns the pool's worker count.
+// noteEnqueued records one accepted task and applies the adaptive growth
+// policy. The caller holds p.mu (R), which is what makes the wg.Add inside
+// spawn safe against a concurrent Close.
+func (p *Pool) noteEnqueued() {
+	d := p.depth.Add(1)
+	if t := p.tel.Load(); t != nil {
+		t.queueDepth.Add(1)
+	}
+	if p.min >= p.workers {
+		return // fixed-size pool: nothing to size
+	}
+	r := p.running.Load()
+	if r < int64(p.workers) && p.busy.Load() >= r {
+		// Backlog with every live worker busy: pressure. Grow only when it
+		// is sustained, so a lone task on a quiet pool stays on the floor
+		// workers.
+		if p.pressure.Add(1) >= growPressure {
+			p.pressure.Store(0)
+			p.spawn(d)
+		}
+	} else {
+		p.pressure.Store(0)
+	}
+}
+
+// spawn adds one worker if the cap allows. Caller holds p.mu (R).
+func (p *Pool) spawn(depth int64) {
+	for {
+		r := p.running.Load()
+		if r >= int64(p.workers) {
+			return
+		}
+		if p.running.CompareAndSwap(r, r+1) {
+			p.wg.Add(1)
+			go p.run(true)
+			if t := p.tel.Load(); t != nil {
+				t.activeWorkers.Set(r + 1)
+				t.grows.Inc()
+				t.scope.Event(metaPoolGrow, r+1, depth)
+			}
+			return
+		}
+	}
+}
+
+// retire decrements the live worker count if the pool is above its floor
+// and no backlog is waiting; it reports whether the calling worker should
+// exit. The depth check keeps a momentarily-idle worker from abandoning a
+// queue that just refilled; the floor workers never retire, which is the
+// liveness guarantee for the drain-on-Close path.
+func (p *Pool) retire() bool {
+	if p.depth.Load() > 0 {
+		return false
+	}
+	for {
+		r := p.running.Load()
+		if r <= int64(p.min) {
+			return false
+		}
+		if p.running.CompareAndSwap(r, r-1) {
+			if t := p.tel.Load(); t != nil {
+				t.activeWorkers.Set(r - 1)
+				t.shrinks.Inc()
+				t.scope.Event(metaPoolShrink, r-1, p.depth.Load())
+			}
+			return true
+		}
+	}
+}
+
+// Workers returns the pool's worker cap (the fixed count for NewPool).
 func (p *Pool) Workers() int { return p.workers }
+
+// ActiveWorkers returns the live worker count — between the adaptive floor
+// and Workers(), equal to Workers() for fixed pools.
+func (p *Pool) ActiveWorkers() int { return int(p.running.Load()) }
 
 // Submit enqueues f, blocking while the queue is full. It returns
 // ctx.Err() if the context is cancelled first, or ErrClosed after Close.
@@ -127,9 +298,7 @@ func (p *Pool) Submit(ctx context.Context, f func()) error {
 	}
 	select {
 	case p.tasks <- f:
-		if t := p.tel.Load(); t != nil {
-			t.queueDepth.Add(1)
-		}
+		p.noteEnqueued()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -147,9 +316,7 @@ func (p *Pool) TrySubmit(f func()) bool {
 	}
 	select {
 	case p.tasks <- f:
-		if t := p.tel.Load(); t != nil {
-			t.queueDepth.Add(1)
-		}
+		p.noteEnqueued()
 		return true
 	default:
 		return false

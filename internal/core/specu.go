@@ -100,6 +100,18 @@ func (s *SPECU) shardOf(addr uint64) *shard {
 	return &s.shards[shardIndex(addr)]
 }
 
+// cryptPool returns the pool the block-crypt fan-out should use: nil when
+// none is attached or the attached pool caps at one worker — a
+// single-worker fan-out is pure claim overhead (the caller executes every
+// crossbar task itself anyway), so those paths run the inline serial crypt.
+func (s *SPECU) cryptPool() *Pool {
+	p := s.pool.Load()
+	if p == nil || p.Workers() == 1 {
+		return nil
+	}
+	return p
+}
+
 // PowerOn installs the key released by the TPM into the SPECU's volatile
 // key register. Re-installing the same key is a no-op; installing a
 // different key over a live one fails with ErrKeyLoaded (it would strand
@@ -194,13 +206,9 @@ func (s *SPECU) blockLocked(sh *shard, addr uint64) (*Block, error) {
 // phase (Section 4.1).
 func (s *SPECU) Write(addr uint64, data []byte) error {
 	t := s.tel.Load()
-	if t == nil {
-		return s.write(addr, data)
-	}
-	start := t.reg.Now()
+	start := t.now()
 	err := s.write(addr, data)
-	t.write[shardIndex(addr)].ObserveNs(t.reg.Now() - start)
-	t.writes.Inc()
+	t.observeWrite(shardIndex(addr), start)
 	return err
 }
 
@@ -211,11 +219,18 @@ func (s *SPECU) write(addr uint64, data []byte) error {
 	if err != nil {
 		return err
 	}
-	pool := s.pool.Load()
+	pool := s.cryptPool()
 	si := shardIndex(addr)
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.writeLocked(si, sh, key, pool, addr, data)
+}
+
+// writeLocked is the write body. The caller holds keyMu (shared) and the
+// shard lock (exclusive); coalesced batch runs call it directly so a run
+// of same-shard ops pays the lock acquisitions once, not once per op.
+func (s *SPECU) writeLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, data []byte) error {
 	b, err := s.blockLocked(sh, addr)
 	if err != nil {
 		return err
@@ -237,13 +252,9 @@ func (s *SPECU) write(addr uint64, data []byte) error {
 // until written back or EncryptPending is called.
 func (s *SPECU) Read(addr uint64) ([]byte, error) {
 	t := s.tel.Load()
-	if t == nil {
-		return s.read(addr)
-	}
-	start := t.reg.Now()
+	start := t.now()
 	data, err := s.read(addr)
-	t.read[shardIndex(addr)].ObserveNs(t.reg.Now() - start)
-	t.reads.Inc()
+	t.observeRead(shardIndex(addr), start)
 	return data, err
 }
 
@@ -254,14 +265,19 @@ func (s *SPECU) read(addr uint64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool := s.pool.Load()
+	pool := s.cryptPool()
 	si := shardIndex(addr)
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return s.readLocked(si, sh, key, pool, addr)
+}
+
+// readLocked is the read body. Same locking contract as writeLocked.
+func (s *SPECU) readLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64) ([]byte, error) {
 	b, ok := sh.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
+		return nil, errNoBlockAt(addr)
 	}
 	if b.Encrypted() {
 		if err := s.blockCrypt(si, b, key, addr, true, pool); err != nil {
@@ -283,7 +299,7 @@ func (s *SPECU) read(addr uint64) ([]byte, error) {
 // encryptAll encrypts every currently-plaintext block, returning how many
 // it encrypted. keyMu must be held (shared or exclusive) by the caller.
 func (s *SPECU) encryptAll(key prng.Key) (int, error) {
-	pool := s.pool.Load()
+	pool := s.cryptPool()
 	flushed := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -402,7 +418,7 @@ func (s *SPECU) Steal(addr uint64) ([]byte, error) {
 	defer sh.mu.RUnlock()
 	b, ok := sh.blocks[addr]
 	if !ok {
-		return nil, fmt.Errorf("core: %w: %#x", ErrNoBlock, addr)
+		return nil, errNoBlockAt(addr)
 	}
 	return b.ReadRaw(), nil
 }

@@ -124,6 +124,39 @@ func BenchmarkSPECUShardedWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkSPECUEncryptBatch is the epoch re-encryption sweep: each
+// iteration decrypts then re-encrypts the whole working set through the
+// coalesced batch path (one pulse-train pair per block, one shard run per
+// touched shard). This is the workload the adaptive scheduler exists
+// for — large, embarrassingly parallel, latency-insensitive — and the
+// workers=4-vs-1 ratio is the CI speedup gate on multi-core hosts.
+func BenchmarkSPECUEncryptBatch(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			s, addrs := benchSPECU(b, 64)
+			if err := s.Serve(context.Background(), workers, 2*len(addrs)); err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, err := range s.DecryptBatch(ctx, addrs) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, err := range s.EncryptBatch(ctx, addrs) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(addrs))/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}
+
 func benchName(workers int) string {
 	return fmt.Sprintf("workers=%d", workers)
 }

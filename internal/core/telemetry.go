@@ -50,6 +50,34 @@ func (t *specuTel) span(meta *telemetry.EventMeta) telemetry.Span {
 	return t.scope.Start(meta)
 }
 
+// now reads the registry clock; 0 on a nil receiver (disabled telemetry).
+func (t *specuTel) now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reg.Now()
+}
+
+// observeRead records one completed data-path read against shard si. Both
+// the synchronous Read wrapper and coalesced batch runs report through it,
+// so per-shard latency distributions stay comparable across dispatch modes.
+func (t *specuTel) observeRead(si int, start int64) {
+	if t == nil {
+		return
+	}
+	t.read[si].ObserveNs(t.reg.Now() - start)
+	t.reads.Inc()
+}
+
+// observeWrite records one completed data-path write against shard si.
+func (t *specuTel) observeWrite(si int, start int64) {
+	if t == nil {
+		return
+	}
+	t.write[si].ObserveNs(t.reg.Now() - start)
+	t.writes.Inc()
+}
+
 // EnableTelemetry attaches the SPECU to a registry. All instruments are
 // created under the "specu." prefix; per-shard histograms are named
 // specu.shardNN.{read,write,encrypt,decrypt}. Enabling is idempotent in
@@ -83,14 +111,11 @@ func (s *SPECU) EnableTelemetry(reg *telemetry.Registry) {
 	}
 }
 
-// wirePool attaches the pool-health instruments.
+// wirePool attaches the pool-health instruments: the static worker cap
+// gauge here, the live scheduler gauges/counters/events via SetTelemetry.
 func wirePool(p *Pool, reg *telemetry.Registry) {
 	reg.Gauge("specu.pool.workers").Set(int64(p.Workers()))
-	p.SetTelemetry(
-		reg.Gauge("specu.pool.queue_depth"),
-		reg.Gauge("specu.pool.busy_workers"),
-		reg.Counter("specu.pool.tasks_done"),
-	)
+	p.SetTelemetry(reg)
 }
 
 // blockCrypt runs b.crypt with per-shard encrypt/decrypt latency recording

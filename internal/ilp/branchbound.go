@@ -5,10 +5,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"snvmm/internal/sched"
 	"snvmm/internal/telemetry"
 )
 
@@ -64,7 +64,7 @@ func (h nodeHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
 func (h *nodeHeap) Pop() interface{} {
 	old := *h
@@ -629,10 +629,7 @@ func SolveILPContext(ctx context.Context, p *Problem, opt ILPOptions) (Solution,
 	if err := p.validate(); err != nil {
 		return Solution{}, err
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := sched.Workers(opt.Workers)
 	pool := make([]*Workspace, workers)
 	for i := range pool {
 		ws, err := NewWorkspace(p)

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"runtime"
+	"testing"
+)
+
+// withGOMAXPROCS runs f with the schedulable parallelism pinned to n.
+func withGOMAXPROCS(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func TestWorkers(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		cases := []struct{ req, want int }{
+			{-1, 4}, // <= 0 selects GOMAXPROCS
+			{0, 4},
+			{1, 1},
+			{3, 3},
+			{4, 4},
+			{5, 4},   // clamped to GOMAXPROCS
+			{100, 4}, // clamped to GOMAXPROCS
+		}
+		for _, c := range cases {
+			if got := Workers(c.req); got != c.want {
+				t.Errorf("Workers(%d) = %d, want %d", c.req, got, c.want)
+			}
+		}
+	})
+	withGOMAXPROCS(t, 1, func() {
+		for _, req := range []int{-1, 0, 1, 8} {
+			if got := Workers(req); got != 1 {
+				t.Errorf("GOMAXPROCS=1: Workers(%d) = %d, want 1", req, got)
+			}
+		}
+	})
+}
+
+func TestWorkersFor(t *testing.T) {
+	withGOMAXPROCS(t, 8, func() {
+		cases := []struct{ req, items, want int }{
+			{0, 3, 3},   // GOMAXPROCS capped at the item count
+			{0, 100, 8}, // more items than cores: full parallelism
+			{4, 2, 2},   // fewer items than requested workers
+			{4, 0, 4},   // items <= 0 leaves the count uncapped
+			{4, -1, 4},
+			{100, 50, 8}, // GOMAXPROCS clamp still applies first
+			{2, 1, 1},
+		}
+		for _, c := range cases {
+			if got := WorkersFor(c.req, c.items); got != c.want {
+				t.Errorf("WorkersFor(%d, %d) = %d, want %d", c.req, c.items, got, c.want)
+			}
+		}
+	})
+}

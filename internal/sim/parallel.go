@@ -3,11 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"snvmm/internal/mem"
+	"snvmm/internal/sched"
 	"snvmm/internal/secure"
 	"snvmm/internal/telemetry"
 	"snvmm/internal/trace"
@@ -35,7 +35,8 @@ var (
 
 // SweepParallel produces exactly Sweep's rows but fans the independent
 // (workload x scheme) simulations — including each workload's Plain
-// baseline — across at most `workers` goroutines. Each simulation owns a
+// baseline — across at most `workers` goroutines (<= 0 selects the host's
+// schedulable parallelism; see sched.Workers). Each simulation owns a
 // fresh hierarchy and engine, so the runs share nothing; results are
 // assembled in deterministic profile/scheme order regardless of completion
 // order. Cancelling ctx abandons simulations not yet started.
@@ -47,17 +48,8 @@ func SweepParallel(ctx context.Context, profiles []trace.Profile, schemes []Sche
 // identical to SweepParallel's for the same inputs; the hooks are purely
 // observational.
 func SweepParallelOpts(ctx context.Context, profiles []trace.Profile, schemes []SchemeFactory, maxInsts int64, seed int64, workers int, opts SweepOptions) ([]Row, error) {
-	if workers <= 1 && opts.Telemetry == nil && opts.OnProgress == nil {
+	if workers == 1 && opts.Telemetry == nil && opts.OnProgress == nil {
 		return Sweep(profiles, schemes, maxInsts, seed)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Simulations are pure CPU: clamp to the schedulable parallelism so a
-	// generous -workers flag cannot oversubscribe the host (the same
-	// regression core.NewPool guards against).
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -93,38 +85,50 @@ func SweepParallelOpts(ctx context.Context, profiles []trace.Profile, schemes []
 	}
 	var done atomic.Int64
 
+	// One goroutine per effective worker, each pulling the next unclaimed
+	// job off an atomic cursor — the same claim-based coalescing as the
+	// SPECU batch scheduler, so a sweep of J jobs costs W goroutine starts
+	// instead of J. Simulations are pure CPU: sched.WorkersFor clamps a
+	// generous -workers flag to the schedulable parallelism and to the job
+	// count.
 	outcomes := make([]outcome, len(jobs))
-	sem := make(chan struct{}, workers)
+	workers = sched.WorkersFor(workers, len(jobs))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for i, j := range jobs {
-		if err := ctx.Err(); err != nil {
-			outcomes[i].err = err
-			continue
-		}
-		sem <- struct{}{}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, j job) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			var eng mem.EncryptionEngine = secure.NewPlain()
-			if j.scheme != "" {
-				eng = j.newEng.New()
-			}
-			r, err := Run(j.prof, eng, maxInsts, seed)
-			outcomes[i] = outcome{res: r, err: err}
-			n := done.Add(1)
-			jobsDone.Inc()
-			if scope != nil {
-				failed := int64(0)
-				if err != nil {
-					failed = 1
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
 				}
-				scope.Event(metaJobDone, n, failed)
+				if err := ctx.Err(); err != nil {
+					outcomes[i].err = err
+					continue // mark every unstarted job cancelled
+				}
+				j := jobs[i]
+				var eng mem.EncryptionEngine = secure.NewPlain()
+				if j.scheme != "" {
+					eng = j.newEng.New()
+				}
+				r, err := Run(j.prof, eng, maxInsts, seed)
+				outcomes[i] = outcome{res: r, err: err}
+				n := done.Add(1)
+				jobsDone.Inc()
+				if scope != nil {
+					failed := int64(0)
+					if err != nil {
+						failed = 1
+					}
+					scope.Event(metaJobDone, n, failed)
+				}
+				if opts.OnProgress != nil {
+					opts.OnProgress(int(n), len(jobs), j.prof.Name, j.scheme)
+				}
 			}
-			if opts.OnProgress != nil {
-				opts.OnProgress(int(n), len(jobs), j.prof.Name, j.scheme)
-			}
-		}(i, j)
+		}()
 	}
 	wg.Wait()
 	if scope != nil {

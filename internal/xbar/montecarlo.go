@@ -2,11 +2,11 @@ package xbar
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"snvmm/internal/device"
+	"snvmm/internal/sched"
 )
 
 // MonteCarloResult summarizes a parametric-variation study of the polyomino
@@ -54,12 +54,7 @@ func MonteCarloShape(cfg Config, poe Cell, samples int, wireVar, deviceVar float
 	}
 	nomKey := shapeKey(nomCfg, nomShape)
 
-	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
-		workers = maxp
-	}
-	if workers > samples {
-		workers = samples
-	}
+	workers = sched.WorkersFor(workers, samples)
 	if samples == 0 {
 		return MonteCarloResult{Samples: 0}, nil
 	}

@@ -2,12 +2,19 @@ package xbar
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"snvmm/internal/sched"
 	"snvmm/internal/telemetry"
 )
+
+// warmChunk is how many consecutive PoEs one claim takes. Chunked claims
+// amortize the atomic cursor traffic and keep neighbouring PoEs — whose
+// hierarchical windows overlap, so their Green-table reads share cache
+// lines — on the same worker. Small enough that the tail imbalance is at
+// most warmChunk-1 PoEs per worker.
+const warmChunk = 8
 
 // WarmAll characterizes every PoE of the device eagerly, fanning the
 // per-PoE work over a pool of goroutines. Each PoE's record is built under
@@ -16,22 +23,21 @@ import (
 // does the work, everyone else blocks briefly and reuses it — and a second
 // WarmAll call is a cheap no-op sweep.
 //
-// workers <= 0 selects runtime.GOMAXPROCS(0); any request is clamped to
-// that and to the PoE count, since the per-PoE work is pure CPU and extra
-// goroutines only add scheduling overhead (the oversubscription regression
-// measured in BENCH_specu.json).
+// workers <= 0 selects the host's schedulable parallelism; any request is
+// clamped to that and to the PoE count (sched.WorkersFor), since the
+// per-PoE work is pure CPU and extra goroutines only add scheduling
+// overhead (the oversubscription regression measured in BENCH_specu.json).
+// At workers > 1 each goroutine claims warmChunk consecutive PoEs per
+// atomic fetch — the parallel ring sweep used by the hierarchical backend
+// too, whose per-PoE scratch is pooled and whose shared sketch is built
+// under its own sync.Once, so the fan-out is race-free.
 //
 // On cancellation WarmAll stops claiming new PoEs and returns the context
 // error; records built so far stay valid. The first build error wins and is
 // returned after all workers drain.
 func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 	cells := c.cfg.Cells()
-	if maxp := runtime.GOMAXPROCS(0); workers <= 0 || workers > maxp {
-		workers = maxp
-	}
-	if workers > cells {
-		workers = cells
-	}
+	workers = sched.WorkersFor(workers, cells)
 	// The span's A0 reports PoEs swept, A1 flags failure/cancellation; the
 	// xbar.cal.warm_poes counter is live progress while the sweep runs.
 	var sp telemetry.Span
@@ -89,17 +95,23 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 					record(err)
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= cells {
+				base := int(next.Add(warmChunk)) - warmChunk
+				if base >= cells {
 					return
 				}
-				if err := c.ensure(c.cfg.CellAt(i)); err != nil {
-					record(err)
-					return
+				hi := base + warmChunk
+				if hi > cells {
+					hi = cells
 				}
-				if t != nil {
-					t.warmPoes.Inc()
-					swept.Add(1)
+				for i := base; i < hi; i++ {
+					if err := c.ensure(c.cfg.CellAt(i)); err != nil {
+						record(err)
+						return
+					}
+					if t != nil {
+						t.warmPoes.Inc()
+						swept.Add(1)
+					}
 				}
 			}
 		}()

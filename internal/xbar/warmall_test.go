@@ -3,6 +3,7 @@ package xbar
 import (
 	"context"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -150,5 +151,59 @@ func TestMonteCarloErrorZeroResult(t *testing.T) {
 	}
 	if res != (MonteCarloResult{}) {
 		t.Fatalf("error path returned non-zero result %+v", res)
+	}
+}
+
+// TestWarmAllParallelHier is the parallel hierarchical ring sweep under
+// the race detector: a multi-worker WarmAll over a CharHier device (each
+// worker claiming chunks of PoEs, all sharing the device sketch and the
+// pooled per-PoE scratch) must produce exactly the records a lazy
+// single-threaded build would. GOMAXPROCS is raised so the worker clamp
+// cannot collapse the fan-out on a single-core host.
+func TestWarmAllParallelHier(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	cfg := DefaultConfig()
+	cfg.Characterization = CharHier
+	warm := newCal(t, cfg)
+	if err := warm.WarmAll(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	lazy := newCal(t, cfg)
+	for _, i := range []int{0, cfg.Cells() / 2, cfg.Cells() - 1} {
+		poe := cfg.CellAt(i)
+		ws, err := warm.Shape(poe)
+		if err != nil {
+			t.Fatalf("warm shape %v: %v", poe, err)
+		}
+		ls, err := lazy.Shape(poe)
+		if err != nil {
+			t.Fatalf("lazy shape %v: %v", poe, err)
+		}
+		if len(ws) != len(ls) {
+			t.Fatalf("poe %v: shape size %d != %d", poe, len(ws), len(ls))
+		}
+		for k := range ws {
+			if ws[k] != ls[k] {
+				t.Fatalf("poe %v: shape[%d] %v != %v", poe, k, ws[k], ls[k])
+			}
+		}
+	}
+	// Racing a second parallel sweep against the warm records is a no-op.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- warm.WarmAll(context.Background(), 2)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
