@@ -44,7 +44,7 @@ test-attacks:
 bench:
 	( $(GO) test ./internal/core -run xxx -bench 'BenchmarkBlock|BenchmarkNewBlock|BenchmarkSPECU' -benchtime 20x -benchmem ; \
 	  $(GO) test ./internal/core -run xxx -bench 'BenchmarkSPECU(ShardedRead|EncryptBatch)' -benchtime 20x -benchmem -cpu 4 ) \
-		| $(GO) run ./cmd/benchjson -require 21 -o BENCH_specu.json
+		| $(GO) run ./cmd/benchjson -require 23 -o BENCH_specu.json
 	@cat BENCH_specu.json
 	$(GO) test ./internal/poe -run xxx -bench 'BenchmarkPlacement' -benchtime 1x -benchmem \
 		| $(GO) run ./cmd/benchjson -require 2 -o BENCH_ilp.json

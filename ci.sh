@@ -57,6 +57,14 @@ else
 	echo "ci: 1 vCPU; skipping batch speedup assertion (pool clamps to one worker)"
 fi
 
+# Bench regression gate: the live batch matrix against the committed
+# archive. The ns/op bound is deliberately generous (CI boxes differ from
+# the archiving machine by integer factors); the allocs/op bound is tight
+# because allocation counts are machine-independent — a new allocation on
+# the coalesced hot path fails CI even when the wall clock looks fine.
+go run ./cmd/benchjson -diff BENCH_specu.json "$tmpdir/batch_matrix.json" \
+	-max-regress 500 -max-allocs-regress 25
+
 # Size-wall smoke: a full 32x32 precharacterization must finish inside a
 # CI-sane wall clock. Before the locality-truncated sketch path even 24x24
 # was unreachable (the dense path needed ~7 s for 16x16 alone and scaled
@@ -95,6 +103,47 @@ exp = [r["exposure_byte_cycles"] for r in rep["exposure"]]
 assert exp[1] < exp[0], exp
 ' "$tmpdir/redteam.json"
 
+# Causal-trace smoke: a clean-exit traced run must leave a Chrome
+# trace-event file that Perfetto would load — parseable JSON, every event
+# carrying name/ph/ts, complete events carrying pid/tid/dur, timestamps
+# monotone and well-nested per tid, and every recorded parent resolvable.
+# (The file is written by a defer, so this run must exit normally, not be
+# killed.)
+timeout 120 "$tmpdir/spe-sim" -exp concurrency -insts 20000 \
+	-trace-out "$tmpdir/trace.json" >/dev/null
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert evs, "empty trace"
+spans, parents, stacks, last = set(), [], {}, {}
+for ev in evs:
+    assert "name" in ev and "ph" in ev, ev
+    if ev["ph"] == "M":
+        continue
+    assert "ts" in ev and "pid" in ev and "tid" in ev, ev
+    tid = ev["tid"]
+    assert ev["ts"] >= last.get(tid, 0), ("ts not monotone on tid", ev)
+    last[tid] = ev["ts"]
+    args = ev.get("args", {})
+    if "parent_id" in args:
+        parents.append(args["parent_id"])
+    if ev["ph"] != "X":
+        continue
+    spans.add(args["span_id"])
+    st = stacks.setdefault(tid, [])
+    while st and ev["ts"] >= st[-1]:
+        st.pop()
+    end = ev["ts"] + ev["dur"]
+    assert not st or end <= st[-1] + 1e-6, ("overlap on tid", ev)
+    st.append(end)
+names = {e["name"] for e in evs}
+for want in ("specu.read_batch", "specu.write_batch"):
+    assert want in names, (want, names)
+missing = [p for p in parents if p not in spans]
+assert not missing, ("unresolved parents", missing[:5])
+' "$tmpdir/trace.json"
+
 "$tmpdir/spe-sim" -exp concurrency -telemetry-addr 127.0.0.1:0 -telemetry-hold 120s \
 	>"$tmpdir/sim.log" 2>&1 &
 simpid=$!
@@ -115,6 +164,9 @@ c = snap["counters"]
 assert c.get("specu.reads", 0) > 0, c
 assert c.get("specu.writes", 0) > 0, c
 assert snap["histograms"], "no histograms exported"
+fg = snap.get("float_gauges", {})
+burn = [k for k in fg if k.startswith("slo.") and k.endswith(".burn_rate")]
+assert burn, ("no SLO burn-rate gauges", sorted(fg))
 ' "$tmpdir/metrics.json" 2>/dev/null; then
 		ok=1
 		break
@@ -122,4 +174,16 @@ assert snap["histograms"], "no histograms exported"
 	sleep 0.5
 done
 test -n "$ok"
+
+# The live /trace endpoint serves the same Chrome JSON, and garbage query
+# parameters on the introspection endpoints must 400, never silently
+# default.
+curl -fsS "http://$addr/trace" >"$tmpdir/trace_live.json"
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["traceEvents"], "live /trace exported no events"
+' "$tmpdir/trace_live.json"
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/spans?max=bogus")" = 400
+test "$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/trace?max=-1")" = 400
 kill $simpid 2>/dev/null || true

@@ -6,10 +6,18 @@
 // Usage:
 //
 //	go test ./internal/core -bench . -benchmem | benchjson -o BENCH_specu.json
+//	benchjson -diff BENCH_specu.json new.json -max-regress 25
 //
 // Lines that are not benchmark results (headers, PASS/ok trailers) pass
 // through to stderr untouched, so the tool can sit at the end of a pipe
 // without hiding test failures.
+//
+// The -diff mode compares two archived reports benchmark-by-benchmark and
+// exits nonzero when any shared benchmark regressed by more than
+// -max-regress percent in ns/op or -max-allocs-regress percent in
+// allocs/op — the CI regression gate. Benchmarks present in only one
+// report are skipped (renames don't fail the gate), but zero name overlap
+// is an error (a gate comparing nothing must not pass).
 package main
 
 import (
@@ -47,7 +55,12 @@ type Report struct {
 func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	require := flag.Int("require", 1, "fail unless at least this many benchmark results were parsed (guards against a bench pattern silently matching nothing)")
+	diff := flag.Bool("diff", false, "compare two archived reports: benchjson -diff old.json new.json [-max-regress PCT] [-max-allocs-regress PCT]")
 	flag.Parse()
+	if *diff {
+		runDiff(flag.Args())
+		return
+	}
 
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
@@ -100,6 +113,111 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff implements the -diff regression gate. args is everything after
+// the parsed top-level flags: two report paths followed by the gate's own
+// flags (the standard flag package stops at the first non-flag argument,
+// so the thresholds are parsed by a dedicated FlagSet here).
+func runDiff(args []string) {
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs two report files: benchjson -diff old.json new.json [-max-regress PCT] [-max-allocs-regress PCT]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	maxNs := fs.Float64("max-regress", 10, "max ns/op regression in percent before the gate fails")
+	maxAllocs := fs.Float64("max-allocs-regress", -1, "max allocs/op regression in percent (default: same as -max-regress)")
+	fs.Parse(args[2:]) //nolint:errcheck // ExitOnError
+	if *maxAllocs < 0 {
+		*maxAllocs = *maxNs
+	}
+	oldRep, err := loadReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	newRep, err := loadReport(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	regressions, compared, err := diffReports(oldRep.Results, newRep.Results, *maxNs, *maxAllocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson diff: %d shared benchmarks, thresholds ns/op +%.1f%% allocs/op +%.1f%%\n",
+		compared, *maxNs, *maxAllocs)
+	if len(regressions) == 0 {
+		fmt.Println("benchjson diff: no regressions")
+		return
+	}
+	for _, r := range regressions {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past the gate\n", len(regressions))
+	os.Exit(1)
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// diffReports compares shared benchmarks and returns one description per
+// gate violation plus the number of benchmarks compared. An allocs/op
+// count that was zero and became nonzero always violates (a percentage
+// threshold is meaningless against a zero base, and losing a zero-alloc
+// property is exactly what the gate exists to catch).
+func diffReports(oldRes, newRes []Result, maxNsPct, maxAllocsPct float64) ([]string, int, error) {
+	base := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		base[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, nw := range newRes {
+		od, ok := base[nw.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if od.NsPerOp > 0 && nw.NsPerOp > 0 {
+			pct := (nw.NsPerOp - od.NsPerOp) / od.NsPerOp * 100
+			if pct > maxNsPct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: ns/op %.1f -> %.1f (+%.1f%%, limit +%.1f%%)",
+						nw.Name, od.NsPerOp, nw.NsPerOp, pct, maxNsPct))
+			}
+		}
+		switch {
+		case od.AllocsPerOp == 0 && nw.AllocsPerOp > 0:
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op 0 -> %d (zero-alloc property lost)",
+					nw.Name, nw.AllocsPerOp))
+		case od.AllocsPerOp > 0:
+			pct := float64(nw.AllocsPerOp-od.AllocsPerOp) / float64(od.AllocsPerOp) * 100
+			if pct > maxAllocsPct {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: allocs/op %d -> %d (+%.1f%%, limit +%.1f%%)",
+						nw.Name, od.AllocsPerOp, nw.AllocsPerOp, pct, maxAllocsPct))
+			}
+		}
+	}
+	if compared == 0 {
+		return nil, 0, fmt.Errorf("no benchmark names shared between the two reports; the gate compared nothing")
+	}
+	return regressions, compared, nil
 }
 
 var workersRe = regexp.MustCompile(`workers=(\d+)`)

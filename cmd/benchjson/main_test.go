@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffReportsNoRegression(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkRead", NsPerOp: 1000, AllocsPerOp: 40},
+		{Name: "BenchmarkWrite", NsPerOp: 2000, AllocsPerOp: 0},
+	}
+	nw := []Result{
+		{Name: "BenchmarkRead", NsPerOp: 1050, AllocsPerOp: 42},
+		{Name: "BenchmarkWrite", NsPerOp: 1900, AllocsPerOp: 0},
+	}
+	regs, compared, err := diffReports(old, nw, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2", compared)
+	}
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffReportsNsRegression(t *testing.T) {
+	old := []Result{{Name: "BenchmarkRead", NsPerOp: 1000}}
+	nw := []Result{{Name: "BenchmarkRead", NsPerOp: 1500}}
+	regs, _, err := diffReports(old, nw, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestDiffReportsAllocsRegression(t *testing.T) {
+	old := []Result{{Name: "BenchmarkRead", NsPerOp: 1000, AllocsPerOp: 40}}
+	nw := []Result{{Name: "BenchmarkRead", NsPerOp: 1000, AllocsPerOp: 60}}
+	regs, _, err := diffReports(old, nw, 100, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestDiffReportsZeroAllocLost(t *testing.T) {
+	// A zero allocs/op base makes a percentage threshold meaningless; any
+	// growth from zero must trip the gate regardless of how generous it is.
+	old := []Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: 0}}
+	nw := []Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: 1}}
+	regs, _, err := diffReports(old, nw, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc") {
+		t.Fatalf("want zero-alloc violation, got %v", regs)
+	}
+}
+
+func TestDiffReportsSkipsUnshared(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkGone", NsPerOp: 100},
+		{Name: "BenchmarkKept", NsPerOp: 100},
+	}
+	nw := []Result{
+		{Name: "BenchmarkKept", NsPerOp: 100},
+		{Name: "BenchmarkNew", NsPerOp: 1e9}, // no baseline: never gated
+	}
+	regs, compared, err := diffReports(old, nw, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 {
+		t.Errorf("compared = %d, want 1", compared)
+	}
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestDiffReportsNoOverlap(t *testing.T) {
+	old := []Result{{Name: "BenchmarkA", NsPerOp: 100}}
+	nw := []Result{{Name: "BenchmarkB", NsPerOp: 100}}
+	if _, _, err := diffReports(old, nw, 10, 10); err == nil {
+		t.Fatal("zero name overlap must be an error, not a passing gate")
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"snvmm/internal/secure"
 	"snvmm/internal/sim"
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/slo"
+	ctrace "snvmm/internal/telemetry/trace"
 	"snvmm/internal/trace"
 	"snvmm/internal/xbar"
 )
@@ -52,8 +54,10 @@ var (
 	precharFlag = flag.Bool("precharacterize", false, "run the full-device SPECU characterization eagerly at engine power-on (WarmAll across all PoEs) before the experiment")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
-	telAddr     = flag.String("telemetry-addr", "", "serve the live introspection endpoint (/metrics, /spans, /debug/pprof) on this TCP address (e.g. 127.0.0.1:0); empty disables telemetry")
+	telAddr     = flag.String("telemetry-addr", "", "serve the live introspection endpoint (/metrics, /spans, /trace, /debug/pprof) on this TCP address (e.g. 127.0.0.1:0); empty disables telemetry")
 	telHold     = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the experiment finishes (lets scrapers catch the final state)")
+	traceOut    = flag.String("trace-out", "", "write the causal trace of the run as Chrome trace-event JSON (load in Perfetto) to this file; also enables tracing without -telemetry-addr")
+	traceBuf    = flag.Int("trace-buf", ctrace.DefaultRingSize, "causal-trace ring capacity in spans (rounded up to a power of two; oldest spans overwritten)")
 	verboseFlag = flag.Bool("v", false, "print per-simulation progress during sweeps")
 	rtFlag      = flag.String("redteam", "", "run an adversarial scenario and emit a JSON verdict (sidechannel | crash | all); exits nonzero if a defense fails")
 	rtScript    = flag.String("redteam-script", "", "workload script driving the redteam exposure measurement (default: built-in crash schedule)")
@@ -64,8 +68,46 @@ var (
 )
 
 // telReg is non-nil when -telemetry-addr is set; a nil registry is inert,
-// so experiment code passes it around unconditionally.
-var telReg *telemetry.Registry
+// so experiment code passes it around unconditionally. The same discipline
+// holds for the causal tracer (non-nil when -trace-out or -telemetry-addr
+// is set) and the SLO engine (non-nil alongside telReg).
+var (
+	telReg *telemetry.Registry
+	tracer *ctrace.Tracer
+	sloEng *slo.Engine
+)
+
+// sloObjectives are the default service objectives of the simulated data
+// path: every op class should complete in 10 ms with at most 0.1% of ops
+// over target, judged on a 10 s rolling window.
+func sloObjectives() []slo.Objective {
+	objs := make([]slo.Objective, 0, 4)
+	for _, class := range []string{"read", "write", "encrypt", "decrypt"} {
+		objs = append(objs, slo.Objective{
+			Class:      class,
+			TargetNs:   10 * time.Millisecond.Nanoseconds(),
+			BudgetFrac: 1e-3,
+			Window:     10 * time.Second,
+		})
+	}
+	return objs
+}
+
+// writeTraceOut flushes the causal trace ring to -trace-out as Chrome
+// trace-event JSON.
+func writeTraceOut() {
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tracer.WriteChrome(f, tracer.Cap()); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		return
+	}
+	fmt.Printf("trace: wrote %s (load at https://ui.perfetto.dev)\n", *traceOut)
+}
 
 type experiment struct {
 	name string
@@ -75,22 +117,37 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *traceOut != "" || *telAddr != "" {
+		tracer = ctrace.New(*traceBuf)
+		xbar.SetTracer(tracer)
+	}
 	if *telAddr != "" {
 		telReg = telemetry.New()
 		telReg.PublishExpvar("snvmm")
 		xbar.SetTelemetry(telReg)
 		linalg.SetTelemetry(telReg)
 		circuit.SetTelemetry(telReg)
+		sloEng = slo.New(telReg, sloObjectives()...)
+		telReg.OnSnapshot(sloEng.Refresh)
 		ln, err := net.Listen("tcp", *telAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry: listening on %s\n", ln.Addr())
-		go http.Serve(ln, telemetry.Handler(telReg)) //nolint:errcheck // best-effort introspection server
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(telReg))
+		mux.Handle("/trace", tracer.Handler())
+		go http.Serve(ln, mux) //nolint:errcheck // best-effort introspection server
 		if *telHold > 0 {
 			defer time.Sleep(*telHold)
 		}
+	}
+	// Registered after the hold defer so the file is written first (LIFO):
+	// a scraper watching the hold window can read both endpoints while the
+	// exported file already sits on disk.
+	if *traceOut != "" {
+		defer writeTraceOut()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -346,7 +403,7 @@ func montecarlo() error {
 func table1() error {
 	cfg := xbar.DefaultConfig()
 	for _, s := range []int{0, 32, 48, 56} {
-		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: s, MaxNodes: 100000, Telemetry: telReg})
+		res, err := poe.Solve(poe.Spec{Cfg: cfg, S: s, MaxNodes: 100000, Telemetry: telReg, Tracer: tracer})
 		if err != nil {
 			fmt.Printf("S=%2d: %v\n", s, err)
 			continue
@@ -605,9 +662,11 @@ func concurrency() error {
 	// One timed pass = write all blocks (encrypt) + read them back (decrypt).
 	pass := func(workers int) (time.Duration, error) {
 		s := core.NewSPECU(eng, core.Parallel)
+		s.EnableSLO(sloEng)
 		if telReg != nil {
 			s.EnableTelemetry(telReg)
 		}
+		s.EnableTracing(tracer)
 		if err := s.PowerOn(key); err != nil {
 			return 0, err
 		}
@@ -934,6 +993,11 @@ func batchsweep() error {
 	ctx := context.Background()
 	for _, w := range []int{1, 2, 4, 8} {
 		s := core.NewSPECU(eng, core.Parallel)
+		s.EnableSLO(sloEng)
+		if telReg != nil {
+			s.EnableTelemetry(telReg)
+		}
+		s.EnableTracing(tracer)
 		if err := s.PowerOn(key); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"snvmm/internal/prng"
+	"snvmm/internal/telemetry/trace"
 )
 
 // The batched service layer: a SPECU fronting main memory must service
@@ -89,35 +90,50 @@ type batchOps struct {
 	n    int
 	addr func(i int) uint64
 	// inline runs op i on the caller's goroutine, taking its own locks
-	// (the sequential path).
-	inline func(i int)
+	// (the sequential path). tc is the op's causal trace context (zero
+	// when tracing is off), so inline ops keep their crypt/pulse children.
+	inline func(i int, tc trace.Context)
 	// locked runs op i inside a coalesced shard run: the run holds keyMu
 	// (shared) and shard si's lock (exclusive) for its whole duration.
-	locked func(i, si int, sh *shard, key prng.Key, pool *Pool)
+	// tc is the op's causal trace context (zero when tracing is off).
+	locked func(i, si int, sh *shard, key prng.Key, pool *Pool, tc trace.Context)
 	// fail records err for an op the scheduler never ran (cancellation,
 	// missing key discovered at run start).
 	fail func(i int, err error)
+	// meta/opMeta are the interned trace call sites of the batch root and
+	// its per-op child spans.
+	meta   *trace.SpanMeta
+	opMeta *trace.SpanMeta
 }
 
 // runBatch dispatches a batch: inline when no pool is attached, the pool
 // cannot run anything in parallel anyway (Workers()==1), or the batch is
 // too small to amortize dispatch; coalesced through the pool otherwise.
+// With a tracer attached the batch becomes a trace root (A0 = op count,
+// A1 = 1 when the coalesced path ran); detached, the root is a zero-value
+// no-op and the whole batch allocates nothing extra.
 func (s *SPECU) runBatch(ctx context.Context, ops *batchOps) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	root := s.tracer.Load().Root(ops.meta)
 	p := s.pool.Load()
 	if p == nil || p.Workers() == 1 || ops.n <= inlineBatchMax {
+		tc := root.Context()
 		for i := 0; i < ops.n; i++ {
 			if err := ctx.Err(); err != nil {
 				ops.fail(i, err)
 				continue
 			}
-			ops.inline(i)
+			osp := tc.Start(ops.opMeta)
+			ops.inline(i, osp.Context())
+			osp.End(int64(i), 0)
 		}
+		root.End(int64(ops.n), 0)
 		return
 	}
-	s.runCoalesced(ctx, p, ops)
+	s.runCoalesced(ctx, p, ops, root.Context())
+	root.End(int64(ops.n), 1)
 }
 
 // runCoalesced groups the batch's ops by shard with a counting sort (two
@@ -129,7 +145,7 @@ func (s *SPECU) runBatch(ctx context.Context, ops *batchOps) {
 // never deadlock. Within a run, ops execute in input order (the counting
 // sort is stable), so per-slot results are deterministic for any worker
 // count.
-func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps) {
+func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps, tc trace.Context) {
 	n := ops.n
 	sis := make([]uint8, n)
 	var counts [NumShards + 1]int32
@@ -167,7 +183,7 @@ func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps) {
 		// task still queued after the caller helped is a cheap no-op.
 		p.TrySubmit(func() {
 			if claimed[si].CompareAndSwap(false, true) {
-				s.runShard(ctx, si, run, ops)
+				s.runShard(ctx, si, run, ops, tc, false)
 				wg.Done()
 			}
 		})
@@ -176,7 +192,11 @@ func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps) {
 		if counts[si] == counts[si+1] || !claimed[si].CompareAndSwap(false, true) {
 			continue
 		}
-		s.runShard(ctx, si, order[counts[si]:counts[si+1]], ops)
+		// The caller claimed a run the workers did not get to (queue full
+		// or workers busy) — a "steal" in the pool's accounting, the
+		// signal the adaptive sizing policy consults.
+		p.NoteSteal()
+		s.runShard(ctx, si, order[counts[si]:counts[si+1]], ops, tc, true)
 		wg.Done()
 	}
 	wg.Wait()
@@ -190,7 +210,11 @@ func (s *SPECU) runCoalesced(ctx context.Context, p *Pool, ops *batchOps) {
 // granularity: a power-off concurrent with a batch waits for in-flight
 // runs and the rest of the batch's runs complete under the old key or fail
 // with ErrNoKey, never a mix within one run.
-func (s *SPECU) runShard(ctx context.Context, si int, run []int32, ops *batchOps) {
+//
+// The run's trace span lives on the shard's lane and opens only after the
+// shard lock is held, so one lane's spans never overlap; A0 reports ops
+// completed, A1 = 1 when the caller stole the run from the pool.
+func (s *SPECU) runShard(ctx context.Context, si int, run []int32, ops *batchOps, tc trace.Context, stolen bool) {
 	if err := ctx.Err(); err != nil {
 		for _, i := range run {
 			ops.fail(int(i), err)
@@ -210,15 +234,24 @@ func (s *SPECU) runShard(ctx context.Context, si int, run []int32, ops *batchOps
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var stole int64
+	if stolen {
+		stole = 1
+	}
+	sp := tc.WithLane(uint32(laneShardBase + si)).Start(traceMetaShardRun)
 	for k, i := range run {
 		if err := ctx.Err(); err != nil {
 			for _, j := range run[k:] {
 				ops.fail(int(j), err)
 			}
+			sp.End(int64(k), stole)
 			return
 		}
-		ops.locked(int(i), si, sh, key, pool)
+		osp := sp.Context().Start(ops.opMeta)
+		ops.locked(int(i), si, sh, key, pool, osp.Context())
+		osp.End(0, 0)
 	}
+	sp.End(int64(len(run)), stole)
 }
 
 // WriteBatch stores every op's block, returning one error slot per op
@@ -229,16 +262,21 @@ func (s *SPECU) WriteBatch(ctx context.Context, ops []WriteOp) []error {
 	s.runBatch(ctx, &batchOps{
 		n:    len(ops),
 		addr: func(i int) uint64 { return ops[i].Addr },
-		inline: func(i int) {
-			errs[i] = s.Write(ops[i].Addr, ops[i].Data)
-		},
-		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+		inline: func(i int, tc trace.Context) {
 			t := s.tel.Load()
 			start := t.now()
-			errs[i] = s.writeLocked(si, sh, key, pool, ops[i].Addr, ops[i].Data)
+			errs[i] = s.writeCtx(ops[i].Addr, ops[i].Data, tc)
+			t.observeWrite(shardIndex(ops[i].Addr), start)
+		},
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool, tc trace.Context) {
+			t := s.tel.Load()
+			start := t.now()
+			errs[i] = s.writeLocked(si, sh, key, pool, ops[i].Addr, ops[i].Data, tc)
 			t.observeWrite(si, start)
 		},
-		fail: func(i int, err error) { errs[i] = err },
+		fail:   func(i int, err error) { errs[i] = err },
+		meta:   traceMetaWriteBatch,
+		opMeta: traceMetaWrite,
 	})
 	return errs
 }
@@ -251,20 +289,25 @@ func (s *SPECU) ReadBatch(ctx context.Context, addrs []uint64) []ReadResult {
 	s.runBatch(ctx, &batchOps{
 		n:    len(addrs),
 		addr: func(i int) uint64 { return addrs[i] },
-		inline: func(i int) {
-			data, err := s.Read(addrs[i])
-			res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
-		},
-		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+		inline: func(i int, tc trace.Context) {
 			t := s.tel.Load()
 			start := t.now()
-			data, err := s.readLocked(si, sh, key, pool, addrs[i])
+			data, err := s.readCtx(addrs[i], tc)
+			t.observeRead(shardIndex(addrs[i]), start)
+			res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
+		},
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool, tc trace.Context) {
+			t := s.tel.Load()
+			start := t.now()
+			data, err := s.readLocked(si, sh, key, pool, addrs[i], tc)
 			t.observeRead(si, start)
 			res[i] = ReadResult{Addr: addrs[i], Data: data, Err: err}
 		},
 		fail: func(i int, err error) {
 			res[i] = ReadResult{Addr: addrs[i], Err: err}
 		},
+		meta:   traceMetaReadBatch,
+		opMeta: traceMetaRead,
 	})
 	return res
 }
@@ -292,13 +335,15 @@ func (s *SPECU) cryptBatch(ctx context.Context, addrs []uint64, decrypt bool) []
 	s.runBatch(ctx, &batchOps{
 		n:    len(addrs),
 		addr: func(i int) uint64 { return addrs[i] },
-		inline: func(i int) {
-			errs[i] = s.cryptAt(addrs[i], decrypt)
+		inline: func(i int, tc trace.Context) {
+			errs[i] = s.cryptAtCtx(addrs[i], decrypt, tc)
 		},
-		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
-			errs[i] = s.cryptLocked(si, sh, key, pool, addrs[i], decrypt)
+		locked: func(i, si int, sh *shard, key prng.Key, pool *Pool, tc trace.Context) {
+			errs[i] = s.cryptLocked(si, sh, key, pool, addrs[i], decrypt, tc)
 		},
-		fail: func(i int, err error) { errs[i] = err },
+		fail:   func(i int, err error) { errs[i] = err },
+		meta:   traceMetaCryptBatch,
+		opMeta: traceMetaCrypt,
 	})
 	return errs
 }
@@ -307,6 +352,11 @@ func (s *SPECU) cryptBatch(ctx context.Context, addrs []uint64, decrypt bool) []
 // block at addr in place. Transitions that are already satisfied are
 // no-ops.
 func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
+	return s.cryptAtCtx(addr, decrypt, trace.Context{})
+}
+
+// cryptAtCtx is cryptAt with the op's causal trace context (see writeCtx).
+func (s *SPECU) cryptAtCtx(addr uint64, decrypt bool, tc trace.Context) error {
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
@@ -318,11 +368,11 @@ func (s *SPECU) cryptAt(addr uint64, decrypt bool) error {
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.cryptLocked(si, sh, key, pool, addr, decrypt)
+	return s.cryptLocked(si, sh, key, pool, addr, decrypt, tc)
 }
 
 // cryptLocked is the cryptAt body. Same locking contract as writeLocked.
-func (s *SPECU) cryptLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, decrypt bool) error {
+func (s *SPECU) cryptLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, decrypt bool, tc trace.Context) error {
 	b, ok := sh.blocks[addr]
 	if !ok {
 		return errNoBlockAt(addr)
@@ -330,7 +380,7 @@ func (s *SPECU) cryptLocked(si int, sh *shard, key prng.Key, pool *Pool, addr ui
 	if b.Encrypted() != decrypt {
 		return nil // already in the requested state
 	}
-	return s.blockCrypt(si, b, key, addr, decrypt, pool)
+	return s.blockCrypt(si, b, key, addr, decrypt, pool, tc)
 }
 
 // plaintextAddrs snapshots the addresses of currently plaintext blocks.

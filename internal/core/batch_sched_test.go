@@ -13,6 +13,7 @@ import (
 
 	"snvmm/internal/prng"
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/trace"
 )
 
 // withProcs pins GOMAXPROCS for the test's duration. The coalescing
@@ -357,8 +358,8 @@ func TestBatchDispatchPolicy(t *testing.T) {
 		s.runBatch(context.Background(), &batchOps{
 			n:      n,
 			addr:   func(i int) uint64 { return uint64(i) * BlockSize },
-			inline: func(i int) { inlineCalls.Add(1) },
-			locked: func(i, si int, sh *shard, key prng.Key, pool *Pool) {
+			inline: func(i int, tc trace.Context) { inlineCalls.Add(1) },
+			locked: func(i, si int, sh *shard, key prng.Key, pool *Pool, tc trace.Context) {
 				lockedCalls.Add(1)
 			},
 			fail: func(i int, err error) { t.Errorf("op %d failed: %v", i, err) },

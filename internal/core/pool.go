@@ -38,6 +38,8 @@ type Pool struct {
 	busy     atomic.Int64 // workers currently executing a task
 	depth    atomic.Int64 // tasks enqueued but not yet dequeued
 	pressure atomic.Int64 // consecutive enqueues that found every worker busy
+	done     atomic.Int64 // tasks a pool worker completed
+	steals   atomic.Int64 // submitted runs the caller claimed back (NoteSteal)
 
 	// tel, when non-nil, holds the pool-health instruments (SetTelemetry).
 	tel atomic.Pointer[poolTel]
@@ -61,17 +63,23 @@ type poolTel struct {
 	queueDepth    *telemetry.Gauge
 	busyWorkers   *telemetry.Gauge
 	activeWorkers *telemetry.Gauge
+	stealRate     *telemetry.FloatGauge
 	tasksDone     *telemetry.Counter
+	steals        *telemetry.Counter
 	grows         *telemetry.Counter
 	shrinks       *telemetry.Counter
 	scope         *telemetry.Scope
 }
 
 // Adaptive decision-trail events: A0 is the live worker count after the
-// decision, A1 the queue depth that triggered it.
+// decision, A1 the queue depth that triggered it. Each grow/shrink is
+// followed by a pool.steal_rate event whose A0 is the cumulative steal
+// count and A1 the rate in per-mille — the work-distribution context the
+// sizing decision was made under.
 var (
-	metaPoolGrow   = &telemetry.EventMeta{Subsystem: "pool", Name: "grow"}
-	metaPoolShrink = &telemetry.EventMeta{Subsystem: "pool", Name: "shrink"}
+	metaPoolGrow      = &telemetry.EventMeta{Subsystem: "pool", Name: "grow"}
+	metaPoolShrink    = &telemetry.EventMeta{Subsystem: "pool", Name: "shrink"}
+	metaPoolStealRate = &telemetry.EventMeta{Subsystem: "pool", Name: "steal_rate"}
 )
 
 // SetTelemetry attaches the pool-health instruments under the "specu.pool."
@@ -89,13 +97,41 @@ func (p *Pool) SetTelemetry(reg *telemetry.Registry) {
 		queueDepth:    reg.Gauge("specu.pool.queue_depth"),
 		busyWorkers:   reg.Gauge("specu.pool.busy_workers"),
 		activeWorkers: reg.Gauge("specu.pool.active_workers"),
+		stealRate:     reg.FloatGauge("specu.pool.steal_rate"),
 		tasksDone:     reg.Counter("specu.pool.tasks_done"),
+		steals:        reg.Counter("specu.pool.steals"),
 		grows:         reg.Counter("specu.pool.grows"),
 		shrinks:       reg.Counter("specu.pool.shrinks"),
 		scope:         reg.Recorder().Scope("pool"),
 	}
 	t.activeWorkers.Set(p.running.Load())
+	t.stealRate.Set(p.StealRate())
 	p.tel.Store(t)
+}
+
+// NoteSteal records that a submitted run was claimed back and executed by
+// its submitter — the queue was full or every worker was busy, so the
+// caller "stole" its own work rather than wait. A high steal rate means
+// submitted parallelism is not being realized by the worker set; the
+// adaptive sizing decision trail includes it for exactly that reason.
+func (p *Pool) NoteSteal() {
+	p.steals.Add(1)
+	if t := p.tel.Load(); t != nil {
+		t.steals.Inc()
+		t.stealRate.Set(p.StealRate())
+	}
+}
+
+// StealRate returns the fraction of completed runs that were stolen by
+// their submitter rather than executed by a pool worker: steals /
+// (steals + worker-completed tasks), 0 when nothing has run yet.
+func (p *Pool) StealRate() float64 {
+	st := p.steals.Load()
+	total := st + p.done.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(st) / float64(total)
 }
 
 // NewPool starts a fixed-size pool: workers goroutines behind a queue of
@@ -201,9 +237,11 @@ func (p *Pool) runTask(f func()) {
 	}
 	f()
 	p.busy.Add(-1)
+	p.done.Add(1)
 	if t != nil {
 		t.busyWorkers.Add(-1)
 		t.tasksDone.Inc()
+		t.stealRate.Set(p.StealRate())
 	}
 }
 
@@ -246,6 +284,7 @@ func (p *Pool) spawn(depth int64) {
 				t.activeWorkers.Set(r + 1)
 				t.grows.Inc()
 				t.scope.Event(metaPoolGrow, r+1, depth)
+				t.scope.Event(metaPoolStealRate, p.steals.Load(), int64(p.StealRate()*1000))
 			}
 			return
 		}
@@ -271,6 +310,7 @@ func (p *Pool) retire() bool {
 				t.activeWorkers.Set(r - 1)
 				t.shrinks.Inc()
 				t.scope.Event(metaPoolShrink, r-1, p.depth.Load())
+				t.scope.Event(metaPoolStealRate, p.steals.Load(), int64(p.StealRate()*1000))
 			}
 			return true
 		}

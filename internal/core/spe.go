@@ -20,8 +20,14 @@ import (
 	"snvmm/internal/device"
 	"snvmm/internal/poe"
 	"snvmm/internal/prng"
+	"snvmm/internal/telemetry/trace"
 	"snvmm/internal/xbar"
 )
+
+// traceMetaPulseTrain is the span one crossbar's keyed pulse sequence
+// records: A0 = pulse count (the PoE placement size — public geometry,
+// not key material), A1 = crossbar index within the block.
+var traceMetaPulseTrain = &trace.SpanMeta{Subsystem: "xbar", Name: "pulse_train"}
 
 // BlockSize is the cache-block granularity SPE encrypts, in bytes.
 const BlockSize = 64
@@ -139,6 +145,7 @@ type cryptScratch struct {
 	key     prng.Key
 	tweak   uint64
 	decrypt bool
+	tc      trace.Context // the call's causal context; zero when untraced
 	errs    []error
 	claimed []atomic.Bool
 	tasks   []func()
@@ -242,14 +249,14 @@ func subKey(k prng.Key, tweak uint64, idx int) prng.Key {
 // order and pulse classes are derived and the pulses applied with sneak
 // paths enabled.
 func (b *Block) Encrypt(key prng.Key, tweak uint64) error {
-	return b.crypt(key, tweak, false, nil)
+	return b.crypt(key, tweak, false, nil, trace.Context{})
 }
 
 // Decrypt applies the inverse pulses in reverse order (Section 5.3). With a
 // wrong key the pulses still apply — the hardware cannot tell — but the
 // result is garbage; use ReadPlain after decrypting with the right key.
 func (b *Block) Decrypt(key prng.Key, tweak uint64) error {
-	return b.crypt(key, tweak, true, nil)
+	return b.crypt(key, tweak, true, nil, trace.Context{})
 }
 
 // cryptXbar applies the keyed schedule to crossbar i: the forward pulse
@@ -285,7 +292,11 @@ func (b *Block) runCryptTask(i int) {
 	if !sc.claimed[i].CompareAndSwap(false, true) {
 		return
 	}
+	// Each crossbar's pulse train gets its own fan lane (derived from the
+	// parent's lane), since subtasks of one block run concurrently.
+	xsp := sc.tc.WithLane(fanLane(sc.tc.Lane(), i)).Start(traceMetaPulseTrain)
 	sc.errs[i] = b.cryptXbar(i, sc.key, sc.tweak, sc.decrypt)
+	xsp.End(int64(len(b.eng.Placement)), int64(i))
 	sc.wg.Done()
 }
 
@@ -294,7 +305,7 @@ func (b *Block) runCryptTask(i int) {
 // of a 64-byte block pulse in parallel in hardware); subtasks that find the
 // queue saturated run inline, so nested submission cannot deadlock. The
 // caller must hold the block's shard lock when the block is shared.
-func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool) error {
+func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool, tc trace.Context) error {
 	if decrypt && !b.encrypted {
 		return fmt.Errorf("core: block not encrypted")
 	}
@@ -303,7 +314,10 @@ func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool) erro
 	}
 	if pool == nil || len(b.xbs) < 2 {
 		for i := range b.xbs {
-			if err := b.cryptXbar(i, key, tweak, decrypt); err != nil {
+			xsp := tc.Start(traceMetaPulseTrain)
+			err := b.cryptXbar(i, key, tweak, decrypt)
+			xsp.End(int64(len(b.eng.Placement)), int64(i))
+			if err != nil {
 				return err
 			}
 		}
@@ -318,7 +332,7 @@ func (b *Block) crypt(key prng.Key, tweak uint64, decrypt bool, pool *Pool) erro
 		// admits a task also publishes them.
 		n := len(b.xbs)
 		sc := &b.scratch
-		sc.key, sc.tweak, sc.decrypt = key, tweak, decrypt
+		sc.key, sc.tweak, sc.decrypt, sc.tc = key, tweak, decrypt, tc
 		sc.wg.Add(n)
 		for i := 0; i < n; i++ {
 			sc.errs[i] = nil

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"snvmm/internal/prng"
+	"snvmm/internal/telemetry/slo"
+	"snvmm/internal/telemetry/trace"
 )
 
 // Mode selects between the paper's two SPE variants (Section 7).
@@ -69,6 +71,15 @@ type SPECU struct {
 	// tel, when non-nil, is the resolved instrument set (EnableTelemetry).
 	// The disabled fast path is this one load and a branch.
 	tel atomic.Pointer[specuTel]
+
+	// tracer, when non-nil, records causal spans for every batch
+	// (EnableTracing). Detached tracing is one load and a branch per
+	// batch; all span plumbing below it is value types.
+	tracer atomic.Pointer[trace.Tracer]
+
+	// sloEng, when non-nil, is the rolling-window SLO engine the telemetry
+	// observe path feeds (EnableSLO).
+	sloEng atomic.Pointer[slo.Engine]
 }
 
 // NewSPECU creates a control unit for a device built from the engine's
@@ -86,6 +97,46 @@ func (s *SPECU) Engine() *Engine { return s.eng }
 
 // Mode reports the configured SPE variant.
 func (s *SPECU) Mode() Mode { return s.mode }
+
+// Trace lane assignment. Lanes are Perfetto-thread grouping hints: the
+// batch root lives on the caller lane, each coalesced shard run on its
+// shard's lane (shard-run spans start after the shard lock is acquired,
+// so one lane's spans are serialized by construction), and the per-block
+// crossbar fan-out on a lane derived from the parent's — distinct parent
+// lanes get disjoint fan ranges, so concurrent subtask spans never share
+// a lane.
+const (
+	laneCaller    = 0
+	laneShardBase = 1             // lanes 1..NumShards: coalesced shard runs
+	laneFanBase   = NumShards + 1 // crossbar fan-out lanes start here
+	laneFanStride = 16            // fan lanes reserved per parent lane
+)
+
+// fanLane maps (parent lane, crossbar index) to a fan-out lane.
+func fanLane(parent uint32, i int) uint32 {
+	if i >= laneFanStride {
+		i = laneFanStride - 1
+	}
+	return laneFanBase + parent*laneFanStride + uint32(i)
+}
+
+// EnableTracing attaches a causal tracer: every batch becomes a trace
+// root whose spans follow the op through coalesced shard runs, pool
+// claim/steal, the per-block crossbar fan-out and down to the pulse
+// trains. Passing nil detaches; a detached SPECU pays one atomic load
+// and a branch per batch and zero allocations.
+func (s *SPECU) EnableTracing(tr *trace.Tracer) {
+	if tr != nil {
+		tr.NameLane(laneCaller, "batch caller")
+		for i := 0; i < NumShards; i++ {
+			tr.NameLane(uint32(laneShardBase+i), fmt.Sprintf("shard %02d", i))
+		}
+	}
+	s.tracer.Store(tr)
+}
+
+// Tracer returns the attached causal tracer (nil when tracing is off).
+func (s *SPECU) Tracer() *trace.Tracer { return s.tracer.Load() }
 
 // shardIndex maps a block address to its shard index. The multiplicative
 // hash spreads block-aligned (low-bits-zero) addresses across all shards.
@@ -213,6 +264,12 @@ func (s *SPECU) Write(addr uint64, data []byte) error {
 }
 
 func (s *SPECU) write(addr uint64, data []byte) error {
+	return s.writeCtx(addr, data, trace.Context{})
+}
+
+// writeCtx is write with the op's causal trace context; the inline batch
+// path uses it so per-op spans keep their crypt/pulse children.
+func (s *SPECU) writeCtx(addr uint64, data []byte, tc trace.Context) error {
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
@@ -224,27 +281,28 @@ func (s *SPECU) write(addr uint64, data []byte) error {
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.writeLocked(si, sh, key, pool, addr, data)
+	return s.writeLocked(si, sh, key, pool, addr, data, tc)
 }
 
 // writeLocked is the write body. The caller holds keyMu (shared) and the
 // shard lock (exclusive); coalesced batch runs call it directly so a run
 // of same-shard ops pays the lock acquisitions once, not once per op.
-func (s *SPECU) writeLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, data []byte) error {
+// tc is the op's causal trace context (the zero Context when untraced).
+func (s *SPECU) writeLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, data []byte, tc trace.Context) error {
 	b, err := s.blockLocked(sh, addr)
 	if err != nil {
 		return err
 	}
 	if b.Encrypted() {
 		// Overwrite: the stale ciphertext is simply reprogrammed.
-		if err := s.blockCrypt(si, b, key, addr, true, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, true, pool, tc); err != nil {
 			return err
 		}
 	}
 	if err := b.WritePlain(data); err != nil {
 		return err
 	}
-	return s.blockCrypt(si, b, key, addr, false, pool)
+	return s.blockCrypt(si, b, key, addr, false, pool, tc)
 }
 
 // Read returns the plaintext of the block at addr. In Parallel mode the
@@ -259,6 +317,11 @@ func (s *SPECU) Read(addr uint64) ([]byte, error) {
 }
 
 func (s *SPECU) read(addr uint64) ([]byte, error) {
+	return s.readCtx(addr, trace.Context{})
+}
+
+// readCtx is read with the op's causal trace context (see writeCtx).
+func (s *SPECU) readCtx(addr uint64, tc trace.Context) ([]byte, error) {
 	s.keyMu.RLock()
 	defer s.keyMu.RUnlock()
 	key, err := s.snapshotKey()
@@ -270,17 +333,17 @@ func (s *SPECU) read(addr uint64) ([]byte, error) {
 	sh := &s.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.readLocked(si, sh, key, pool, addr)
+	return s.readLocked(si, sh, key, pool, addr, tc)
 }
 
 // readLocked is the read body. Same locking contract as writeLocked.
-func (s *SPECU) readLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64) ([]byte, error) {
+func (s *SPECU) readLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uint64, tc trace.Context) ([]byte, error) {
 	b, ok := sh.blocks[addr]
 	if !ok {
 		return nil, errNoBlockAt(addr)
 	}
 	if b.Encrypted() {
-		if err := s.blockCrypt(si, b, key, addr, true, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, true, pool, tc); err != nil {
 			return nil, err
 		}
 	}
@@ -289,7 +352,7 @@ func (s *SPECU) readLocked(si int, sh *shard, key prng.Key, pool *Pool, addr uin
 		return nil, err
 	}
 	if s.mode == Parallel {
-		if err := s.blockCrypt(si, b, key, addr, false, pool); err != nil {
+		if err := s.blockCrypt(si, b, key, addr, false, pool, tc); err != nil {
 			return nil, err
 		}
 	}
@@ -306,7 +369,7 @@ func (s *SPECU) encryptAll(key prng.Key) (int, error) {
 		sh.mu.Lock()
 		for addr, b := range sh.blocks {
 			if !b.Encrypted() {
-				if err := s.blockCrypt(i, b, key, addr, false, pool); err != nil {
+				if err := s.blockCrypt(i, b, key, addr, false, pool, trace.Context{}); err != nil {
 					sh.mu.Unlock()
 					return flushed, err
 				}

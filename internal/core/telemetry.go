@@ -5,6 +5,8 @@ import (
 
 	"snvmm/internal/prng"
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/slo"
+	"snvmm/internal/telemetry/trace"
 )
 
 // SPECU instrumentation. EnableTelemetry resolves every instrument once
@@ -20,6 +22,22 @@ var (
 	metaPowerOn        = &telemetry.EventMeta{Subsystem: "specu", Name: "power_on"}
 	metaPowerOff       = &telemetry.EventMeta{Subsystem: "specu", Name: "power_off"}
 	metaEncryptPending = &telemetry.EventMeta{Subsystem: "specu", Name: "encrypt_pending"}
+)
+
+// Causal-trace call sites, interned once. The hierarchy a traced batch
+// produces: {read,write,crypt}_batch root -> shard_run (one per touched
+// shard, on the shard's lane) -> {read,write,crypt} op span ->
+// {encrypt,decrypt} block crypt -> xbar.pulse_train (one per crossbar).
+var (
+	traceMetaReadBatch  = &trace.SpanMeta{Subsystem: "specu", Name: "read_batch"}
+	traceMetaWriteBatch = &trace.SpanMeta{Subsystem: "specu", Name: "write_batch"}
+	traceMetaCryptBatch = &trace.SpanMeta{Subsystem: "specu", Name: "crypt_batch"}
+	traceMetaShardRun   = &trace.SpanMeta{Subsystem: "specu", Name: "shard_run"}
+	traceMetaRead       = &trace.SpanMeta{Subsystem: "specu", Name: "read"}
+	traceMetaWrite      = &trace.SpanMeta{Subsystem: "specu", Name: "write"}
+	traceMetaCrypt      = &trace.SpanMeta{Subsystem: "specu", Name: "crypt"}
+	traceMetaEncrypt    = &trace.SpanMeta{Subsystem: "specu", Name: "encrypt"}
+	traceMetaDecrypt    = &trace.SpanMeta{Subsystem: "specu", Name: "decrypt"}
 )
 
 // specuTel is the resolved instrument set of one SPECU.
@@ -40,6 +58,22 @@ type specuTel struct {
 	blocks    *telemetry.Gauge // blocks ever fabricated and resident
 
 	scope *telemetry.Scope // key-lifecycle barrier spans
+
+	// SLO windows per op class (EnableSLO); nil windows no-op, so the
+	// observe path attaches unconditionally.
+	sloRead    *slo.Window
+	sloWrite   *slo.Window
+	sloEncrypt *slo.Window
+	sloDecrypt *slo.Window
+}
+
+// attachSLO resolves the engine's op-class windows into the instrument
+// set. A nil engine detaches (Window returns nil, a no-op sink).
+func (t *specuTel) attachSLO(e *slo.Engine) {
+	t.sloRead = e.Window("read")
+	t.sloWrite = e.Window("write")
+	t.sloEncrypt = e.Window("encrypt")
+	t.sloDecrypt = e.Window("decrypt")
 }
 
 // span opens a barrier span; safe on a nil receiver (disabled telemetry).
@@ -65,7 +99,9 @@ func (t *specuTel) observeRead(si int, start int64) {
 	if t == nil {
 		return
 	}
-	t.read[si].ObserveNs(t.reg.Now() - start)
+	elapsed := t.reg.Now() - start
+	t.read[si].ObserveNs(elapsed)
+	t.sloRead.Observe(elapsed)
 	t.reads.Inc()
 }
 
@@ -74,7 +110,9 @@ func (t *specuTel) observeWrite(si int, start int64) {
 	if t == nil {
 		return
 	}
-	t.write[si].ObserveNs(t.reg.Now() - start)
+	elapsed := t.reg.Now() - start
+	t.write[si].ObserveNs(elapsed)
+	t.sloWrite.Observe(elapsed)
 	t.writes.Inc()
 }
 
@@ -105,9 +143,30 @@ func (s *SPECU) EnableTelemetry(reg *telemetry.Registry) {
 		t.encrypt[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.encrypt", i))
 		t.decrypt[i] = reg.Histogram(fmt.Sprintf("specu.shard%02d.decrypt", i))
 	}
+	t.attachSLO(s.sloEng.Load())
 	s.tel.Store(t)
 	if p := s.pool.Load(); p != nil {
 		wirePool(p, reg)
+	}
+}
+
+// EnableSLO attaches a rolling-window SLO engine: the telemetry observe
+// path additionally feeds the engine's read/write/encrypt/decrypt
+// windows (classes resolved by name; missing classes are no-ops).
+// Telemetry must be enabled for observations to flow — the SLO engine
+// shares the telemetry clock and observe call sites. Passing nil
+// detaches. Not synchronized against a concurrent EnableTelemetry; wire
+// both before traffic.
+func (s *SPECU) EnableSLO(e *slo.Engine) {
+	if e == nil {
+		s.sloEng.Store(nil)
+	} else {
+		s.sloEng.Store(e)
+	}
+	if t := s.tel.Load(); t != nil {
+		t2 := *t
+		t2.attachSLO(e)
+		s.tel.Store(&t2)
 	}
 }
 
@@ -120,19 +179,31 @@ func wirePool(p *Pool, reg *telemetry.Registry) {
 
 // blockCrypt runs b.crypt with per-shard encrypt/decrypt latency recording
 // and plaintext-gauge maintenance. The caller holds the block's shard lock
-// (same contract as crypt itself).
-func (s *SPECU) blockCrypt(si int, b *Block, key prng.Key, addr uint64, decrypt bool, pool *Pool) error {
+// (same contract as crypt itself). tc is the op's causal trace context;
+// the block crypt becomes a child span whose children are the per-crossbar
+// pulse trains.
+func (s *SPECU) blockCrypt(si int, b *Block, key prng.Key, addr uint64, decrypt bool, pool *Pool, tc trace.Context) error {
+	meta := traceMetaEncrypt
+	if decrypt {
+		meta = traceMetaDecrypt
+	}
+	csp := tc.Start(meta)
 	t := s.tel.Load()
 	if t == nil {
-		return b.crypt(key, addr, decrypt, pool)
+		err := b.crypt(key, addr, decrypt, pool, csp.Context())
+		csp.End(int64(len(b.xbs)), 0)
+		return err
 	}
 	start := t.reg.Now()
-	err := b.crypt(key, addr, decrypt, pool)
+	err := b.crypt(key, addr, decrypt, pool, csp.Context())
 	elapsed := t.reg.Now() - start
+	csp.End(int64(len(b.xbs)), 0)
 	if decrypt {
 		t.decrypt[si].ObserveNs(elapsed)
+		t.sloDecrypt.Observe(elapsed)
 	} else {
 		t.encrypt[si].ObserveNs(elapsed)
+		t.sloEncrypt.Observe(elapsed)
 	}
 	if err == nil {
 		if decrypt {

@@ -10,6 +10,7 @@ import (
 
 	"snvmm/internal/sched"
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/trace"
 )
 
 // ILPOptions configures the branch-and-bound search.
@@ -37,7 +38,27 @@ type ILPOptions struct {
 	// gauges) and incumbent events. Purely observational: the search order,
 	// objective, and canonical vector are identical with or without it.
 	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records the solve as a causal trace: one
+	// ilp.solve root per SolveILP call with an ilp.worker child span per
+	// search goroutine (canonicalization probes reuse the same root, so a
+	// canonical solve renders as repeated worker waves under one solve).
+	// Observational only, like Telemetry.
+	Tracer *trace.Tracer
+
+	// traceCtx is the solve root's context, threaded to solveBB (and
+	// through canonicalize's probe solves) once SolveILPContext opens it.
+	traceCtx trace.Context
 }
+
+// Causal-trace call sites and the worker-lane block. ilpLaneBase keeps the
+// solver's per-worker lanes clear of the SPECU shard/fan and xbar warm
+// lanes when one tracer serves the whole process.
+var (
+	traceMetaILPSolve  = &trace.SpanMeta{Subsystem: "ilp", Name: "solve"}
+	traceMetaILPWorker = &trace.SpanMeta{Subsystem: "ilp", Name: "worker"}
+)
+
+const ilpLaneBase = 2000
 
 // fixStep records one branching decision: variable Var fixed to Val.
 type fixStep struct {
@@ -553,7 +574,11 @@ func solveBB(ctx context.Context, p *Problem, opt ILPOptions, pre []fixStep, tar
 		wg.Add(1)
 		go func(i int, ws *Workspace) {
 			defer wg.Done()
+			// Worker span: A0 is the node count this worker stole from
+			// peers, A1 its index — one span per wave, on the worker's lane.
+			wsp := opt.traceCtx.WithLane(uint32(ilpLaneBase + i)).Start(traceMetaILPWorker)
 			s.worker(i, ws)
+			wsp.End(s.steals[i].Load(), int64(i))
 		}(i, ws)
 	}
 	wg.Wait()
@@ -638,15 +663,25 @@ func SolveILPContext(ctx context.Context, p *Problem, opt ILPOptions) (Solution,
 		}
 		pool[i] = ws
 	}
+	// The whole solve — main search plus any canonicalization probes — is
+	// one trace root. A0 reports the nodes expanded, A1 the final status.
+	root := opt.Tracer.Root(traceMetaILPSolve)
+	for i := range pool {
+		opt.Tracer.NameLane(uint32(ilpLaneBase+i), fmt.Sprintf("ilp %02d", i))
+	}
+	opt.traceCtx = root.Context()
 	sol, err := solveBB(ctx, p, opt, nil, math.Inf(1), math.Inf(-1), pool)
 	if err != nil || sol.Status != Optimal || !opt.Canonicalize {
+		root.End(sol.Nodes, int64(sol.Status))
 		return sol, err
 	}
 	x, err := canonicalize(ctx, p, opt, sol.Objective, sol.X, pool)
 	if err != nil {
+		root.End(sol.Nodes, int64(sol.Status))
 		return sol, err
 	}
 	sol.X = x
+	root.End(sol.Nodes, int64(sol.Status))
 	return sol, nil
 }
 
@@ -670,6 +705,7 @@ func canonicalize(ctx context.Context, p *Problem, opt ILPOptions, z float64, wi
 	probeOpt := ILPOptions{
 		MaxNodes:          opt.MaxNodes,
 		IntegralObjective: opt.IntegralObjective,
+		traceCtx:          opt.traceCtx, // probes render under the same solve root
 	}
 	for j := 0; j < p.NumVars; j++ {
 		if w[j] == 0 {

@@ -20,6 +20,7 @@ import (
 
 	"snvmm/internal/ilp"
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/trace"
 	"snvmm/internal/xbar"
 )
 
@@ -38,6 +39,10 @@ type Spec struct {
 	// Telemetry, if non-nil, receives the solver's live ilp.* instruments
 	// and incumbent events. Observational only; never changes the placement.
 	Telemetry *telemetry.Registry
+
+	// Tracer, if non-nil, records the solve as an ilp.solve causal trace
+	// root with per-worker child spans. Observational only.
+	Tracer *trace.Tracer
 }
 
 func (s *Spec) shape() ShapeFunc {
@@ -148,6 +153,7 @@ func SolveContext(ctx context.Context, spec Spec) (*Result, error) {
 		Workers:           spec.Workers,
 		Canonicalize:      true,
 		Telemetry:         spec.Telemetry,
+		Tracer:            spec.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -31,6 +31,10 @@ type Histogram struct {
 	_       [cacheLine]byte
 }
 
+// BucketOf maps a nanosecond duration to its bucket index. Exported so
+// sibling packages (the SLO window math) can share the bucket layout.
+func BucketOf(ns int64) int { return bucketOf(ns) }
+
 // bucketOf maps a nanosecond duration to its bucket index.
 func bucketOf(ns int64) int {
 	if ns <= 0 {

@@ -16,6 +16,9 @@ import (
 //	/debug/vars   expvar (includes the registry if PublishExpvar was called)
 //	/debug/pprof  the standard pprof handlers
 //
+// Query parameters are strict: a present-but-invalid ?max= is a 400, not a
+// silent fallback to the default.
+//
 // The handler holds only the registry pointer; it is safe to serve while
 // every instrument is being written.
 func Handler(r *Registry) http.Handler {
@@ -24,11 +27,9 @@ func Handler(r *Registry) http.Handler {
 		writeJSON(w, r.Snapshot())
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
-		max := 256
-		if s := req.URL.Query().Get("max"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
-				max = n
-			}
+		max, ok := maxParam(w, req, 256, maxSpanQuery)
+		if !ok {
+			return
 		}
 		events := r.Recorder().Events(max)
 		if events == nil {
@@ -46,6 +47,25 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// maxSpanQuery bounds how many events one /spans request may ask for.
+const maxSpanQuery = 1 << 20
+
+// maxParam parses a strict ?max= query parameter: absent means def, and a
+// present value must be an integer in [1, limit] or the request is a 400.
+// Returns ok=false after writing the error response.
+func maxParam(w http.ResponseWriter, req *http.Request, def, limit int) (int, bool) {
+	raw := req.URL.Query().Get("max")
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 || n > limit {
+		http.Error(w, fmt.Sprintf("invalid max %q: want integer in [1, %d]", raw, limit), http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 // expvarHandler mirrors expvar's unexported handler so the endpoint works

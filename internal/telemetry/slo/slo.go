@@ -1,0 +1,256 @@
+// Package slo layers rolling-window service-level objectives on the
+// telemetry registry: each op class gets a sliding window of log2
+// sub-histograms (p50/p99/p999 over the last W seconds, not
+// since-process-start), a latency target with an error budget, and a
+// burn-rate gauge — the ratio of the observed over-target fraction to the
+// budgeted fraction, so burn_rate > 1 means the budget is being spent
+// faster than allowed.
+//
+// Observation is the hot path and follows the telemetry discipline: one
+// epoch check plus a handful of atomic adds, no locks (the reset mutex is
+// taken only on the first observation of each sub-bucket epoch), no
+// allocation, and every method no-ops on a nil receiver. The clock is the
+// registry's (injectable via Registry.SetClock), so window expiry is fully
+// deterministic in tests.
+package slo
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snvmm/internal/telemetry"
+)
+
+// Objective configures one op class's SLO.
+type Objective struct {
+	Class      string        // instrument prefix: gauges export as slo.<class>.*
+	TargetNs   int64         // latency target; an op slower than this spends budget
+	BudgetFrac float64       // allowed fraction of ops over target (e.g. 0.001)
+	Window     time.Duration // sliding window width (default 30s)
+	Buckets    int           // sub-buckets the window slides over (default 10)
+}
+
+// sub is one time-bucket of the sliding window: a log2 histogram plus
+// over-target and sum counters, tagged with the epoch it belongs to.
+type sub struct {
+	epoch  atomic.Int64 // window epoch this bucket currently holds; -1 = empty
+	total  atomic.Int64
+	over   atomic.Int64
+	sum    atomic.Int64
+	counts [telemetry.HistBuckets]atomic.Int64
+	mu     sync.Mutex // serializes lazy reset on epoch advance
+}
+
+// Window is the rolling-window accumulator for one op class. Observe is
+// safe for concurrent use and no-ops on a nil receiver.
+type Window struct {
+	target   int64
+	budget   float64
+	strideNs int64 // width of one sub-bucket
+	n        int64
+	now      func() int64
+	subs     []sub
+}
+
+// Stats is a point-in-time reading of a window.
+type Stats struct {
+	Count    int64   `json:"count"`
+	Over     int64   `json:"over"`
+	SumNs    int64   `json:"sum_ns"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	P999Ns   int64   `json:"p999_ns"`
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// newWindow builds a window; called by Engine with validated options.
+func newWindow(o Objective, now func() int64) *Window {
+	width := o.Window
+	if width <= 0 {
+		width = 30 * time.Second
+	}
+	n := o.Buckets
+	if n <= 0 {
+		n = 10
+	}
+	stride := int64(width) / int64(n)
+	if stride <= 0 {
+		stride = 1
+	}
+	w := &Window{
+		target:   o.TargetNs,
+		budget:   o.BudgetFrac,
+		strideNs: stride,
+		n:        int64(n),
+		now:      now,
+		subs:     make([]sub, n),
+	}
+	for i := range w.subs {
+		w.subs[i].epoch.Store(-1)
+	}
+	return w
+}
+
+// Observe records one op latency into the current time sub-bucket.
+func (w *Window) Observe(ns int64) {
+	if w == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	e := w.now() / w.strideNs
+	s := &w.subs[e%w.n]
+	if s.epoch.Load() != e {
+		s.reset(e)
+	}
+	s.counts[telemetry.BucketOf(ns)].Add(1)
+	s.total.Add(1)
+	s.sum.Add(ns)
+	if ns > w.target {
+		s.over.Add(1)
+	}
+}
+
+// reset re-tags a sub-bucket for a new epoch, zeroing its counters. A
+// writer from the previous epoch racing the reset may land one
+// observation in the wrong epoch (or lose it); over a window of many
+// sub-buckets this skews quantiles by at most a handful of samples and is
+// the price of a lock-free observe path.
+func (s *sub) reset(e int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch.Load() == e {
+		return // another writer already reset for this epoch
+	}
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.total.Store(0)
+	s.over.Store(0)
+	s.sum.Store(0)
+	s.epoch.Store(e)
+}
+
+// Stats merges the sub-buckets still inside the sliding window. An empty
+// window reads as all-zero with BurnRate 0.
+func (w *Window) Stats() Stats {
+	var st Stats
+	if w == nil {
+		return st
+	}
+	cur := w.now() / w.strideNs
+	var counts [telemetry.HistBuckets]int64
+	for i := range w.subs {
+		s := &w.subs[i]
+		e := s.epoch.Load()
+		if e < 0 || e <= cur-w.n || e > cur {
+			continue // expired or not yet reused
+		}
+		for b := range counts {
+			counts[b] += s.counts[b].Load()
+		}
+		st.Count += s.total.Load()
+		st.Over += s.over.Load()
+		st.SumNs += s.sum.Load()
+	}
+	if st.Count == 0 {
+		return Stats{}
+	}
+	st.P50Ns = quantile(&counts, st.Count, 0.50)
+	st.P99Ns = quantile(&counts, st.Count, 0.99)
+	st.P999Ns = quantile(&counts, st.Count, 0.999)
+	if w.budget > 0 {
+		st.BurnRate = (float64(st.Over) / float64(st.Count)) / w.budget
+	}
+	return st
+}
+
+// quantile is nearest-rank over the merged log2 buckets: it returns the
+// upper bound of the bucket holding the q-quantile observation.
+func quantile(counts *[telemetry.HistBuckets]int64, total int64, q float64) int64 {
+	rank := int64(math.Ceil(float64(total) * q))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return telemetry.BucketUpperNs(i)
+		}
+	}
+	return telemetry.BucketUpperNs(telemetry.HistBuckets - 1)
+}
+
+// Engine owns one Window per configured op class and publishes their
+// readings as registry gauges. All methods are nil-safe.
+type Engine struct {
+	reg     *telemetry.Registry
+	windows map[string]*Window
+	order   []string
+}
+
+// New builds an engine on the given registry (its clock drives window
+// expiry). Objectives with an empty Class or non-positive TargetNs are
+// skipped; duplicate classes keep the first definition.
+func New(reg *telemetry.Registry, objs ...Objective) *Engine {
+	if reg == nil {
+		return nil
+	}
+	e := &Engine{reg: reg, windows: make(map[string]*Window)}
+	for _, o := range objs {
+		if o.Class == "" || o.TargetNs <= 0 {
+			continue
+		}
+		if _, dup := e.windows[o.Class]; dup {
+			continue
+		}
+		e.windows[o.Class] = newWindow(o, reg.Now)
+		e.order = append(e.order, o.Class)
+	}
+	return e
+}
+
+// Window returns the accumulator for an op class (nil when the class has
+// no objective — and a nil Window's Observe is a no-op, so callers attach
+// unconditionally).
+func (e *Engine) Window(class string) *Window {
+	if e == nil {
+		return nil
+	}
+	return e.windows[class]
+}
+
+// Classes returns the configured op classes in definition order.
+func (e *Engine) Classes() []string {
+	if e == nil {
+		return nil
+	}
+	return append([]string(nil), e.order...)
+}
+
+// Refresh publishes every window's current stats to the registry:
+// slo.<class>.{p50_ns,p99_ns,p999_ns,window_ops,over_target} gauges and
+// the slo.<class>.burn_rate float gauge. Wire it to the registry with
+// reg.OnSnapshot(engine.Refresh) so /metrics always shows live values.
+func (e *Engine) Refresh() {
+	if e == nil {
+		return
+	}
+	for _, class := range e.order {
+		st := e.windows[class].Stats()
+		prefix := "slo." + class + "."
+		e.reg.Gauge(prefix + "p50_ns").Set(st.P50Ns)
+		e.reg.Gauge(prefix + "p99_ns").Set(st.P99Ns)
+		e.reg.Gauge(prefix + "p999_ns").Set(st.P999Ns)
+		e.reg.Gauge(prefix + "window_ops").Set(st.Count)
+		e.reg.Gauge(prefix + "over_target").Set(st.Over)
+		e.reg.FloatGauge(prefix + "burn_rate").Set(st.BurnRate)
+	}
+}

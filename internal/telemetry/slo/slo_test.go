@@ -1,0 +1,191 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"snvmm/internal/telemetry"
+)
+
+// testEngine returns an engine on a fake-clock registry plus the clock.
+func testEngine(t *testing.T, objs ...Objective) (*Engine, *int64, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.New()
+	now := new(int64)
+	*now = int64(time.Hour) // away from zero so epoch math sees a real clock
+	reg.SetClock(func() int64 { return *now })
+	return New(reg, objs...), now, reg
+}
+
+func TestEmptyWindowStats(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1000, BudgetFrac: 0.01})
+	st := e.Window("read").Stats()
+	if st != (Stats{}) {
+		t.Fatalf("empty window stats = %+v, want all zero", st)
+	}
+	if st.BurnRate != 0 {
+		t.Fatalf("empty window burn rate = %v, want 0", st.BurnRate)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1 << 20, BudgetFrac: 0.01})
+	w := e.Window("read")
+	w.Observe(700) // bucket [512,1024) -> upper bound 1023
+	st := w.Stats()
+	if st.Count != 1 || st.Over != 0 {
+		t.Fatalf("stats = %+v, want count 1 over 0", st)
+	}
+	if st.P50Ns != 1023 || st.P99Ns != 1023 || st.P999Ns != 1023 {
+		t.Fatalf("single-sample quantiles = %d/%d/%d, want 1023 each", st.P50Ns, st.P99Ns, st.P999Ns)
+	}
+	if st.SumNs != 700 {
+		t.Fatalf("sum = %d, want 700", st.SumNs)
+	}
+	if st.BurnRate != 0 {
+		t.Fatalf("burn rate = %v, want 0", st.BurnRate)
+	}
+}
+
+func TestZeroAndNegativeDurations(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 10, BudgetFrac: 0.5})
+	w := e.Window("read")
+	w.Observe(0)
+	w.Observe(-5) // clamped to 0
+	st := w.Stats()
+	if st.Count != 2 || st.Over != 0 || st.P50Ns != 0 {
+		t.Fatalf("stats = %+v, want 2 zero-duration samples", st)
+	}
+}
+
+func TestBurnRateMath(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1000, BudgetFrac: 0.1})
+	w := e.Window("read")
+	for i := 0; i < 9; i++ {
+		w.Observe(100)
+	}
+	w.Observe(5000) // 1 of 10 over target; over-frac 0.1 == budget -> burn 1.0
+	st := w.Stats()
+	if st.Over != 1 || st.Count != 10 {
+		t.Fatalf("stats = %+v, want 1/10 over", st)
+	}
+	if st.BurnRate != 1.0 {
+		t.Fatalf("burn rate = %v, want 1.0", st.BurnRate)
+	}
+	// Exactly-at-target ops do not spend budget.
+	w.Observe(1000)
+	if st := w.Stats(); st.Over != 1 {
+		t.Fatalf("op at target counted as over: %+v", st)
+	}
+}
+
+func TestSlidingExpiry(t *testing.T) {
+	e, now, _ := testEngine(t, Objective{
+		Class: "read", TargetNs: 1000, BudgetFrac: 0.1,
+		Window: 10 * time.Second, Buckets: 10,
+	})
+	w := e.Window("read")
+	w.Observe(5000)
+	if st := w.Stats(); st.Count != 1 || st.Over != 1 {
+		t.Fatalf("fresh observation missing: %+v", st)
+	}
+	// Half a window later the sample is still visible.
+	*now += int64(5 * time.Second)
+	w.Observe(100)
+	if st := w.Stats(); st.Count != 2 {
+		t.Fatalf("mid-window stats = %+v, want 2", st)
+	}
+	// A full window past the first sample: only the second remains.
+	*now += int64(6 * time.Second)
+	if st := w.Stats(); st.Count != 1 || st.Over != 0 {
+		t.Fatalf("expiry failed: %+v, want count 1 over 0", st)
+	}
+	// And past everything: empty again, with sub-bucket reuse intact.
+	*now += int64(20 * time.Second)
+	if st := w.Stats(); st.Count != 0 {
+		t.Fatalf("stale samples survived: %+v", st)
+	}
+	w.Observe(42)
+	if st := w.Stats(); st.Count != 1 {
+		t.Fatalf("reused sub-bucket lost observation: %+v", st)
+	}
+}
+
+func TestRefreshPublishesGauges(t *testing.T) {
+	e, _, reg := testEngine(t,
+		Objective{Class: "read", TargetNs: 1000, BudgetFrac: 0.1},
+		Objective{Class: "write", TargetNs: 2000, BudgetFrac: 0.2},
+	)
+	e.Window("read").Observe(5000)
+	reg.OnSnapshot(e.Refresh)
+	snap := reg.Snapshot()
+	if snap.Gauges["slo.read.window_ops"] != 1 {
+		t.Fatalf("window_ops gauge = %d, want 1", snap.Gauges["slo.read.window_ops"])
+	}
+	if snap.Gauges["slo.read.over_target"] != 1 {
+		t.Fatalf("over_target gauge = %d, want 1", snap.Gauges["slo.read.over_target"])
+	}
+	burn, ok := snap.FloatGauges["slo.read.burn_rate"]
+	if !ok || burn != 10.0 { // over-frac 1.0 / budget 0.1
+		t.Fatalf("burn_rate gauge = %v (present %v), want 10.0", burn, ok)
+	}
+	if _, ok := snap.FloatGauges["slo.write.burn_rate"]; !ok {
+		t.Fatal("write class burn_rate gauge missing")
+	}
+	if snap.Gauges["slo.read.p50_ns"] == 0 {
+		t.Fatal("p50 gauge not published")
+	}
+}
+
+func TestEngineNilSafety(t *testing.T) {
+	var e *Engine
+	e.Refresh()
+	if e.Window("read") != nil {
+		t.Fatal("nil engine returned a window")
+	}
+	if e.Classes() != nil {
+		t.Fatal("nil engine returned classes")
+	}
+	var w *Window
+	w.Observe(100)
+	if w.Stats() != (Stats{}) {
+		t.Fatal("nil window returned stats")
+	}
+	if New(nil, Objective{Class: "x", TargetNs: 1}) != nil {
+		t.Fatal("engine on nil registry")
+	}
+	// Unknown class: attach-unconditionally pattern must hold.
+	e2, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1})
+	e2.Window("nope").Observe(5)
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1000, BudgetFrac: 0.01})
+	w := e.Window("read")
+	w.Observe(1) // pay the first-epoch reset outside the measured loop
+	allocs := testing.AllocsPerRun(1000, func() { w.Observe(123) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	e, _, _ := testEngine(t, Objective{Class: "read", TargetNs: 1000, BudgetFrac: 0.01})
+	w := e.Window("read")
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if st := w.Stats(); st.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", st.Count, goroutines*per)
+	}
+}

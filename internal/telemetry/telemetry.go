@@ -42,6 +42,7 @@ type Registry struct {
 	fgauge  map[string]*FloatGauge
 	hist    map[string]*Histogram
 	rec     *Recorder
+	hooks   []func() // run before each Snapshot collection (see OnSnapshot)
 
 	nowFn func() int64 // unix nanoseconds; injectable for deterministic tests
 }
@@ -166,11 +167,31 @@ type Snapshot struct {
 	Histograms   map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
+// OnSnapshot registers a hook run at the start of every Snapshot call,
+// before instruments are collected. Hooks refresh derived instruments
+// (e.g. SLO burn-rate gauges) so /metrics always renders current values.
+// They run outside the registry lock — a hook may create or set
+// instruments on this registry.
+func (r *Registry) OnSnapshot(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 // Snapshot renders every instrument. Returns an empty snapshot on a nil
 // registry.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
+	}
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counter))

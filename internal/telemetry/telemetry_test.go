@@ -253,6 +253,54 @@ func TestSnapshotJSONAndHandler(t *testing.T) {
 	}
 }
 
+// TestSpansQueryValidation pins the hardened parameter handling: garbage,
+// non-positive and oversized ?max= values are a 400, never a silent
+// default.
+func TestSpansQueryValidation(t *testing.T) {
+	srv := httptest.NewServer(Handler(New()))
+	defer srv.Close()
+	for _, q := range []string{"max=abc", "max=", "max=0", "max=-1", "max=1.5", "max=9999999999"} {
+		resp, err := srv.Client().Get(srv.URL + "/spans?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if q == "max=" {
+			// An empty value is "absent": the default applies.
+			if resp.StatusCode != 200 {
+				t.Errorf("query %q: status %d, want 200", q, resp.StatusCode)
+			}
+			continue
+		}
+		if resp.StatusCode != 400 {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestOnSnapshotHook pins that snapshot hooks run before collection and
+// may touch registry instruments without deadlocking.
+func TestOnSnapshotHook(t *testing.T) {
+	r := New()
+	calls := 0
+	r.OnSnapshot(func() {
+		calls++
+		r.Gauge("derived.value").Set(int64(calls))
+	})
+	snap := r.Snapshot()
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1", calls)
+	}
+	if snap.Gauges["derived.value"] != 1 {
+		t.Fatalf("derived gauge = %d, want 1", snap.Gauges["derived.value"])
+	}
+	if snap = r.Snapshot(); snap.Gauges["derived.value"] != 2 {
+		t.Fatalf("second snapshot derived gauge = %d, want 2", snap.Gauges["derived.value"])
+	}
+	var nilReg *Registry
+	nilReg.OnSnapshot(func() {})
+}
+
 // BenchmarkDisabledOverhead pins the disabled fast path: all instruments
 // nil, one branch per call.
 func BenchmarkDisabledOverhead(b *testing.B) {

@@ -1,0 +1,367 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event JSON array: "X"
+// (complete span), "i" (instant) or "M" (metadata). Timestamps and
+// durations are microseconds with nanosecond resolution in the fraction.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level Chrome trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents []ChromeEvent  `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData,omitempty"`
+}
+
+// subLaneStride separates sub-lanes split off one logical lane: the
+// exported tid is lane*subLaneStride + sublane, so lane identity stays
+// readable in the tid and sub-lanes of different lanes never collide.
+const subLaneStride = 256
+
+// Chrome renders up to max recent spans as a Chrome trace-event object.
+//
+// Lanes are hints, not guarantees: two spans on one lane may overlap in
+// time (concurrent roots, a stalled writer). The Chrome format requires
+// "X" events on one tid to be properly nested, so the exporter splits
+// each lane into sub-lanes greedily — a span goes to the first sub-lane
+// whose open stack it nests into (or which is idle), and overflow opens a
+// new sub-lane. Spans whose parent chain is not fully present in the ring
+// (an in-flight ancestor, or one lost to ring overwrite) are pruned so
+// every exported child's parent_id resolves.
+func (t *Tracer) Chrome(max int) ChromeTrace {
+	recs := t.Spans(max)
+	return buildChrome(recs, t)
+}
+
+// WriteChrome writes the Chrome trace-event JSON for up to max recent
+// spans to w.
+func (t *Tracer) WriteChrome(w io.Writer, max int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Chrome(max))
+}
+
+func buildChrome(recs []SpanRecord, t *Tracer) ChromeTrace {
+	out := ChromeTrace{
+		TraceEvents: []ChromeEvent{},
+		OtherData:   map[string]any{"spans": 0, "pruned": 0},
+	}
+	if len(recs) == 0 {
+		return out
+	}
+
+	// Prune spans with unresolvable ancestry. Instants (DurNs < 0) attach
+	// to their parent span but are kept even when that parent is pruned —
+	// they carry no nesting obligations; their parent_id is cleared so the
+	// export stays self-consistent.
+	byID := make(map[uint64]*SpanRecord, len(recs))
+	for i := range recs {
+		if recs[i].DurNs >= 0 {
+			byID[recs[i].SpanID] = &recs[i]
+		}
+	}
+	resolved := make(map[uint64]bool, len(recs))
+	var resolve func(id uint64) bool
+	resolve = func(id uint64) bool {
+		if id == 0 {
+			return true
+		}
+		if ok, seen := resolved[id]; seen {
+			return ok
+		}
+		r, present := byID[id]
+		if !present {
+			resolved[id] = false
+			return false
+		}
+		resolved[id] = true // break cycles (impossible by construction, cheap to guard)
+		ok := resolve(r.ParentID)
+		resolved[id] = ok
+		return ok
+	}
+	// Decide before compacting: byID aliases recs' backing array, so all
+	// resolve calls must finish before any slot is overwritten.
+	keep := make([]bool, len(recs))
+	pruned := 0
+	for i := range recs {
+		if recs[i].DurNs < 0 {
+			keep[i] = true
+			if !resolve(recs[i].ParentID) {
+				recs[i].ParentID = 0
+			}
+			continue
+		}
+		keep[i] = resolve(recs[i].SpanID)
+		if !keep[i] {
+			pruned++
+		}
+	}
+	kept := recs[:0]
+	for i := range recs {
+		if keep[i] {
+			kept = append(kept, recs[i])
+		}
+	}
+	recs = kept
+	out.OtherData["spans"] = len(recs)
+	out.OtherData["pruned"] = pruned
+	if len(recs) == 0 {
+		return out
+	}
+
+	// Normalize timestamps to the earliest span so Perfetto opens at t=0.
+	t0 := recs[0].StartNano
+	for _, r := range recs {
+		if r.StartNano < t0 {
+			t0 = r.StartNano
+		}
+	}
+
+	// Split each lane into well-nested sub-lanes. Spans are placed in
+	// (start asc, dur desc) order so a parent is always placed before its
+	// children; a span goes to the first sub-lane where it either nests
+	// inside the top of the open stack or starts at/after the last close.
+	type laneState struct {
+		lane   uint32
+		stacks [][]int64 // per sub-lane stack of open-span end times
+	}
+	byLane := make(map[uint32]*laneState)
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := recs[order[a]], recs[order[b]]
+		if ra.StartNano != rb.StartNano {
+			return ra.StartNano < rb.StartNano
+		}
+		da, db := ra.DurNs, rb.DurNs
+		if da != db {
+			return da > db
+		}
+		return ra.Seq < rb.Seq
+	})
+	tids := make([]int64, len(recs))
+	usedLanes := make(map[uint32][]bool) // lane -> sub-lane used
+	for _, i := range order {
+		r := recs[i]
+		ls := byLane[r.Lane]
+		if ls == nil {
+			ls = &laneState{lane: r.Lane}
+			byLane[r.Lane] = ls
+		}
+		dur := r.DurNs
+		if dur < 0 {
+			dur = 0 // instants occupy a point; never block nesting
+		}
+		start, end := r.StartNano, r.StartNano+dur
+		placed := -1
+		for k := range ls.stacks {
+			st := ls.stacks[k]
+			for len(st) > 0 && st[len(st)-1] <= start {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || end <= st[len(st)-1] {
+				if r.DurNs >= 0 {
+					st = append(st, end)
+				}
+				ls.stacks[k] = st
+				placed = k
+				break
+			}
+			ls.stacks[k] = st
+		}
+		if placed < 0 {
+			placed = len(ls.stacks)
+			if r.DurNs >= 0 {
+				ls.stacks = append(ls.stacks, []int64{end})
+			} else {
+				ls.stacks = append(ls.stacks, nil)
+			}
+		}
+		for len(usedLanes[r.Lane]) <= placed {
+			usedLanes[r.Lane] = append(usedLanes[r.Lane], false)
+		}
+		usedLanes[r.Lane][placed] = true
+		tids[i] = int64(r.Lane)*subLaneStride + int64(placed)
+	}
+
+	events := make([]ChromeEvent, 0, len(recs)+2*len(byLane)+1)
+	events = append(events, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "spe"},
+	})
+	for lane, subs := range usedLanes {
+		base := "lane " + strconv.FormatUint(uint64(lane), 10)
+		if t != nil {
+			base = t.laneName(lane)
+		}
+		for sub, used := range subs {
+			if !used {
+				continue
+			}
+			name := base
+			if sub > 0 {
+				name = fmt.Sprintf("%s ~%d", base, sub)
+			}
+			events = append(events, ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1,
+				Tid:  int64(lane)*subLaneStride + int64(sub),
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+	for i, r := range recs {
+		ev := ChromeEvent{
+			Name: r.Subsystem + "." + r.Name,
+			Cat:  r.Subsystem,
+			Ph:   "X",
+			Ts:   float64(r.StartNano-t0) / 1e3,
+			Dur:  float64(r.DurNs) / 1e3,
+			Pid:  1,
+			Tid:  tids[i],
+			Args: map[string]any{
+				// IDs as strings: uint64 loses precision as a JSON number.
+				"trace_id": strconv.FormatUint(r.TraceID, 10),
+				"span_id":  strconv.FormatUint(r.SpanID, 10),
+				"a0":       r.A0,
+				"a1":       r.A1,
+			},
+		}
+		if r.ParentID != 0 {
+			ev.Args["parent_id"] = strconv.FormatUint(r.ParentID, 10)
+		}
+		if r.DurNs < 0 {
+			ev.Ph = "i"
+			ev.Dur = 0
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+	// Metadata first, then (tid, ts) order: readers see monotone
+	// timestamps within every exported thread.
+	sort.SliceStable(events, func(a, b int) bool {
+		ma, mb := events[a].Ph == "M", events[b].Ph == "M"
+		if ma != mb {
+			return ma
+		}
+		if ma {
+			return false
+		}
+		if events[a].Tid != events[b].Tid {
+			return events[a].Tid < events[b].Tid
+		}
+		if events[a].Ts != events[b].Ts {
+			return events[a].Ts < events[b].Ts
+		}
+		return events[a].Dur > events[b].Dur
+	})
+	out.TraceEvents = events
+	return out
+}
+
+// ValidateChrome parses data as Chrome trace-event JSON and checks the
+// invariants the exporter guarantees: required fields present, timestamps
+// monotone non-decreasing per tid (in array order), "X" events properly
+// nested per tid, and every parent_id resolving to an exported span_id.
+func ValidateChrome(data []byte) error {
+	var doc ChromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: parse: %w", err)
+	}
+	spanIDs := make(map[string]bool)
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("trace: event %d: missing ph", i)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if ev.Pid == 0 {
+			return fmt.Errorf("trace: event %d: missing pid", i)
+		}
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("trace: event %d: negative ts", i)
+		}
+		if ev.Ph == "X" {
+			id, _ := ev.Args["span_id"].(string)
+			if id == "" {
+				return fmt.Errorf("trace: event %d: X event without span_id", i)
+			}
+			spanIDs[id] = true
+		}
+	}
+	type open struct{ endNs int64 }
+	stacks := make(map[int64][]open)
+	lastTs := make(map[int64]int64)
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" && ev.Ph != "i" {
+			continue
+		}
+		tsNs := int64(ev.Ts*1e3 + 0.5)
+		if prev, seen := lastTs[ev.Tid]; seen && tsNs < prev {
+			return fmt.Errorf("trace: event %d: ts not monotone on tid %d", i, ev.Tid)
+		}
+		lastTs[ev.Tid] = tsNs
+		if pid, ok := ev.Args["parent_id"].(string); ok && pid != "" && !spanIDs[pid] {
+			return fmt.Errorf("trace: event %d: orphan span (parent %s not exported)", i, pid)
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		endNs := tsNs + int64(ev.Dur*1e3+0.5)
+		st := stacks[ev.Tid]
+		for len(st) > 0 && st[len(st)-1].endNs <= tsNs {
+			st = st[:len(st)-1]
+		}
+		if len(st) > 0 && endNs > st[len(st)-1].endNs {
+			return fmt.Errorf("trace: event %d: not nested on tid %d", i, ev.Tid)
+		}
+		stacks[ev.Tid] = append(st, open{endNs: endNs})
+	}
+	return nil
+}
+
+// maxTraceSpans caps the export size a /trace query may request.
+const maxTraceSpans = 1 << 20
+
+// Handler serves the tracer's recent spans as Chrome trace-event JSON.
+// Query parameter max (optional, default = ring capacity) bounds the span
+// count; a present-but-invalid value is a 400, never a silent default.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		max := t.Cap()
+		if raw := req.URL.Query().Get("max"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 || v > maxTraceSpans {
+				http.Error(w, fmt.Sprintf("invalid max %q: want integer in [1, %d]", raw, maxTraceSpans), http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := t.WriteChrome(w, max); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

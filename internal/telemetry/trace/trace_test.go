@@ -1,0 +1,313 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+var (
+	metaRoot  = &SpanMeta{Subsystem: "test", Name: "root"}
+	metaChild = &SpanMeta{Subsystem: "test", Name: "child"}
+	metaBlip  = &SpanMeta{Subsystem: "test", Name: "blip"}
+)
+
+// fakeClock is a deterministic manual clock.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64      { return c.ns }
+func (c *fakeClock) advance(d int64) { c.ns += d }
+
+func newTestTracer(capacity int) (*Tracer, *fakeClock) {
+	tr := New(capacity)
+	clk := &fakeClock{ns: 1_000_000}
+	tr.SetClock(clk.now)
+	return tr, clk
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root(metaRoot)
+	if sp.Context().Enabled() {
+		t.Fatal("nil tracer produced an enabled context")
+	}
+	child := sp.Context().Start(metaChild)
+	child.End(1, 2)
+	sp.Context().Event(metaBlip, 3, 4)
+	sp.End(0, 0)
+	tr.NameLane(1, "x")
+	tr.SetClock(nil)
+	if got := tr.Spans(10); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+	if tr.Cap() != 0 {
+		t.Fatal("nil tracer has capacity")
+	}
+}
+
+func TestDetachedZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		root := tr.Root(metaRoot)
+		tc := root.Context().WithLane(3)
+		child := tc.Start(metaChild)
+		tc.Event(metaBlip, 1, 2)
+		child.End(1, 2)
+		root.End(0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("detached tracing allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestAttachedZeroAlloc(t *testing.T) {
+	tr, _ := newTestTracer(1 << 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		root := tr.Root(metaRoot)
+		child := root.Context().Start(metaChild)
+		child.End(1, 2)
+		root.End(0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("attached span recording allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestSpanLinksAndClock(t *testing.T) {
+	tr, clk := newTestTracer(64)
+	root := tr.Root(metaRoot)
+	clk.advance(100)
+	child := root.Context().Start(metaChild)
+	clk.advance(50)
+	child.Context().Event(metaBlip, 7, 8)
+	child.End(1, 2)
+	clk.advance(25)
+	root.End(3, 4)
+
+	spans := tr.Spans(10)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Recording order: instant, child, root (parents end last).
+	blip, ch, rt := spans[0], spans[1], spans[2]
+	if blip.DurNs != -1 || blip.Name != "blip" {
+		t.Fatalf("first record = %+v, want instant blip", blip)
+	}
+	if ch.ParentID != rt.SpanID {
+		t.Fatalf("child parent %d != root span %d", ch.ParentID, rt.SpanID)
+	}
+	if blip.ParentID != ch.SpanID {
+		t.Fatalf("instant parent %d != child span %d", blip.ParentID, ch.SpanID)
+	}
+	if rt.TraceID != rt.SpanID || ch.TraceID != rt.TraceID || blip.TraceID != rt.TraceID {
+		t.Fatalf("trace IDs inconsistent: root %+v child %+v blip %+v", rt, ch, blip)
+	}
+	if ch.DurNs != 50 {
+		t.Fatalf("child dur = %d, want 50", ch.DurNs)
+	}
+	if rt.DurNs != 175 {
+		t.Fatalf("root dur = %d, want 175", rt.DurNs)
+	}
+	if rt.ParentID != 0 {
+		t.Fatalf("root has parent %d", rt.ParentID)
+	}
+}
+
+func TestRingOverwriteKeepsRecent(t *testing.T) {
+	tr, clk := newTestTracer(8)
+	for i := 0; i < 100; i++ {
+		sp := tr.Root(metaRoot)
+		clk.advance(1)
+		sp.End(int64(i), 0)
+	}
+	spans := tr.Spans(1000)
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans, want ring capacity 8", len(spans))
+	}
+	if spans[len(spans)-1].A0 != 99 {
+		t.Fatalf("newest span a0 = %d, want 99", spans[len(spans)-1].A0)
+	}
+}
+
+func TestChromeExportValid(t *testing.T) {
+	tr, clk := newTestTracer(256)
+	tr.NameLane(0, "caller")
+	tr.NameLane(1, "shard 0")
+	root := tr.Root(metaRoot)
+	clk.advance(10)
+	c1 := root.Context().WithLane(1).Start(metaChild)
+	clk.advance(5)
+	c1.Context().Event(metaBlip, 1, 0)
+	grand := c1.Context().Start(metaChild)
+	clk.advance(5)
+	grand.End(0, 0)
+	clk.advance(5)
+	c1.End(0, 0)
+	clk.advance(10)
+	root.End(0, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, 100); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome: %v\n%s", err, buf.String())
+	}
+	var doc ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var xEvents, iEvents, mEvents int
+	foundNamedLane := false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+		case "i":
+			iEvents++
+		case "M":
+			mEvents++
+			if name, _ := ev.Args["name"].(string); name == "shard 0" {
+				foundNamedLane = true
+			}
+		}
+	}
+	if xEvents != 3 || iEvents != 1 {
+		t.Fatalf("got %d X + %d i events, want 3 + 1", xEvents, iEvents)
+	}
+	if mEvents == 0 || !foundNamedLane {
+		t.Fatalf("metadata missing: %d M events, named lane found = %v", mEvents, foundNamedLane)
+	}
+}
+
+// TestChromeOrphanPruned pins that a child whose parent never completed
+// (in-flight at export, or lost to ring overwrite) is pruned rather than
+// exported with a dangling parent_id.
+func TestChromeOrphanPruned(t *testing.T) {
+	tr, clk := newTestTracer(64)
+	root := tr.Root(metaRoot) // never ended
+	clk.advance(10)
+	child := root.Context().Start(metaChild)
+	clk.advance(10)
+	child.End(0, 0)
+	done := tr.Root(metaRoot)
+	clk.advance(5)
+	done.End(0, 0)
+
+	doc := tr.Chrome(100)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "test.child" {
+			t.Fatalf("orphan child exported: %+v", ev)
+		}
+	}
+	if doc.OtherData["pruned"].(int) != 1 {
+		t.Fatalf("pruned = %v, want 1", doc.OtherData["pruned"])
+	}
+	data, _ := json.Marshal(doc)
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("pruned export invalid: %v", err)
+	}
+}
+
+// TestChromeOverlapSplitsSublanes pins that two overlapping spans on one
+// lane land on distinct tids so the export stays well-nested.
+func TestChromeOverlapSplitsSublanes(t *testing.T) {
+	tr, clk := newTestTracer(64)
+	a := tr.Root(metaRoot)
+	clk.advance(5)
+	b := tr.Root(metaRoot) // overlaps a on lane 0
+	clk.advance(5)
+	a.End(0, 0)
+	clk.advance(5)
+	b.End(0, 0)
+
+	doc := tr.Chrome(100)
+	tids := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.Tid] = true
+		}
+	}
+	if len(tids) != 2 {
+		t.Fatalf("overlapping spans share a tid: %v", tids)
+	}
+	data, _ := json.Marshal(doc)
+	if err := ValidateChrome(data); err != nil {
+		t.Fatalf("split export invalid: %v", err)
+	}
+}
+
+func TestValidateChromeRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     `{]`,
+		"missing ph":  `{"traceEvents":[{"name":"x","ts":1,"pid":1,"tid":1}]}`,
+		"missing pid": `{"traceEvents":[{"name":"x","ph":"X","ts":1,"tid":1,"args":{"span_id":"1"}}]}`,
+		"orphan":      `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1,"pid":1,"tid":1,"args":{"span_id":"2","parent_id":"99"}}]}`,
+		"not nested": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"span_id":"1"}},
+			{"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1,"args":{"span_id":"2"}}]}`,
+		"ts regress": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1,"args":{"span_id":"1"}},
+			{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1,"args":{"span_id":"2"}}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted bad input", name)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.Root(metaRoot)
+				child := root.Context().WithLane(uint32(g)).Start(metaChild)
+				child.End(int64(i), 0)
+				root.End(0, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf, tr.Cap()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("concurrent export invalid: %v", err)
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr, clk := newTestTracer(64)
+	sp := tr.Root(metaRoot)
+	clk.advance(10)
+	sp.End(0, 0)
+
+	h := tr.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?max=10", nil))
+	if rec.Code != 200 {
+		t.Fatalf("valid request: status %d", rec.Code)
+	}
+	if err := ValidateChrome(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler output invalid: %v", err)
+	}
+
+	for _, q := range []string{"max=bogus", "max=0", "max=-5", "max=9999999999"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?"+q, nil))
+		if rec.Code != 400 {
+			t.Errorf("query %q: status %d, want 400", q, rec.Code)
+		}
+	}
+}

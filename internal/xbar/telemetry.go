@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"snvmm/internal/telemetry"
+	"snvmm/internal/telemetry/trace"
 )
 
 // Package-level instrumentation. The calibration cache is process-wide, so
@@ -33,6 +34,31 @@ type xbarTel struct {
 var xtel atomic.Pointer[xbarTel]
 
 var metaWarmAll = &telemetry.EventMeta{Subsystem: "xbar", Name: "warm_all"}
+
+// Causal-trace call sites. WarmAll emits a warm_all root plus one
+// warm_worker span per sweep goroutine, on lanes warmLaneBase+w so the
+// workers render as parallel tracks without colliding with the SPECU's
+// shard/fan lanes.
+var (
+	xtrace atomic.Pointer[trace.Tracer]
+
+	traceMetaWarmAll    = &trace.SpanMeta{Subsystem: "xbar", Name: "warm_all"}
+	traceMetaWarmWorker = &trace.SpanMeta{Subsystem: "xbar", Name: "warm_worker"}
+)
+
+const warmLaneBase = 1000
+
+// SetTracer attaches (or, with nil, detaches) the package's causal
+// tracer. WarmAll sweeps become roots; nothing else in the package
+// originates traces — the data path's pulse trains are children of the
+// SPECU contexts threaded in by the caller.
+func SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		xtrace.Store(nil)
+		return
+	}
+	xtrace.Store(tr)
+}
 
 // SetTelemetry attaches (or, with nil, detaches) the package's calibration
 // instruments, all under the "xbar.cal." prefix.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snvmm/internal/device"
+	"snvmm/internal/telemetry/trace"
 )
 
 // Per-pulse side-channel trace export. An attacker with physical access can
@@ -62,6 +63,27 @@ const (
 // PulseSlotSeconds is the fixed slot the balanced driver charges per pulse
 // (Section 6.4's 100 ns per PoE).
 const PulseSlotSeconds = 100e-9
+
+var traceMetaPulse = &trace.SpanMeta{Subsystem: "xbar", Name: "pulse"}
+
+// causalSink forwards each pulse record into a causal trace context as an
+// instant event (A0 = pulse ordinal, A1 = slot duration in ns).
+type causalSink struct{ tc trace.Context }
+
+func (s causalSink) OnPulse(p PulseTrace) {
+	s.tc.Event(traceMetaPulse, int64(p.Seq), int64(p.Duration*1e9))
+}
+
+// NewTraceSink adapts a causal trace context into a PulseTraceSink: every
+// pulse lands on the context's lane as an instant event carrying the
+// ordinal and slot duration. Like SetTraceSink itself this is a red-team
+// harness tool, not a production path — with TraceRaw the emitted slot
+// durations are the key-dependent physical widths, so such a trace must
+// never leave an analysis sandbox. Under TraceBalanced the duration is the
+// constant slot and the event stream is key-independent.
+func NewTraceSink(tc trace.Context) PulseTraceSink {
+	return causalSink{tc: tc}
+}
 
 // traceState is allocated once per crossbar when a sink attaches.
 type traceState struct {

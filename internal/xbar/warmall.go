@@ -2,6 +2,7 @@ package xbar
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +47,10 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 	if t != nil {
 		sp = t.scope.Start(metaWarmAll)
 	}
+	// Causal trace: the sweep is its own root (it runs outside any batch),
+	// with one child span per worker goroutine on its own lane.
+	tr := xtrace.Load()
+	root := tr.Root(traceMetaWarmAll)
 	// One effective worker means the goroutine fan-out is pure overhead —
 	// dispatch, atomic claims and WaitGroup parking bought nothing on a
 	// GOMAXPROCS=1 host (the parallel 16x16 cold bench used to run slower
@@ -61,8 +66,8 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 			}
 			if t != nil {
 				t.warmPoes.Inc()
-				swept.Add(1)
 			}
+			swept.Add(1)
 		}
 		if t != nil {
 			failed := int64(0)
@@ -71,6 +76,7 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 			}
 			sp.End(swept.Load(), failed)
 		}
+		root.End(swept.Load(), boolA1(firstErr != nil))
 		return firstErr
 	}
 	var (
@@ -87,16 +93,23 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
+		tr.NameLane(uint32(warmLaneBase+w), fmt.Sprintf("warm %02d", w))
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsp := root.Context().WithLane(uint32(warmLaneBase + w)).Start(traceMetaWarmWorker)
+			var mine int64
 			for {
 				if err := ctx.Err(); err != nil {
 					record(err)
+					wsp.End(mine, 1)
 					return
 				}
 				base := int(next.Add(warmChunk)) - warmChunk
 				if base >= cells {
+					wsp.End(mine, 0)
 					return
 				}
 				hi := base + warmChunk
@@ -106,15 +119,17 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 				for i := base; i < hi; i++ {
 					if err := c.ensure(c.cfg.CellAt(i)); err != nil {
 						record(err)
+						wsp.End(mine, 1)
 						return
 					}
 					if t != nil {
 						t.warmPoes.Inc()
-						swept.Add(1)
 					}
+					swept.Add(1)
+					mine++
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	mu.Lock()
@@ -126,5 +141,14 @@ func (c *Calibration) WarmAll(ctx context.Context, workers int) error {
 		}
 		sp.End(swept.Load(), failed)
 	}
+	root.End(swept.Load(), boolA1(firstErr != nil))
 	return firstErr
+}
+
+// boolA1 maps a failure flag onto the span's A1 attribute.
+func boolA1(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
